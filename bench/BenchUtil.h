@@ -1,0 +1,46 @@
+//===- BenchUtil.h - Shared helpers for the figure harnesses ----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers shared by the per-figure benchmark binaries.
+/// Each binary regenerates one table or figure of the paper's evaluation;
+/// outputs are plain text tables so EXPERIMENTS.md can quote them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_BENCH_BENCHUTIL_H
+#define DAHLIA_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dahlia::bench {
+
+/// Prints a banner naming the figure being regenerated.
+inline void banner(const std::string &Title) {
+  std::printf("\n==== %s ====\n", Title.c_str());
+}
+
+/// Prints a row of right-aligned columns.
+inline void row(const std::vector<std::string> &Cols, int Width = 12) {
+  for (const std::string &C : Cols)
+    std::printf("%*s", Width, C.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double V, int Precision = 1) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+inline std::string fmtInt(long long V) { return std::to_string(V); }
+
+} // namespace dahlia::bench
+
+#endif // DAHLIA_BENCH_BENCHUTIL_H

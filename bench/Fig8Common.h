@@ -1,0 +1,90 @@
+//===- Fig8Common.h - Shared Dahlia-directed DSE driver ---------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.3 methodology shared by the three Figure 8 harnesses:
+/// enumerate the kernel's full design space, run every configuration's
+/// Dahlia port through the real type checker, estimate the accepted
+/// subset, and report the Pareto frontier with a per-parameter breakdown
+/// (the "colour" dimension of each Figure 8 plot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_BENCH_FIG8COMMON_H
+#define DAHLIA_BENCH_FIG8COMMON_H
+
+#include "BenchUtil.h"
+
+#include "dse/Dse.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dahlia::bench {
+
+template <typename Config>
+void runDahliaDirectedDse(
+    const std::string &Title, const std::vector<Config> &Space,
+    const std::function<std::string(const Config &)> &Source,
+    const std::function<hlsim::KernelSpec(const Config &)> &Spec,
+    const std::string &ColourName,
+    const std::function<int64_t(const Config &)> &Colour,
+    const std::string &PaperAccepted, const std::string &PaperPareto) {
+  banner(Title);
+
+  std::vector<size_t> AcceptedIdx;
+  for (size_t I = 0; I != Space.size(); ++I) {
+    Result<Program> P = parseProgram(Source(Space[I]));
+    if (!P)
+      continue;
+    Program Prog = P.take();
+    if (typeCheck(Prog).empty())
+      AcceptedIdx.push_back(I);
+  }
+  std::printf("space size:     %zu\n", Space.size());
+  std::printf("Dahlia accepts: %s   (paper: %s)\n",
+              dse::fractionString(AcceptedIdx.size(), Space.size()).c_str(),
+              PaperAccepted.c_str());
+
+  // Estimate the accepted subset only (the paper: "an unrestricted DSE is
+  // intractable ... we instead measure the space Dahlia accepts").
+  std::vector<dse::Objectives> Objs;
+  for (size_t I : AcceptedIdx)
+    Objs.push_back(dse::Objectives::of(hlsim::estimate(Spec(Space[I]))));
+  std::vector<size_t> Front = dse::paretoFront(Objs);
+  std::printf("Pareto-optimal among accepted: %zu   (paper: %s)\n",
+              Front.size(), PaperPareto.c_str());
+
+  banner("Pareto frontier, coloured by " + ColourName);
+  row({ColourName, "cycles", "LUTs", "FFs", "BRAMs", "DSPs"});
+  for (size_t F : Front) {
+    const Config &C = Space[AcceptedIdx[F]];
+    row({fmtInt(Colour(C)), fmt(Objs[F].Latency, 0), fmt(Objs[F].Lut, 0),
+         fmt(Objs[F].Ff, 0), fmt(Objs[F].Bram, 0), fmt(Objs[F].Dsp, 0)});
+  }
+
+  // The colour parameter's first-order effect: best latency per value.
+  banner("Best latency per " + ColourName + " value");
+  std::map<int64_t, double> Best;
+  for (size_t I = 0; I != AcceptedIdx.size(); ++I) {
+    int64_t Cv = Colour(Space[AcceptedIdx[I]]);
+    auto It = Best.find(Cv);
+    if (It == Best.end() || Objs[I].Latency < It->second)
+      Best[Cv] = Objs[I].Latency;
+  }
+  row({ColourName, "best_cycles"});
+  for (const auto &[Cv, Lat] : Best)
+    row({fmtInt(Cv), fmt(Lat, 0)});
+}
+
+} // namespace dahlia::bench
+
+#endif // DAHLIA_BENCH_FIG8COMMON_H

@@ -1,0 +1,109 @@
+//===- compiler_throughput.cpp - Compiler performance (E10) -----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// google-benchmark timings for the reimplemented compiler pipeline (the
+// paper's artifact is 5,200 LoC of Scala; Section 5.1). Throughput here
+// bounds the cost of type-checker-in-the-loop design-space exploration:
+// the Fig. 7 sweep runs 32,000 parse+check cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/EmitHLS.h"
+#include "kernels/Kernels.h"
+#include "lexer/Lexer.h"
+#include "hlsim/Estimator.h"
+#include "lower/Desugar.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dahlia;
+using namespace dahlia::kernels;
+
+namespace {
+
+const std::string &gemmSource() {
+  static std::string Src = gemmBlockedDahlia(GemmBlockedConfig());
+  return Src;
+}
+
+void BM_Lex(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Toks = lex(gemmSource());
+    benchmark::DoNotOptimize(Toks);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(gemmSource().size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = parseProgram(gemmSource());
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_TypeCheck(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = parseProgram(gemmSource());
+    Program Prog = P.take();
+    auto Errs = typeCheck(Prog);
+    benchmark::DoNotOptimize(Errs);
+  }
+}
+BENCHMARK(BM_TypeCheck);
+
+void BM_EmitHls(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = parseProgram(gemmSource());
+    Program Prog = P.take();
+    typeCheck(Prog);
+    auto Cpp = emitHlsCpp(Prog);
+    benchmark::DoNotOptimize(Cpp);
+  }
+}
+BENCHMARK(BM_EmitHls);
+
+void BM_LowerToFilament(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = parseProgram(gemmSource());
+    Program Prog = P.take();
+    typeCheck(Prog);
+    auto L = lowerProgram(Prog);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_LowerToFilament);
+
+void BM_RejectingCheck(benchmark::State &State) {
+  // Rejection speed matters as much as acceptance speed during DSE.
+  GemmBlockedConfig C;
+  C.Bank11 = 4;
+  C.Unroll1 = 2; // mismatched: rejected.
+  std::string Src = gemmBlockedDahlia(C);
+  for (auto _ : State) {
+    auto P = parseProgram(Src);
+    Program Prog = P.take();
+    auto Errs = typeCheck(Prog);
+    benchmark::DoNotOptimize(Errs);
+  }
+}
+BENCHMARK(BM_RejectingCheck);
+
+void BM_EstimateKernel(benchmark::State &State) {
+  hlsim::KernelSpec K = gemmBlockedSpec(GemmBlockedConfig());
+  for (auto _ : State) {
+    auto E = hlsim::estimate(K);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_EstimateKernel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+//===- fig4a_unroll_nopart.cpp - Figure 4a harness --------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Regenerates Figure 4a: LUT count and execution latency of the Figure 2
+// matrix-multiplication kernel for unrolling factors 1-10 with *no* array
+// partitioning. The paper's observation: there is no clear trend; the
+// single-ported BRAMs bottleneck the duplicated PEs, so greater unrolling
+// yields unpredictably better and worse designs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "hlsim/Estimator.h"
+#include "kernels/Kernels.h"
+
+using namespace dahlia;
+using namespace dahlia::bench;
+
+int main() {
+  banner("Figure 4a: unrolling without partitioning (gemm 512^3)");
+  row({"unroll", "LUTs", "runtime_ms", "II", "predictable"});
+  double BaseLut = 0, BaseMs = 0;
+  for (int64_t U = 1; U <= 10; ++U) {
+    hlsim::Estimate E = hlsim::estimate(kernels::gemm512(U, 1));
+    if (U == 1) {
+      BaseLut = static_cast<double>(E.Lut);
+      BaseMs = E.RuntimeMs;
+    }
+    row({fmtInt(U), fmtInt(E.Lut), fmt(E.RuntimeMs), fmt(E.II, 0),
+         E.Predictable ? "yes" : "no"});
+  }
+
+  // The headline check: unrolling buys (almost) no speedup without
+  // partitioning, while area still grows.
+  hlsim::Estimate U8 = hlsim::estimate(kernels::gemm512(8, 1));
+  std::printf("\nunroll=8 vs unroll=1: runtime %.2fx, LUTs %.2fx\n",
+              U8.RuntimeMs / BaseMs, static_cast<double>(U8.Lut) / BaseLut);
+  std::printf("paper's shape: flat-or-worse runtime, erratically growing "
+              "area -> %s\n",
+              (U8.RuntimeMs > 0.85 * BaseMs && U8.Lut > BaseLut)
+                  ? "REPRODUCED"
+                  : "NOT reproduced");
+  return 0;
+}

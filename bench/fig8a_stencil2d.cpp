@@ -1,0 +1,29 @@
+//===- fig8a_stencil2d.cpp - Figure 8a harness ------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Regenerates Figure 8a: the Dahlia-directed design space of stencil2d.
+// The inner unroll factor has the first-order effect on performance; the
+// type checker accepts a small fraction of the 2,916-point space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig8Common.h"
+
+#include "kernels/Kernels.h"
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::kernels;
+
+int main() {
+  runDahliaDirectedDse<Stencil2dConfig>(
+      "Figure 8a: stencil2d Dahlia-directed DSE",
+      stencil2dSpace(),
+      [](const Stencil2dConfig &C) { return stencil2dDahlia(C); },
+      [](const Stencil2dConfig &C) { return stencil2dSpec(C); },
+      "inner_unroll", [](const Stencil2dConfig &C) { return C.Unroll2; },
+      "18/2916 (0.6%)", "8");
+  return 0;
+}

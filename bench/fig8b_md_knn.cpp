@@ -1,0 +1,50 @@
+//===- fig8b_md_knn.cpp - Figure 8b harness ---------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Regenerates Figure 8b: md-knn. The paper observes two Pareto frontiers
+// an order of magnitude apart, selected by the memory banking, with the
+// outer unroll factor trading area for latency within each regime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig8Common.h"
+
+#include "kernels/Kernels.h"
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::kernels;
+
+int main() {
+  runDahliaDirectedDse<MdKnnConfig>(
+      "Figure 8b: md-knn Dahlia-directed DSE",
+      mdKnnSpace(),
+      [](const MdKnnConfig &C) { return mdKnnDahlia(C); },
+      [](const MdKnnConfig &C) { return mdKnnSpec(C); },
+      "outer_unroll", [](const MdKnnConfig &C) { return C.UnrollI; },
+      "525/16384 (3%)", "37");
+
+  // The two-regime structure: compare best latency for banking 1 vs 4.
+  banner("Frontier split by banking (paper: two regimes an order of "
+         "magnitude apart)");
+  double Best1 = 1e18, Best4 = 1e18;
+  for (const MdKnnConfig &C : mdKnnSpace()) {
+    Result<Program> P = parseProgram(mdKnnDahlia(C));
+    if (!P)
+      continue;
+    Program Prog = P.take();
+    if (!typeCheck(Prog).empty())
+      continue;
+    double Cycles = hlsim::estimate(mdKnnSpec(C)).Cycles;
+    if (C.BankPos == 1 && C.BankNlPos == 1)
+      Best1 = std::min(Best1, Cycles);
+    if (C.BankPos == 4 && C.BankNlPos == 4)
+      Best4 = std::min(Best4, Cycles);
+  }
+  std::printf("best cycles, banking=1: %.0f\n", Best1);
+  std::printf("best cycles, banking=4: %.0f\n", Best4);
+  std::printf("banking regime speedup: %.1fx\n", Best1 / Best4);
+  return 0;
+}

@@ -1,0 +1,28 @@
+//===- fig8c_md_grid.cpp - Figure 8c harness --------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Regenerates Figure 8c: md-grid. The middle loop's unroll factor drives a
+// second-order area-latency trade-off within each regime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig8Common.h"
+
+#include "kernels/Kernels.h"
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::kernels;
+
+int main() {
+  runDahliaDirectedDse<MdGridConfig>(
+      "Figure 8c: md-grid Dahlia-directed DSE",
+      mdGridSpace(),
+      [](const MdGridConfig &C) { return mdGridDahlia(C); },
+      [](const MdGridConfig &C) { return mdGridSpec(C); },
+      "middle_unroll", [](const MdGridConfig &C) { return C.Unroll2; },
+      "81/21952 (0.4%)", "13");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- fig9_spatial_gemm.cpp - Figure 9 / Figure 13 harness -----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Regenerates Figure 9 and Appendix E's Figure 13: the Spatial gemm-ncubed
+// design swept over unrolling factors 1-16. When the unrolling factor does
+// not divide the memory size, Spatial's banking inference diverges from
+// the unrolling factor and resource usage abruptly increases; the paper
+// also reports Spatial using up to 10x more LUTs than the Dahlia-generated
+// equivalents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "spatialsim/Spatial.h"
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::spatialsim;
+
+int main() {
+  const int64_t Dim = 128;
+
+  banner("Figure 13a: banking decisions inferred by Spatial");
+  row({"unroll", "bank(a)", "bank(b)", "matches"});
+  for (int64_t U = 1; U <= 16; ++U) {
+    BankingDecision D = inferBanking(Dim, U);
+    row({fmtInt(U), fmtInt(D.BankA), fmtInt(D.BankB),
+         (D.BankA == U && D.BankB == U) ? "yes" : "NO"});
+  }
+
+  banner("Figure 9 / 13b: resource usage normalized to unroll=1");
+  hlsim::Estimate Base = estimateSpatialGemm(Dim, 1);
+  row({"unroll", "DSP_norm", "BRAM_norm", "LUT_norm", "predictable"});
+  for (int64_t U = 1; U <= 16; ++U) {
+    hlsim::Estimate E = estimateSpatialGemm(Dim, U);
+    row({fmtInt(U),
+         fmt(static_cast<double>(E.Dsp) / static_cast<double>(Base.Dsp), 2),
+         fmt(static_cast<double>(E.Bram) / static_cast<double>(Base.Bram),
+             2),
+         fmt(static_cast<double>(E.Lut) / static_cast<double>(Base.Lut), 2),
+         E.Predictable ? "yes" : "no"});
+  }
+
+  banner("Figure 13c-f: absolute resource usage");
+  row({"unroll", "DSP", "REG", "LUT", "BRAM"});
+  for (int64_t U = 1; U <= 16; ++U) {
+    hlsim::Estimate E = estimateSpatialGemm(Dim, U);
+    row({fmtInt(U), fmtInt(E.Dsp), fmtInt(E.Ff), fmtInt(E.Lut),
+         fmtInt(E.Bram)});
+  }
+
+  banner("Spatial vs Dahlia-generated designs (paper: up to 10x LUTs)");
+  row({"unroll", "spatial_LUT", "dahlia_LUT", "ratio"});
+  double WorstRatio = 0;
+  for (int64_t U = 1; U <= 16; ++U) {
+    hlsim::Estimate S = estimateSpatialGemm(Dim, U);
+    // Dahlia rejects non-dividing unrolling; compare against the nearest
+    // accepted factor below.
+    int64_t DU = U;
+    while (Dim % DU != 0)
+      --DU;
+    hlsim::Estimate D = estimateDahliaGemm(Dim, DU);
+    double Ratio =
+        static_cast<double>(S.Lut) / static_cast<double>(D.Lut);
+    WorstRatio = std::max(WorstRatio, Ratio);
+    row({fmtInt(U), fmtInt(S.Lut), fmtInt(D.Lut), fmt(Ratio, 2)});
+  }
+  std::printf("\nworst-case Spatial/Dahlia LUT ratio: %.1fx\n", WorstRatio);
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- dahliac.cpp - The Dahlia compiler driver -----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// A command-line driver mirroring the original `fuse` compiler:
+//
+//   dahliac FILE [-o OUT] [--kernel NAME]   emit annotated HLS C++
+//   dahliac FILE --check                    type-check only
+//   dahliac FILE --lower                    print the Filament core term
+//   dahliac FILE --run                      lower and execute under the
+//                                           checked semantics (memories
+//                                           zero-initialized; final memory
+//                                           contents printed)
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/EmitHLS.h"
+#include "filament/Interp.h"
+#include "lower/Desugar.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dahlia;
+namespace fil = dahlia::filament;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dahliac FILE [-o OUT] [--kernel NAME] "
+               "[--check | --lower | --run]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *File = nullptr;
+  const char *OutFile = nullptr;
+  std::string KernelName = "kernel";
+  enum { EmitCpp, CheckOnly, Lower, Run } Mode = EmitCpp;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--check")) {
+      Mode = CheckOnly;
+    } else if (!std::strcmp(Argv[I], "--lower")) {
+      Mode = Lower;
+    } else if (!std::strcmp(Argv[I], "--run")) {
+      Mode = Run;
+    } else if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc) {
+      OutFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--kernel") && I + 1 < Argc) {
+      KernelName = Argv[++I];
+    } else if (Argv[I][0] == '-') {
+      return usage();
+    } else if (!File) {
+      File = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (!File)
+    return usage();
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "dahliac: cannot open '%s'\n", File);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  Result<Program> Parsed = parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s: %s\n", File, Parsed.error().str().c_str());
+    return 1;
+  }
+  Program Prog = Parsed.take();
+
+  std::vector<Error> Errors = typeCheck(Prog);
+  if (!Errors.empty()) {
+    for (const Error &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", File, E.str().c_str());
+    return 1;
+  }
+  if (Mode == CheckOnly) {
+    std::printf("%s: well-typed\n", File);
+    return 0;
+  }
+
+  if (Mode == Lower || Mode == Run) {
+    Result<LoweredProgram> L = lowerProgram(Prog);
+    if (!L) {
+      std::fprintf(stderr, "%s: %s\n", File, L.error().str().c_str());
+      return 1;
+    }
+    if (Mode == Lower) {
+      std::printf("%s\n", fil::printCmd(*L->Program).c_str());
+      return 0;
+    }
+    fil::SmallStepper M(L->makeZeroStore(), fil::Rho(), L->Program);
+    fil::EvalResult Res = M.run(1u << 26);
+    if (Res.St == fil::EvalResult::Stuck) {
+      std::fprintf(stderr, "%s: stuck: %s\n", File, Res.Why.c_str());
+      return 1;
+    }
+    if (Res.St == fil::EvalResult::OutOfFuel) {
+      std::fprintf(stderr, "%s: step budget exceeded\n", File);
+      return 1;
+    }
+    std::printf("completed in %llu steps\n",
+                static_cast<unsigned long long>(M.stepsTaken()));
+    for (const auto &[Name, Info] : L->Mems) {
+      std::printf("%s:", Name.c_str());
+      int Printed = 0;
+      const int64_t Total = [&] {
+        int64_t T = 1;
+        for (int64_t S : Info.DimSizes)
+          T *= S;
+        return T;
+      }();
+      for (int64_t Flat = 0; Flat < Total && Printed < 16; ++Flat) {
+        // Walk elements in logical row-major order.
+        std::vector<int64_t> Idx(Info.DimSizes.size());
+        int64_t Rem = Flat;
+        for (size_t D = Info.DimSizes.size(); D-- > 0;) {
+          Idx[D] = Rem % Info.DimSizes[D];
+          Rem /= Info.DimSizes[D];
+        }
+        auto [Bank, Off] = Info.locate(Idx);
+        std::printf(" %s",
+                    fil::valueToString(
+                        M.store().Mems.at(Bank).at(static_cast<size_t>(Off)))
+                        .c_str());
+        ++Printed;
+      }
+      std::printf(Total > 16 ? " ...\n" : "\n");
+    }
+    return 0;
+  }
+
+  EmitOptions Opts;
+  Opts.KernelName = KernelName;
+  Result<std::string> Cpp = emitHlsCpp(Prog, Opts);
+  if (!Cpp) {
+    std::fprintf(stderr, "%s: %s\n", File, Cpp.error().str().c_str());
+    return 1;
+  }
+  if (OutFile) {
+    std::ofstream Out(OutFile);
+    Out << *Cpp;
+  } else {
+    std::printf("%s", Cpp->c_str());
+  }
+  return 0;
+}

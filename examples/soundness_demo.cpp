@@ -1,0 +1,95 @@
+//===- soundness_demo.cpp - Watching the theorem at work --------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Demonstrates the Section 4 story end to end: a well-typed Dahlia program
+// lowers to the Filament core calculus and runs to completion under the
+// *checked* semantics; the same program with its `---` removed is rejected
+// by the type checker, and force-running the conflicting core program gets
+// stuck exactly where the checker pointed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/Interp.h"
+#include "filament/Syntax.h"
+#include "filament/TypeSystem.h"
+#include "lower/Desugar.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <cstdio>
+
+using namespace dahlia;
+namespace fil = dahlia::filament;
+
+int main() {
+  const char *Good = "decl A: bit<32>[4 bank 2];\n"
+                     "decl B: bit<32>[4 bank 2];\n"
+                     "for (let i = 0..4) unroll 2 {\n"
+                     "  let x = A[i]\n"
+                     "  ---\n"
+                     "  B[i] := x * 2;\n"
+                     "}\n";
+  std::printf("=== well-typed program ===\n%s\n", Good);
+
+  Result<Program> P = parseProgram(Good);
+  Program Prog = P.take();
+  std::vector<Error> Errs = typeCheck(Prog);
+  std::printf("type checker: %s\n",
+              Errs.empty() ? "accepted" : Errs.front().str().c_str());
+
+  Result<LoweredProgram> L = lowerProgram(Prog);
+  if (!L) {
+    std::printf("lowering failed: %s\n", L.error().str().c_str());
+    return 1;
+  }
+  std::printf("lowered to Filament core (%zu per-bank memories):\n  %s\n\n",
+              L->MemSigs.size(), fil::printCmd(*L->Program).c_str());
+
+  fil::Store S = L->makeStore(
+      +[](const std::string &, int64_t I) { return 10 * (I + 1); });
+  fil::SmallStepper M(S, fil::Rho(), L->Program);
+  fil::EvalResult Res = M.run();
+  std::printf("checked small-step execution: %s after %llu steps\n",
+              Res ? "completed (never stuck, as the soundness theorem "
+                    "guarantees)"
+                  : Res.Why.c_str(),
+              static_cast<unsigned long long>(M.stepsTaken()));
+
+  // The same accesses *without* the time-step separator.
+  const char *Bad = "decl A: bit<32>[4 bank 2];\n"
+                    "decl B: bit<32>[4 bank 2];\n"
+                    "for (let i = 0..4) unroll 2 {\n"
+                    "  let x = A[i];\n"
+                    "  A[i] := x * 2;\n"
+                    "}\n";
+  std::printf("\n=== the same program without `---` ===\n%s\n", Bad);
+  Result<Program> PB = parseProgram(Bad);
+  Program ProgB = PB.take();
+  std::vector<Error> ErrsB = typeCheck(ProgB);
+  std::printf("type checker: %s\n",
+              ErrsB.empty() ? "accepted (?!)" : ErrsB.front().str().c_str());
+
+  // Build the conflicting core program by hand and watch it get stuck —
+  // the behaviour the type system exists to prevent.
+  std::printf("\n=== forcing the conflict in the core calculus ===\n");
+  fil::CmdP Conflict =
+      fil::Cmd::par(fil::Cmd::let("x", fil::Expr::read("a", fil::Expr::num(0))),
+                    fil::Cmd::write("a", fil::Expr::num(1), fil::Expr::num(9)));
+  std::printf("  %s\n", fil::printCmd(*Conflict).c_str());
+  std::string Why;
+  bool Typed = fil::wellTyped({{"a", 4}}, *Conflict, &Why);
+  std::printf("core type system: %s\n",
+              Typed ? "accepted (?!)" : ("rejected: " + Why).c_str());
+  fil::Store SC;
+  SC.Mems["a"] = {fil::Value(int64_t(1)), fil::Value(int64_t(2)),
+                  fil::Value(int64_t(3)), fil::Value(int64_t(4))};
+  fil::SmallStepper MC(SC, fil::Rho(), Conflict);
+  fil::EvalResult RC = MC.run();
+  std::printf("checked execution: %s\n",
+              RC ? "completed" : ("STUCK: " + RC.Why).c_str());
+  std::printf("\nstuck configurations are exactly what well-typed programs "
+              "can never reach (Theorem, Section 4.6).\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+//===- AST.cpp - Dahlia surface AST -----------------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+using namespace dahlia;
+
+const char *dahlia::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Neq:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::And:
+    return "&&";
+  case BinOpKind::Or:
+    return "||";
+  }
+  return "?";
+}
+
+bool dahlia::isComparison(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Eq:
+  case BinOpKind::Neq:
+  case BinOpKind::Lt:
+  case BinOpKind::Gt:
+  case BinOpKind::Le:
+  case BinOpKind::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool dahlia::isLogical(BinOpKind Op) {
+  return Op == BinOpKind::And || Op == BinOpKind::Or;
+}
+
+const char *dahlia::viewKindName(ViewKind Kind) {
+  switch (Kind) {
+  case ViewKind::Shrink:
+    return "shrink";
+  case ViewKind::Suffix:
+    return "suffix";
+  case ViewKind::Shift:
+    return "shift";
+  case ViewKind::Split:
+    return "split";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression cloning
+//===----------------------------------------------------------------------===//
+
+ExprPtr IntLitExpr::clone() const {
+  return std::make_unique<IntLitExpr>(Value, loc());
+}
+
+ExprPtr FloatLitExpr::clone() const {
+  return std::make_unique<FloatLitExpr>(Value, loc());
+}
+
+ExprPtr BoolLitExpr::clone() const {
+  return std::make_unique<BoolLitExpr>(Value, loc());
+}
+
+ExprPtr VarExpr::clone() const {
+  return std::make_unique<VarExpr>(Name, loc());
+}
+
+ExprPtr BinOpExpr::clone() const {
+  return std::make_unique<BinOpExpr>(Op, LHS->clone(), RHS->clone(), loc());
+}
+
+ExprPtr AccessExpr::clone() const {
+  std::vector<ExprPtr> Idx;
+  Idx.reserve(Indices.size());
+  for (const ExprPtr &E : Indices)
+    Idx.push_back(E->clone());
+  return std::make_unique<AccessExpr>(Mem, std::move(Idx), loc());
+}
+
+ExprPtr PhysAccessExpr::clone() const {
+  return std::make_unique<PhysAccessExpr>(Mem, Bank->clone(), Offset->clone(),
+                                          loc());
+}
+
+ExprPtr AppExpr::clone() const {
+  std::vector<ExprPtr> NewArgs;
+  NewArgs.reserve(Args.size());
+  for (const ExprPtr &E : Args)
+    NewArgs.push_back(E->clone());
+  return std::make_unique<AppExpr>(Callee, std::move(NewArgs), loc());
+}
+
+//===----------------------------------------------------------------------===//
+// Command cloning
+//===----------------------------------------------------------------------===//
+
+ViewDimParam ViewDimParam::clone() const {
+  ViewDimParam P;
+  P.Factor = Factor;
+  if (Offset)
+    P.Offset = Offset->clone();
+  return P;
+}
+
+CmdPtr LetCmd::clone() const {
+  return std::make_unique<LetCmd>(Name, DeclType,
+                                  Init ? Init->clone() : nullptr, loc());
+}
+
+CmdPtr ViewCmd::clone() const {
+  std::vector<ViewDimParam> NewParams;
+  NewParams.reserve(Params.size());
+  for (const ViewDimParam &P : Params)
+    NewParams.push_back(P.clone());
+  return std::make_unique<ViewCmd>(Name, VK, Mem, std::move(NewParams), loc());
+}
+
+CmdPtr IfCmd::clone() const {
+  return std::make_unique<IfCmd>(Cond->clone(), Then->clone(),
+                                 Else ? Else->clone() : nullptr, loc());
+}
+
+CmdPtr WhileCmd::clone() const {
+  return std::make_unique<WhileCmd>(Cond->clone(), Body->clone(), loc());
+}
+
+CmdPtr ForCmd::clone() const {
+  return std::make_unique<ForCmd>(Iter, Lo, Hi, Unroll, Body->clone(),
+                                  Combine ? Combine->clone() : nullptr, loc());
+}
+
+CmdPtr AssignCmd::clone() const {
+  return std::make_unique<AssignCmd>(Name, Value->clone(), loc());
+}
+
+CmdPtr ReduceAssignCmd::clone() const {
+  return std::make_unique<ReduceAssignCmd>(Op, Name, Value->clone(), loc());
+}
+
+CmdPtr StoreCmd::clone() const {
+  return std::make_unique<StoreCmd>(Target->clone(), Value->clone(), loc());
+}
+
+CmdPtr ExprCmd::clone() const {
+  return std::make_unique<ExprCmd>(E->clone(), loc());
+}
+
+CmdPtr SeqCmd::clone() const {
+  std::vector<CmdPtr> NewCmds;
+  NewCmds.reserve(Cmds.size());
+  for (const CmdPtr &C : Cmds)
+    NewCmds.push_back(C->clone());
+  return std::make_unique<SeqCmd>(std::move(NewCmds), loc());
+}
+
+CmdPtr ParCmd::clone() const {
+  std::vector<CmdPtr> NewCmds;
+  NewCmds.reserve(Cmds.size());
+  for (const CmdPtr &C : Cmds)
+    NewCmds.push_back(C->clone());
+  return std::make_unique<ParCmd>(std::move(NewCmds), loc());
+}
+
+CmdPtr BlockCmd::clone() const {
+  return std::make_unique<BlockCmd>(Body->clone(), loc());
+}
+
+CmdPtr SkipCmd::clone() const { return std::make_unique<SkipCmd>(loc()); }

@@ -1,0 +1,578 @@
+//===- AST.h - Dahlia surface AST -------------------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the Dahlia surface language (Section 3):
+/// expressions, commands (with ordered `---` and unordered `;` composition,
+/// `for .. unroll .. combine`, memory views), function definitions, and
+/// whole programs. Nodes use an LLVM-style kind discriminator plus `as<T>`
+/// casting helpers (no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_AST_AST_H
+#define DAHLIA_AST_AST_H
+
+#include "ast/Type.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dahlia {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for \c Expr.
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  Var,
+  BinOp,
+  Access,     ///< Logical access A[e1][e2]...
+  PhysAccess, ///< Physical access A{b}[i]: explicit flattened bank + offset.
+  App,        ///< Function application f(e1, ..., en).
+};
+
+/// Binary operators.
+enum class BinOpKind {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Neq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  And,
+  Or,
+};
+
+/// Surface spelling of \p Op ("+", "==", ...).
+const char *binOpSpelling(BinOpKind Op);
+/// True for ==, !=, <, >, <=, >= (result type bool).
+bool isComparison(BinOpKind Op);
+/// True for && and || (operand and result type bool).
+bool isLogical(BinOpKind Op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class for expressions. After type checking, \c type() holds the
+/// inferred type.
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  const TypeRef &type() const { return Ty; }
+  void setType(TypeRef T) { Ty = std::move(T); }
+
+  template <typename T> T *as() {
+    return T::classof(this) ? static_cast<T *>(this) : nullptr;
+  }
+  template <typename T> const T *as() const {
+    return T::classof(this) ? static_cast<const T *>(this) : nullptr;
+  }
+
+  /// Deep copy (used by desugaring to duplicate unrolled bodies).
+  virtual ExprPtr clone() const = 0;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+  TypeRef Ty;
+};
+
+/// Integer literal.
+class IntLitExpr final : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+  int64_t value() const { return Value; }
+  ExprPtr clone() const override;
+
+private:
+  int64_t Value;
+};
+
+/// Floating-point literal.
+class FloatLitExpr final : public Expr {
+public:
+  FloatLitExpr(double Value, SourceLoc Loc)
+      : Expr(ExprKind::FloatLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FloatLit;
+  }
+
+  double value() const { return Value; }
+  ExprPtr clone() const override;
+
+private:
+  double Value;
+};
+
+/// Boolean literal.
+class BoolLitExpr final : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+
+  bool value() const { return Value; }
+  ExprPtr clone() const override;
+
+private:
+  bool Value;
+};
+
+/// Variable or memory reference by name.
+class VarExpr final : public Expr {
+public:
+  VarExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Var, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+  const std::string &name() const { return Name; }
+  ExprPtr clone() const override;
+
+private:
+  std::string Name;
+};
+
+/// Binary operation.
+class BinOpExpr final : public Expr {
+public:
+  BinOpExpr(BinOpKind Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(ExprKind::BinOp, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BinOp; }
+
+  BinOpKind op() const { return Op; }
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+  Expr &lhs() { return *LHS; }
+  Expr &rhs() { return *RHS; }
+  ExprPtr clone() const override;
+
+private:
+  BinOpKind Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Logical (bank-oblivious) memory access: A[e1][e2]...
+class AccessExpr final : public Expr {
+public:
+  AccessExpr(std::string Mem, std::vector<ExprPtr> Indices, SourceLoc Loc)
+      : Expr(ExprKind::Access, Loc), Mem(std::move(Mem)),
+        Indices(std::move(Indices)) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Access; }
+
+  const std::string &mem() const { return Mem; }
+  const std::vector<ExprPtr> &indices() const { return Indices; }
+  std::vector<ExprPtr> &indices() { return Indices; }
+  ExprPtr clone() const override;
+
+private:
+  std::string Mem;
+  std::vector<ExprPtr> Indices;
+};
+
+/// Physical memory access A{b}[i]: explicit flattened bank index plus an
+/// in-bank offset (Section 3.3).
+class PhysAccessExpr final : public Expr {
+public:
+  PhysAccessExpr(std::string Mem, ExprPtr Bank, ExprPtr Offset, SourceLoc Loc)
+      : Expr(ExprKind::PhysAccess, Loc), Mem(std::move(Mem)),
+        Bank(std::move(Bank)), Offset(std::move(Offset)) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::PhysAccess;
+  }
+
+  const std::string &mem() const { return Mem; }
+  const Expr &bank() const { return *Bank; }
+  const Expr &offset() const { return *Offset; }
+  ExprPtr clone() const override;
+
+private:
+  std::string Mem;
+  ExprPtr Bank, Offset;
+};
+
+/// Function application.
+class AppExpr final : public Expr {
+public:
+  AppExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::App, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::App; }
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  ExprPtr clone() const override;
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Commands
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for \c Cmd.
+enum class CmdKind {
+  Let,
+  View,
+  If,
+  While,
+  For,
+  Assign,       ///< x := e
+  ReduceAssign, ///< x += e (and -=, *=, /=): reducer in combine blocks,
+                ///< sugar for x := x op e elsewhere.
+  Store,        ///< A[e...] := e or A{b}[i] := e
+  Expr,         ///< Bare expression in statement position.
+  Seq,          ///< Ordered composition: c1 --- c2 --- ...
+  Par,          ///< Unordered composition: c1 ; c2 ; ...
+  Block,        ///< { c } introduces a scope.
+  Skip,
+};
+
+class Cmd;
+using CmdPtr = std::unique_ptr<Cmd>;
+
+/// Base class for commands.
+class Cmd {
+public:
+  virtual ~Cmd() = default;
+
+  CmdKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  template <typename T> T *as() {
+    return T::classof(this) ? static_cast<T *>(this) : nullptr;
+  }
+  template <typename T> const T *as() const {
+    return T::classof(this) ? static_cast<const T *>(this) : nullptr;
+  }
+
+  /// Deep copy (used by desugaring to duplicate unrolled bodies).
+  virtual CmdPtr clone() const = 0;
+
+protected:
+  Cmd(CmdKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  CmdKind Kind;
+  SourceLoc Loc;
+};
+
+/// let x [: T] [= e]. Declares either a local value (wires/registers) or,
+/// when T is a memory type and there is no initializer, a memory (BRAM).
+class LetCmd final : public Cmd {
+public:
+  LetCmd(std::string Name, TypeRef DeclType, ExprPtr Init, SourceLoc Loc)
+      : Cmd(CmdKind::Let, Loc), Name(std::move(Name)),
+        DeclType(std::move(DeclType)), Init(std::move(Init)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Let; }
+
+  const std::string &name() const { return Name; }
+  const TypeRef &declType() const { return DeclType; } ///< May be null.
+  const Expr *init() const { return Init.get(); }      ///< May be null.
+  Expr *init() { return Init.get(); }
+  CmdPtr clone() const override;
+
+private:
+  std::string Name;
+  TypeRef DeclType;
+  ExprPtr Init;
+};
+
+/// The four view kinds of Section 3.6.
+enum class ViewKind { Shrink, Suffix, Shift, Split };
+
+/// Surface spelling of \p Kind ("shrink", ...).
+const char *viewKindName(ViewKind Kind);
+
+/// Per-dimension parameter of a view declaration: a literal factor for
+/// shrink/split, an offset expression for suffix/shift.
+struct ViewDimParam {
+  int64_t Factor = 0; ///< shrink/split factor.
+  ExprPtr Offset;     ///< suffix/shift offset expression.
+
+  ViewDimParam clone() const;
+};
+
+/// view v = <kind> M[by p1][by p2]...
+class ViewCmd final : public Cmd {
+public:
+  ViewCmd(std::string Name, ViewKind VK, std::string Mem,
+          std::vector<ViewDimParam> Params, SourceLoc Loc)
+      : Cmd(CmdKind::View, Loc), Name(std::move(Name)), VK(VK),
+        Mem(std::move(Mem)), Params(std::move(Params)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::View; }
+
+  const std::string &name() const { return Name; }
+  ViewKind viewKind() const { return VK; }
+  const std::string &mem() const { return Mem; }
+  const std::vector<ViewDimParam> &params() const { return Params; }
+  CmdPtr clone() const override;
+
+private:
+  std::string Name;
+  ViewKind VK;
+  std::string Mem;
+  std::vector<ViewDimParam> Params;
+};
+
+/// if (e) c1 [else c2]
+class IfCmd final : public Cmd {
+public:
+  IfCmd(ExprPtr Cond, CmdPtr Then, CmdPtr Else, SourceLoc Loc)
+      : Cmd(CmdKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::If; }
+
+  const Expr &cond() const { return *Cond; }
+  Expr &cond() { return *Cond; }
+  const Cmd &thenCmd() const { return *Then; }
+  const Cmd *elseCmd() const { return Else.get(); } ///< May be null.
+  CmdPtr clone() const override;
+
+private:
+  ExprPtr Cond;
+  CmdPtr Then, Else;
+};
+
+/// while (e) c — sequential iteration, never parallelized.
+class WhileCmd final : public Cmd {
+public:
+  WhileCmd(ExprPtr Cond, CmdPtr Body, SourceLoc Loc)
+      : Cmd(CmdKind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {
+  }
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::While; }
+
+  const Expr &cond() const { return *Cond; }
+  Expr &cond() { return *Cond; }
+  const Cmd &body() const { return *Body; }
+  CmdPtr clone() const override;
+
+private:
+  ExprPtr Cond;
+  CmdPtr Body;
+};
+
+/// for (let i = lo..hi) [unroll k] { body } [combine { reduce }]
+///
+/// A doall loop: cross-iteration dependencies are illegal in the body;
+/// reductions go in the combine block (Section 3.5).
+class ForCmd final : public Cmd {
+public:
+  ForCmd(std::string Iter, int64_t Lo, int64_t Hi, int64_t Unroll, CmdPtr Body,
+         CmdPtr Combine, SourceLoc Loc)
+      : Cmd(CmdKind::For, Loc), Iter(std::move(Iter)), Lo(Lo), Hi(Hi),
+        Unroll(Unroll), Body(std::move(Body)), Combine(std::move(Combine)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::For; }
+
+  const std::string &iter() const { return Iter; }
+  int64_t lo() const { return Lo; }
+  int64_t hi() const { return Hi; }
+  int64_t unroll() const { return Unroll; }
+  const Cmd &body() const { return *Body; }
+  const Cmd *combine() const { return Combine.get(); } ///< May be null.
+  CmdPtr clone() const override;
+
+private:
+  std::string Iter;
+  int64_t Lo, Hi, Unroll;
+  CmdPtr Body, Combine;
+};
+
+/// x := e
+class AssignCmd final : public Cmd {
+public:
+  AssignCmd(std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Cmd(CmdKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Assign; }
+
+  const std::string &name() const { return Name; }
+  const Expr &value() const { return *Value; }
+  Expr &value() { return *Value; }
+  CmdPtr clone() const override;
+
+private:
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// x op= e where op in {+, -, *, /}. Inside a combine block this is a
+/// reducer applied to the combine register for x's producers; elsewhere it
+/// is sugar for x := x op e.
+class ReduceAssignCmd final : public Cmd {
+public:
+  ReduceAssignCmd(BinOpKind Op, std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Cmd(CmdKind::ReduceAssign, Loc), Op(Op), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  static bool classof(const Cmd *C) {
+    return C->kind() == CmdKind::ReduceAssign;
+  }
+
+  BinOpKind op() const { return Op; }
+  const std::string &name() const { return Name; }
+  const Expr &value() const { return *Value; }
+  Expr &value() { return *Value; }
+  CmdPtr clone() const override;
+
+private:
+  BinOpKind Op;
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// Target := e where Target is an Access or PhysAccess expression.
+class StoreCmd final : public Cmd {
+public:
+  StoreCmd(ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Cmd(CmdKind::Store, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Store; }
+
+  const Expr &target() const { return *Target; }
+  Expr &target() { return *Target; }
+  const Expr &value() const { return *Value; }
+  Expr &value() { return *Value; }
+  CmdPtr clone() const override;
+
+private:
+  ExprPtr Target, Value;
+};
+
+/// Bare expression in statement position (e.g. a call, or a read whose
+/// value is discarded).
+class ExprCmd final : public Cmd {
+public:
+  ExprCmd(ExprPtr E, SourceLoc Loc)
+      : Cmd(CmdKind::Expr, Loc), E(std::move(E)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Expr; }
+
+  const Expr &expr() const { return *E; }
+  Expr &expr() { return *E; }
+  CmdPtr clone() const override;
+
+private:
+  ExprPtr E;
+};
+
+/// Ordered composition c1 --- c2 --- ... Each element runs in its own
+/// logical time step; affine resources are restored between steps.
+class SeqCmd final : public Cmd {
+public:
+  SeqCmd(std::vector<CmdPtr> Cmds, SourceLoc Loc)
+      : Cmd(CmdKind::Seq, Loc), Cmds(std::move(Cmds)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Seq; }
+
+  const std::vector<CmdPtr> &cmds() const { return Cmds; }
+  std::vector<CmdPtr> &cmds() { return Cmds; }
+  CmdPtr clone() const override;
+
+private:
+  std::vector<CmdPtr> Cmds;
+};
+
+/// Unordered composition c1 ; c2 ; ... The compiler may reorder or run the
+/// elements in parallel; they share one logical time step's resources.
+class ParCmd final : public Cmd {
+public:
+  ParCmd(std::vector<CmdPtr> Cmds, SourceLoc Loc)
+      : Cmd(CmdKind::Par, Loc), Cmds(std::move(Cmds)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Par; }
+
+  const std::vector<CmdPtr> &cmds() const { return Cmds; }
+  std::vector<CmdPtr> &cmds() { return Cmds; }
+  CmdPtr clone() const override;
+
+private:
+  std::vector<CmdPtr> Cmds;
+};
+
+/// { c } — scope boundary.
+class BlockCmd final : public Cmd {
+public:
+  BlockCmd(CmdPtr Body, SourceLoc Loc)
+      : Cmd(CmdKind::Block, Loc), Body(std::move(Body)) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Block; }
+
+  const Cmd &body() const { return *Body; }
+  Cmd &body() { return *Body; }
+  CmdPtr clone() const override;
+
+private:
+  CmdPtr Body;
+};
+
+/// No-op.
+class SkipCmd final : public Cmd {
+public:
+  explicit SkipCmd(SourceLoc Loc) : Cmd(CmdKind::Skip, Loc) {}
+  static bool classof(const Cmd *C) { return C->kind() == CmdKind::Skip; }
+  CmdPtr clone() const override;
+};
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+/// One formal parameter of a function definition.
+struct FuncParam {
+  std::string Name;
+  TypeRef Ty;
+};
+
+/// def f(x: T, ...) [: R] { body }
+struct FuncDef {
+  std::string Name;
+  std::vector<FuncParam> Params;
+  TypeRef RetTy; ///< Void when omitted.
+  CmdPtr Body;
+  SourceLoc Loc;
+};
+
+/// decl X: T; — an interface memory supplied by the caller/testbench.
+struct ExternDecl {
+  std::string Name;
+  TypeRef Ty;
+  SourceLoc Loc;
+};
+
+/// A whole Dahlia program: function definitions, interface memories, and
+/// the kernel body.
+struct Program {
+  std::vector<FuncDef> Funcs;
+  std::vector<ExternDecl> Decls;
+  CmdPtr Body;
+};
+
+} // namespace dahlia
+
+#endif // DAHLIA_AST_AST_H

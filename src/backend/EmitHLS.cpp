@@ -1,0 +1,475 @@
+//===- EmitHLS.cpp - Annotated HLS C++ emission -----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/EmitHLS.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+using namespace dahlia;
+
+namespace {
+
+/// Renders a scalar type in HLS C++ (ap_int / ap_uint / float / double).
+std::string scalarCpp(const Type &Ty) {
+  switch (Ty.kind()) {
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Bit: {
+    std::ostringstream OS;
+    OS << (Ty.isSignedBit() ? "ap_int<" : "ap_uint<") << Ty.bitWidth() << '>';
+    return OS.str();
+  }
+  default:
+    return "int";
+  }
+}
+
+/// The HLS C++ emitter. Tracks view declarations so view accesses compile
+/// to direct accesses on the underlying memory.
+class Emitter {
+public:
+  explicit Emitter(const EmitOptions &Opts) : Opts(Opts) {}
+
+  Result<std::string> run(const Program &P) {
+    for (const FuncDef &F : P.Funcs)
+      emitFunction(F);
+    OS << "void " << Opts.KernelName << "(";
+    for (size_t I = 0; I != P.Decls.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitParamDecl(P.Decls[I].Name, *P.Decls[I].Ty);
+    }
+    OS << ") {\n";
+    Level = 1;
+    pushScope();
+    for (const ExternDecl &D : P.Decls) {
+      Binding B;
+      B.K = D.Ty->isMem() ? Binding::Mem : Binding::Var;
+      B.Ty = D.Ty;
+      Scopes.back()[D.Name] = std::move(B);
+      emitMemoryPragmas(D.Name, *D.Ty);
+    }
+    if (P.Body)
+      emitCmd(*P.Body);
+    popScope();
+    OS << "}\n";
+    if (Err)
+      return *Err;
+    return OS.str();
+  }
+
+private:
+  /// Per-dimension index transform of a view chain, resolved at access
+  /// sites. Split dims consume two view indices.
+  struct ViewInfo {
+    ViewKind VK = ViewKind::Shrink;
+    std::string Under;
+    std::vector<const ViewDimParam *> Params;
+    std::vector<MemDim> UnderDims;
+  };
+
+  struct Binding {
+    enum Kind { Var, Mem, View } K = Var;
+    TypeRef Ty;
+    ViewInfo VI;
+  };
+
+  EmitOptions Opts;
+  std::ostringstream OS;
+  unsigned Level = 0;
+  std::vector<std::map<std::string, Binding>> Scopes;
+  std::optional<Error> Err;
+
+  void fail(const std::string &Msg, SourceLoc Loc) {
+    if (!Err)
+      Err = Error(ErrorKind::Internal, Msg, Loc);
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  Binding *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  void indent() {
+    for (unsigned I = 0; I != Level; ++I)
+      OS << "  ";
+  }
+
+  void emitParamDecl(const std::string &Name, const Type &Ty) {
+    if (!Ty.isMem()) {
+      OS << scalarCpp(Ty) << ' ' << Name;
+      return;
+    }
+    OS << scalarCpp(*Ty.memElem()) << ' ' << Name;
+    for (const MemDim &D : Ty.memDims())
+      OS << '[' << D.Size << ']';
+  }
+
+  void emitMemoryPragmas(const std::string &Name, const Type &Ty) {
+    if (!Ty.isMem())
+      return;
+    if (Opts.EmitResourcePragmas) {
+      indent();
+      OS << "#pragma HLS resource variable=" << Name << " core=RAM_"
+         << (Ty.memPorts() > 1 ? "2P" : "1P") << "_BRAM\n";
+    }
+    if (Opts.EmitPartitionPragmas) {
+      const std::vector<MemDim> &Dims = Ty.memDims();
+      for (size_t D = 0; D != Dims.size(); ++D) {
+        if (Dims[D].Banks <= 1)
+          continue;
+        indent();
+        OS << "#pragma HLS ARRAY_PARTITION variable=" << Name
+           << " cyclic factor=" << Dims[D].Banks << " dim=" << (D + 1)
+           << '\n';
+      }
+    }
+  }
+
+  void emitFunction(const FuncDef &F) {
+    OS << (F.RetTy && !F.RetTy->isVoid() ? scalarCpp(*F.RetTy) : "void")
+       << ' ' << F.Name << '(';
+    for (size_t I = 0; I != F.Params.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      emitParamDecl(F.Params[I].Name, *F.Params[I].Ty);
+    }
+    OS << ") {\n";
+    Level = 1;
+    pushScope();
+    for (const FuncParam &P : F.Params) {
+      Binding B;
+      B.K = P.Ty->isMem() ? Binding::Mem : Binding::Var;
+      B.Ty = P.Ty;
+      Scopes.back()[P.Name] = std::move(B);
+      if (P.Ty->isMem())
+        emitMemoryPragmas(P.Name, *P.Ty);
+    }
+    if (F.Body)
+      emitCmd(*F.Body);
+    popScope();
+    Level = 0;
+    OS << "}\n\n";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  std::string exprStr(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      return std::to_string(E.as<IntLitExpr>()->value());
+    case ExprKind::FloatLit: {
+      std::ostringstream Tmp;
+      Tmp << E.as<FloatLitExpr>()->value();
+      std::string S = Tmp.str();
+      if (S.find('.') == std::string::npos &&
+          S.find('e') == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    case ExprKind::BoolLit:
+      return E.as<BoolLitExpr>()->value() ? "true" : "false";
+    case ExprKind::Var:
+      return E.as<VarExpr>()->name();
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      return "(" + exprStr(B.lhs()) + " " + binOpSpelling(B.op()) + " " +
+             exprStr(B.rhs()) + ")";
+    }
+    case ExprKind::Access:
+      return accessStr(*E.as<AccessExpr>());
+    case ExprKind::PhysAccess: {
+      // A{b}[o] on memory with total banks B and bank length L compiles to
+      // the logical element at flattened position; for 1-D memories this
+      // is A[o * B + b].
+      const auto &A = *E.as<PhysAccessExpr>();
+      Binding *MB = lookup(A.mem());
+      if (!MB || !MB->Ty || !MB->Ty->isMem()) {
+        fail("unknown memory in physical access", A.loc());
+        return A.mem();
+      }
+      int64_t Banks = MB->Ty->memTotalBanks();
+      return A.mem() + "[(" + exprStr(A.offset()) + ") * " +
+             std::to_string(Banks) + " + (" + exprStr(A.bank()) + ")]";
+    }
+    case ExprKind::App: {
+      const auto &A = *E.as<AppExpr>();
+      std::string S = A.callee() + "(";
+      for (size_t I = 0; I != A.args().size(); ++I) {
+        if (I != 0)
+          S += ", ";
+        S += exprStr(*A.args()[I]);
+      }
+      return S + ")";
+    }
+    }
+    return "0";
+  }
+
+  /// Resolves a (possibly view) access to index strings on the root
+  /// memory.
+  std::string accessStr(const AccessExpr &A) {
+    std::vector<std::string> Indices;
+    for (const ExprPtr &I : A.indices())
+      Indices.push_back(exprStr(*I));
+    std::string Cur = A.mem();
+    while (true) {
+      Binding *B = lookup(Cur);
+      if (!B) {
+        fail("unknown memory '" + Cur + "' during emission", A.loc());
+        break;
+      }
+      if (B->K != Binding::View)
+        break;
+      const ViewInfo &VI = B->VI;
+      std::vector<std::string> UnderIndices;
+      size_t VD = 0;
+      for (size_t UD = 0; UD != VI.UnderDims.size(); ++UD) {
+        const ViewDimParam &P = *VI.Params[UD];
+        switch (VI.VK) {
+        case ViewKind::Shrink:
+          // sh[i] => A[i].
+          UnderIndices.push_back(Indices[VD++]);
+          break;
+        case ViewKind::Suffix:
+        case ViewKind::Shift:
+          // v[i] => M[off + i].
+          UnderIndices.push_back("(" + exprStr(*P.Offset) + " + " +
+                                 Indices[VD++] + ")");
+          break;
+        case ViewKind::Split: {
+          if (P.Factor <= 1) {
+            UnderIndices.push_back(Indices[VD++]);
+            break;
+          }
+          // sp[a][b] => M[(b / w) * B + a * w + (b % w)], w = B / f.
+          int64_t Banks = VI.UnderDims[UD].Banks;
+          int64_t W = Banks / P.Factor;
+          std::string IA = Indices[VD];
+          std::string IB = Indices[VD + 1];
+          VD += 2;
+          std::ostringstream T;
+          T << "((" << IB << " / " << W << ") * " << Banks << " + " << IA
+            << " * " << W << " + (" << IB << " % " << W << "))";
+          UnderIndices.push_back(T.str());
+          break;
+        }
+        }
+      }
+      Indices = std::move(UnderIndices);
+      Cur = VI.Under;
+    }
+    std::string S = Cur;
+    for (const std::string &I : Indices)
+      S += "[" + I + "]";
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Commands
+  //===--------------------------------------------------------------------===//
+
+  void emitCmd(const Cmd &C) {
+    switch (C.kind()) {
+    case CmdKind::Skip:
+      return;
+    case CmdKind::Block: {
+      indent();
+      OS << "{\n";
+      ++Level;
+      pushScope();
+      emitCmd(C.as<BlockCmd>()->body());
+      popScope();
+      --Level;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case CmdKind::Par:
+      for (const CmdPtr &Sub : C.as<ParCmd>()->cmds())
+        emitCmd(*Sub);
+      return;
+    case CmdKind::Seq: {
+      const auto &S = *C.as<SeqCmd>();
+      for (size_t I = 0; I != S.cmds().size(); ++I) {
+        if (I != 0) {
+          indent();
+          OS << "// --- logical time step boundary\n";
+        }
+        emitCmd(*S.cmds()[I]);
+      }
+      return;
+    }
+    case CmdKind::Let: {
+      const auto &L = *C.as<LetCmd>();
+      Binding B;
+      if (L.declType() && L.declType()->isMem()) {
+        B.K = Binding::Mem;
+        B.Ty = L.declType();
+        indent();
+        OS << scalarCpp(*L.declType()->memElem()) << ' ' << L.name();
+        for (const MemDim &D : L.declType()->memDims())
+          OS << '[' << D.Size << ']';
+        OS << ";\n";
+        emitMemoryPragmas(L.name(), *L.declType());
+      } else {
+        B.K = Binding::Var;
+        B.Ty = L.declType() ? L.declType()
+                            : (L.init() && L.init()->type() ? L.init()->type()
+                                                            : Type::getFloat());
+        indent();
+        OS << scalarCpp(*B.Ty) << ' ' << L.name();
+        if (L.init())
+          OS << " = " << exprStr(*L.init());
+        OS << ";\n";
+      }
+      Scopes.back()[L.name()] = std::move(B);
+      return;
+    }
+    case CmdKind::View: {
+      const auto &V = *C.as<ViewCmd>();
+      Binding *UB = lookup(V.mem());
+      if (!UB) {
+        fail("view over unknown memory", V.loc());
+        return;
+      }
+      Binding B;
+      B.K = Binding::View;
+      B.VI.VK = V.viewKind();
+      B.VI.Under = V.mem();
+      for (const ViewDimParam &P : V.params())
+        B.VI.Params.push_back(&P);
+      if (UB->K == Binding::View) {
+        // Dims of a view-of-view come from the checker-computed type; we
+        // reconstruct from the underlying chain lazily at access time, so
+        // only the immediate dims are required here.
+        B.VI.UnderDims = UB->Ty ? UB->Ty->memDims() : std::vector<MemDim>();
+      } else if (UB->Ty && UB->Ty->isMem()) {
+        B.VI.UnderDims = UB->Ty->memDims();
+      }
+      B.Ty = UB->Ty;
+      Scopes.back()[V.name()] = std::move(B);
+      indent();
+      OS << "// view " << V.name() << " = " << viewKindName(V.viewKind())
+         << " over " << V.mem() << " (compiled to direct accesses)\n";
+      return;
+    }
+    case CmdKind::If: {
+      const auto &I = *C.as<IfCmd>();
+      indent();
+      OS << "if (" << exprStr(I.cond()) << ") {\n";
+      ++Level;
+      pushScope();
+      emitCmd(I.thenCmd());
+      popScope();
+      --Level;
+      indent();
+      OS << "}";
+      if (I.elseCmd()) {
+        OS << " else {\n";
+        ++Level;
+        pushScope();
+        emitCmd(*I.elseCmd());
+        popScope();
+        --Level;
+        indent();
+        OS << "}";
+      }
+      OS << "\n";
+      return;
+    }
+    case CmdKind::While: {
+      const auto &W = *C.as<WhileCmd>();
+      indent();
+      OS << "while (" << exprStr(W.cond()) << ") {\n";
+      ++Level;
+      pushScope();
+      emitCmd(W.body());
+      popScope();
+      --Level;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case CmdKind::For: {
+      const auto &F = *C.as<ForCmd>();
+      indent();
+      OS << "for (int " << F.iter() << " = " << F.lo() << "; " << F.iter()
+         << " < " << F.hi() << "; " << F.iter() << "++) {\n";
+      ++Level;
+      if (F.unroll() > 1 && Opts.EmitUnrollPragmas) {
+        indent();
+        OS << "#pragma HLS UNROLL factor=" << F.unroll()
+           << " skip_exit_check\n";
+      }
+      pushScope();
+      Binding IterB;
+      IterB.K = Binding::Var;
+      IterB.Ty = Type::getBit(32);
+      Scopes.back()[F.iter()] = std::move(IterB);
+      emitCmd(F.body());
+      if (F.combine()) {
+        indent();
+        OS << "// combine (reduction over the unrolled copies)\n";
+        emitCmd(*F.combine());
+      }
+      popScope();
+      --Level;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case CmdKind::Assign: {
+      const auto &A = *C.as<AssignCmd>();
+      indent();
+      OS << A.name() << " = " << exprStr(A.value()) << ";\n";
+      return;
+    }
+    case CmdKind::ReduceAssign: {
+      const auto &R = *C.as<ReduceAssignCmd>();
+      indent();
+      OS << R.name() << ' ' << binOpSpelling(R.op()) << "= "
+         << exprStr(R.value()) << ";\n";
+      return;
+    }
+    case CmdKind::Store: {
+      const auto &S = *C.as<StoreCmd>();
+      indent();
+      OS << exprStr(S.target()) << " = " << exprStr(S.value()) << ";\n";
+      return;
+    }
+    case CmdKind::Expr: {
+      indent();
+      OS << exprStr(C.as<ExprCmd>()->expr()) << ";\n";
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+Result<std::string> dahlia::emitHlsCpp(const Program &P,
+                                       const EmitOptions &Opts) {
+  return Emitter(Opts).run(P);
+}

@@ -1,0 +1,91 @@
+//===- Dse.cpp - Design-space exploration utilities -------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/Dse.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+using namespace dahlia::dse;
+
+bool dahlia::dse::dominates(const Objectives &A, const Objectives &B) {
+  bool StrictlyBetter = false;
+  auto Check = [&](double X, double Y) {
+    if (X > Y)
+      return false;
+    if (X < Y)
+      StrictlyBetter = true;
+    return true;
+  };
+  return Check(A.Latency, B.Latency) && Check(A.Lut, B.Lut) &&
+         Check(A.Ff, B.Ff) && Check(A.Bram, B.Bram) && Check(A.Dsp, B.Dsp) &&
+         StrictlyBetter;
+}
+
+std::vector<size_t>
+dahlia::dse::paretoFront(const std::vector<Objectives> &Points) {
+  // Sort by latency then area so each point only needs to be checked
+  // against current front members (simple cull; spaces here are <= ~32k).
+  std::vector<size_t> Order(Points.size());
+  for (size_t I = 0; I != Points.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Points[A].Latency != Points[B].Latency)
+      return Points[A].Latency < Points[B].Latency;
+    return Points[A].Lut < Points[B].Lut;
+  });
+  auto Equal = [](const Objectives &A, const Objectives &B) {
+    return A.Latency == B.Latency && A.Lut == B.Lut && A.Ff == B.Ff &&
+           A.Bram == B.Bram && A.Dsp == B.Dsp;
+  };
+  std::vector<size_t> Front;
+  for (size_t Idx : Order) {
+    bool Dominated = false;
+    for (size_t F : Front) {
+      // Exactly equal objective vectors collapse to one representative.
+      if (dominates(Points[F], Points[Idx]) || Equal(Points[F], Points[Idx])) {
+        Dominated = true;
+        break;
+      }
+    }
+    if (!Dominated)
+      Front.push_back(Idx);
+  }
+  std::sort(Front.begin(), Front.end());
+  return Front;
+}
+
+void dahlia::dse::enumerateConfigs(
+    const std::vector<std::vector<int64_t>> &ParamValues,
+    const std::function<void(const std::vector<int64_t> &)> &Visit) {
+  std::vector<int64_t> Current(ParamValues.size(), 0);
+  std::function<void(size_t)> Recurse = [&](size_t D) {
+    if (D == ParamValues.size()) {
+      Visit(Current);
+      return;
+    }
+    for (int64_t V : ParamValues[D]) {
+      Current[D] = V;
+      Recurse(D + 1);
+    }
+  };
+  Recurse(0);
+}
+
+std::string dahlia::dse::fractionString(size_t Num, size_t Denom) {
+  std::ostringstream OS;
+  OS << Num << '/' << Denom;
+  if (Denom != 0) {
+    double Pct = 100.0 * static_cast<double>(Num) /
+                 static_cast<double>(Denom);
+    OS.setf(std::ios::fixed);
+    OS.precision(1);
+    OS << " (" << Pct << "%)";
+  }
+  return OS.str();
+}

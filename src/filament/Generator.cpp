@@ -1,0 +1,283 @@
+//===- Generator.cpp - Random well-typed Filament programs ------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/Generator.h"
+
+#include "filament/TypeSystem.h"
+
+#include <random>
+#include <vector>
+
+using namespace dahlia::filament;
+
+namespace {
+
+/// Typed-by-construction generator. Mirrors the typing rules: it tracks
+/// Gamma and Delta while generating and only emits accesses to available
+/// memories, so every output is well-typed and every index in bounds.
+class Generator {
+public:
+  Generator(uint64_t Seed, const GenOptions &Opts) : Rng(Seed), Opts(Opts) {}
+
+  GeneratedProgram run() {
+    GeneratedProgram Out;
+    for (unsigned I = 0; I != Opts.NumMemories; ++I) {
+      std::string Name = "m" + std::to_string(I);
+      Out.MemSigs[Name] = Opts.MemSize;
+      std::vector<Value> Init;
+      for (int64_t J = 0; J != Opts.MemSize; ++J)
+        Init.push_back(Value(int64_t(pick(0, 99))));
+      Out.InitialStore.Mems[Name] = std::move(Init);
+    }
+    Ctx = TypeCtx::initial(Out.MemSigs);
+    Out.Program = genCmd(Opts.MaxDepth);
+    return Out;
+  }
+
+private:
+  std::mt19937_64 Rng;
+  GenOptions Opts;
+  TypeCtx Ctx;
+  unsigned NextVar = 0;
+
+  int64_t pick(int64_t Lo, int64_t Hi) {
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+  }
+
+  std::string freshVar() { return "x" + std::to_string(NextVar++); }
+
+  /// A variable of the requested type, if any is in scope.
+  std::optional<std::string> someVar(CoreType Ty) {
+    std::vector<std::string> Candidates;
+    for (const auto &[Name, T] : Ctx.Gamma)
+      if (T == Ty)
+        Candidates.push_back(Name);
+    if (Candidates.empty())
+      return std::nullopt;
+    return Candidates[static_cast<size_t>(pick(0, Candidates.size() - 1))];
+  }
+
+  /// An available (unconsumed) memory, if any.
+  std::optional<std::string> someAvailableMem() {
+    std::vector<std::string> Candidates(Ctx.Delta.begin(), Ctx.Delta.end());
+    if (Candidates.empty())
+      return std::nullopt;
+    return Candidates[static_cast<size_t>(pick(0, Candidates.size() - 1))];
+  }
+
+  /// Always-in-bounds index expression (a literal, possibly dressed up as
+  /// a sum of two literals).
+  ExprP genIndex() {
+    int64_t Target = pick(0, Opts.MemSize - 1);
+    if (pick(0, 1) == 0)
+      return Expr::num(Target);
+    int64_t A = pick(0, Target);
+    return Expr::binop(Op::Add, Expr::num(A), Expr::num(Target - A));
+  }
+
+  /// Generates a well-typed expression of type \p Want, consuming Delta
+  /// for any reads it embeds.
+  ExprP genExpr(CoreType Want, unsigned Depth) {
+    if (Want == CoreType::Bool) {
+      switch (Depth == 0 ? 0 : pick(0, 3)) {
+      case 1:
+        if (std::optional<std::string> V = someVar(CoreType::Bool))
+          return Expr::var(*V);
+        [[fallthrough]];
+      case 2: {
+        ExprP L = genExpr(CoreType::Int, Depth - 1);
+        ExprP R = genExpr(CoreType::Int, Depth - 1);
+        return Expr::binop(pick(0, 1) ? Op::Lt : Op::Le, L, R);
+      }
+      case 3: {
+        ExprP L = genExpr(CoreType::Bool, Depth - 1);
+        ExprP R = genExpr(CoreType::Bool, Depth - 1);
+        return Expr::binop(pick(0, 1) ? Op::And : Op::Or, L, R);
+      }
+      default:
+        return Expr::boolean(pick(0, 1) == 1);
+      }
+    }
+    switch (Depth == 0 ? 0 : pick(0, 3)) {
+    case 1:
+      if (std::optional<std::string> V = someVar(CoreType::Int))
+        return Expr::var(*V);
+      [[fallthrough]];
+    case 2: {
+      ExprP L = genExpr(CoreType::Int, Depth - 1);
+      ExprP R = genExpr(CoreType::Int, Depth - 1);
+      static const Op Arith[] = {Op::Add, Op::Sub, Op::Mul};
+      return Expr::binop(Arith[pick(0, 2)], L, R);
+    }
+    case 3:
+      if (std::optional<std::string> M = someAvailableMem()) {
+        Ctx.Delta.erase(*M);
+        return Expr::read(*M, genIndex());
+      }
+      [[fallthrough]];
+    default:
+      return Expr::num(pick(-50, 50));
+    }
+  }
+
+  CmdP genCmd(unsigned Depth) {
+    if (Depth == 0)
+      return genLeaf();
+    switch (pick(0, 9)) {
+    case 0:
+    case 1: {
+      // Unordered composition threads Delta.
+      CmdP C1 = genCmd(Depth - 1);
+      CmdP C2 = genCmd(Depth - 1);
+      return Cmd::par(C1, C2);
+    }
+    case 2:
+    case 3: {
+      // Ordered composition: both sides start from the entry Delta.
+      std::set<std::string> Entry = Ctx.Delta;
+      CmdP C1 = genCmd(Depth - 1);
+      std::set<std::string> D2 = Ctx.Delta;
+      Ctx.Delta = Entry;
+      CmdP C2 = genCmd(Depth - 1);
+      std::set<std::string> Out;
+      for (const std::string &M : D2)
+        if (Ctx.Delta.count(M))
+          Out.insert(M);
+      Ctx.Delta = std::move(Out);
+      return Cmd::seq(C1, C2);
+    }
+    case 4: {
+      // if: branches from post-condition Delta; bindings do not escape.
+      ExprP Cond = genExpr(CoreType::Bool, 2);
+      auto GammaIn = Ctx.Gamma;
+      std::set<std::string> D2 = Ctx.Delta;
+      CmdP Then = genCmd(Depth - 1);
+      std::set<std::string> D3 = Ctx.Delta;
+      Ctx.Gamma = GammaIn;
+      Ctx.Delta = D2;
+      CmdP Else = genCmd(Depth - 1);
+      Ctx.Gamma = std::move(GammaIn);
+      std::set<std::string> Out;
+      for (const std::string &M : D3)
+        if (Ctx.Delta.count(M) && D2.count(M))
+          Out.insert(M);
+      Ctx.Delta = std::move(Out);
+      return Cmd::ifc(Cond, Then, Else);
+    }
+    case 5: {
+      // Terminating while: guard variable set false by the body.
+      std::string Guard = freshVar();
+      Ctx.Gamma[Guard] = CoreType::Bool;
+      auto GammaIn = Ctx.Gamma;
+      std::set<std::string> D2 = Ctx.Delta;
+      CmdP Body = genCmd(Depth - 1);
+      Ctx.Gamma = std::move(GammaIn);
+      std::set<std::string> Out;
+      for (const std::string &M : D2)
+        if (Ctx.Delta.count(M))
+          Out.insert(M);
+      Ctx.Delta = std::move(Out);
+      CmdP Loop = Cmd::whilec(
+          Expr::var(Guard),
+          Cmd::par(Body, Cmd::assign(Guard, Expr::boolean(false))));
+      return Cmd::par(Cmd::let(Guard, Expr::boolean(pick(0, 1) == 1)), Loop);
+    }
+    default:
+      return genLeaf();
+    }
+  }
+
+  CmdP genLeaf() {
+    switch (pick(0, 5)) {
+    case 0: {
+      // Assignment to an existing variable of matching type.
+      if (std::optional<std::string> V = someVar(CoreType::Int))
+        return Cmd::assign(*V, genExpr(CoreType::Int, 2));
+      break;
+    }
+    case 1: {
+      // Memory write. Reserve the target memory first so the value
+      // expression cannot also read it (the typing rule consumes the
+      // memory *after* checking the value).
+      if (std::optional<std::string> M = someAvailableMem()) {
+        Ctx.Delta.erase(*M);
+        ExprP Idx = genIndex();
+        ExprP Val = genExpr(CoreType::Int, 2);
+        return Cmd::write(*M, Idx, Val);
+      }
+      break;
+    }
+    case 2:
+      return Cmd::expr(genExpr(pick(0, 1) ? CoreType::Int : CoreType::Bool,
+                               2));
+    case 3:
+      return Cmd::skip();
+    default:
+      break;
+    }
+    std::string Name = freshVar();
+    CoreType Ty = pick(0, 3) == 0 ? CoreType::Bool : CoreType::Int;
+    ExprP Init = genExpr(Ty, 2);
+    Ctx.Gamma[Name] = Ty;
+    return Cmd::let(Name, Init);
+  }
+};
+
+/// Collects every sub-command (shared pointers into the term).
+void collectCmds(const CmdP &C, std::vector<CmdP> &Out) {
+  Out.push_back(C);
+  if (C->C1)
+    collectCmds(C->C1, Out);
+  if (C->C2)
+    collectCmds(C->C2, Out);
+}
+
+/// Rebuilds \p C with \p Target (pointer identity) replaced by \p With.
+CmdP replaceCmd(const CmdP &C, const CmdP &Target, const CmdP &With) {
+  if (C == Target)
+    return With;
+  CmdP C1 = C->C1 ? replaceCmd(C->C1, Target, With) : nullptr;
+  CmdP C2 = C->C2 ? replaceCmd(C->C2, Target, With) : nullptr;
+  if (C1 == C->C1 && C2 == C->C2)
+    return C;
+  auto N = std::make_shared<Cmd>(*C);
+  N->C1 = C1;
+  N->C2 = C2;
+  return N;
+}
+
+} // namespace
+
+GeneratedProgram dahlia::filament::generateWellTyped(uint64_t Seed,
+                                                     const GenOptions &Opts) {
+  return Generator(Seed, Opts).run();
+}
+
+CmdP dahlia::filament::mutate(const CmdP &Program, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<CmdP> All;
+  collectCmds(Program, All);
+  std::uniform_int_distribution<size_t> PickNode(0, All.size() - 1);
+  const CmdP &Victim = All[PickNode(Rng)];
+  switch (Rng() % 3) {
+  case 0:
+    // Duplicate a command into the same time step: memory accesses will
+    // now conflict.
+    return replaceCmd(Program, Victim, Cmd::par(Victim, Victim));
+  case 1:
+    // Turn ordered composition into unordered composition, collapsing two
+    // time steps into one.
+    if (Victim->K == Cmd::Seq)
+      return replaceCmd(Program, Victim,
+                        Cmd::par(Victim->C1, Victim->C2));
+    return replaceCmd(Program, Victim, Cmd::par(Victim, Victim));
+  default:
+    // Sequence a command with itself: stays legal for most commands
+    // (control case: mutations need not break the program).
+    return replaceCmd(Program, Victim, Cmd::seq(Victim, Victim));
+  }
+}

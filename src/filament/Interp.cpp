@@ -1,0 +1,442 @@
+//===- Interp.cpp - Checked Filament semantics ------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/Interp.h"
+
+using namespace dahlia;
+using namespace dahlia::filament;
+
+//===----------------------------------------------------------------------===//
+// Shared operator semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies a binary operator to two values; empty optional means the
+/// configuration is stuck (runtime type error or division by zero).
+std::optional<Value> applyOp(Op O, const Value &L, const Value &R) {
+  const bool BothInt =
+      std::holds_alternative<int64_t>(L) && std::holds_alternative<int64_t>(R);
+  const bool BothBool =
+      std::holds_alternative<bool>(L) && std::holds_alternative<bool>(R);
+  switch (O) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod: {
+    if (!BothInt)
+      return std::nullopt;
+    int64_t A = std::get<int64_t>(L), B = std::get<int64_t>(R);
+    switch (O) {
+    case Op::Add:
+      return Value(A + B);
+    case Op::Sub:
+      return Value(A - B);
+    case Op::Mul:
+      return Value(A * B);
+    case Op::Div:
+      return B == 0 ? std::nullopt : std::optional<Value>(Value(A / B));
+    case Op::Mod:
+      return B == 0 ? std::nullopt : std::optional<Value>(Value(A % B));
+    default:
+      return std::nullopt;
+    }
+  }
+  case Op::Eq:
+  case Op::Neq: {
+    if (BothInt) {
+      bool Same = std::get<int64_t>(L) == std::get<int64_t>(R);
+      return Value(O == Op::Eq ? Same : !Same);
+    }
+    if (BothBool) {
+      bool Same = std::get<bool>(L) == std::get<bool>(R);
+      return Value(O == Op::Eq ? Same : !Same);
+    }
+    return std::nullopt;
+  }
+  case Op::Lt:
+    if (!BothInt)
+      return std::nullopt;
+    return Value(std::get<int64_t>(L) < std::get<int64_t>(R));
+  case Op::Le:
+    if (!BothInt)
+      return std::nullopt;
+    return Value(std::get<int64_t>(L) <= std::get<int64_t>(R));
+  case Op::And:
+    if (!BothBool)
+      return std::nullopt;
+    return Value(std::get<bool>(L) && std::get<bool>(R));
+  case Op::Or:
+    if (!BothBool)
+      return std::nullopt;
+    return Value(std::get<bool>(L) || std::get<bool>(R));
+  }
+  return std::nullopt;
+}
+
+EvalResult stuck(const std::string &Why) {
+  return {EvalResult::Stuck, Why};
+}
+
+EvalResult ok() { return {}; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Big-step semantics (Section 4.2, Appendix A)
+//===----------------------------------------------------------------------===//
+
+EvalResult dahlia::filament::bigStepExpr(Store &S, Rho &R, const Expr &E,
+                                         Value &Out, uint64_t Fuel) {
+  switch (E.K) {
+  case Expr::Val:
+    Out = E.V;
+    return ok();
+  case Expr::Var: {
+    auto It = S.Vars.find(E.Name);
+    if (It == S.Vars.end())
+      return stuck("undefined variable '" + E.Name + "'");
+    Out = It->second;
+    return ok();
+  }
+  case Expr::BinOp: {
+    Value L, Rv;
+    if (EvalResult Res = bigStepExpr(S, R, *E.L, L, Fuel); !Res)
+      return Res;
+    if (EvalResult Res = bigStepExpr(S, R, *E.R, Rv, Fuel); !Res)
+      return Res;
+    std::optional<Value> V = applyOp(E.O, L, Rv);
+    if (!V)
+      return stuck("operator '" + std::string(opSpelling(E.O)) +
+                   "' undefined on operands");
+    Out = *V;
+    return ok();
+  }
+  case Expr::Read: {
+    Value Idx;
+    if (EvalResult Res = bigStepExpr(S, R, *E.Idx, Idx, Fuel); !Res)
+      return Res;
+    // The paper's rule checks `a not-in rho1` against the entry context;
+    // we check after index evaluation, which coincides with the small-step
+    // semantics on every program (and differs from the paper's big-step
+    // only on self-referential reads like a[a[0]], which the type system
+    // rejects anyway).
+    if (R.count(E.Name))
+      return stuck("memory '" + E.Name + "' already consumed");
+    if (!std::holds_alternative<int64_t>(Idx))
+      return stuck("non-integer index into '" + E.Name + "'");
+    int64_t N = std::get<int64_t>(Idx);
+    auto It = S.Mems.find(E.Name);
+    if (It == S.Mems.end())
+      return stuck("undefined memory '" + E.Name + "'");
+    if (N < 0 || static_cast<size_t>(N) >= It->second.size())
+      return stuck("index out of bounds for '" + E.Name + "'");
+    R.insert(E.Name);
+    Out = It->second[static_cast<size_t>(N)];
+    return ok();
+  }
+  }
+  return stuck("malformed expression");
+}
+
+EvalResult dahlia::filament::bigStep(Store &S, Rho &R, const Cmd &C,
+                                     uint64_t Fuel) {
+  switch (C.K) {
+  case Cmd::EExpr: {
+    Value V;
+    return bigStepExpr(S, R, *C.E, V, Fuel);
+  }
+  case Cmd::Let:
+  case Cmd::Assign: {
+    Value V;
+    if (EvalResult Res = bigStepExpr(S, R, *C.E, V, Fuel); !Res)
+      return Res;
+    S.Vars[C.Name] = V;
+    return ok();
+  }
+  case Cmd::Write: {
+    Value Idx;
+    if (EvalResult Res = bigStepExpr(S, R, *C.E, Idx, Fuel); !Res)
+      return Res;
+    Value V;
+    if (EvalResult Res = bigStepExpr(S, R, *C.E2, V, Fuel); !Res)
+      return Res;
+    if (R.count(C.Name))
+      return stuck("memory '" + C.Name + "' already consumed");
+    if (!std::holds_alternative<int64_t>(Idx))
+      return stuck("non-integer index into '" + C.Name + "'");
+    int64_t N = std::get<int64_t>(Idx);
+    auto It = S.Mems.find(C.Name);
+    if (It == S.Mems.end())
+      return stuck("undefined memory '" + C.Name + "'");
+    if (N < 0 || static_cast<size_t>(N) >= It->second.size())
+      return stuck("index out of bounds for '" + C.Name + "'");
+    It->second[static_cast<size_t>(N)] = V;
+    R.insert(C.Name);
+    return ok();
+  }
+  case Cmd::Seq:
+  case Cmd::SeqInter: {
+    // Ordered composition: c2 runs against the entry rho (for Seq) or the
+    // saved rho (for SeqInter); the final rho is the union.
+    Rho Entry = C.K == Cmd::Seq ? R : C.Rho;
+    if (EvalResult Res = bigStep(S, R, *C.C1, Fuel); !Res)
+      return Res;
+    Rho Rho2 = R;
+    R = Entry;
+    if (EvalResult Res = bigStep(S, R, *C.C2, Fuel); !Res)
+      return Res;
+    R.insert(Rho2.begin(), Rho2.end());
+    return ok();
+  }
+  case Cmd::Par: {
+    if (EvalResult Res = bigStep(S, R, *C.C1, Fuel); !Res)
+      return Res;
+    return bigStep(S, R, *C.C2, Fuel);
+  }
+  case Cmd::If: {
+    Value Cond;
+    if (EvalResult Res = bigStepExpr(S, R, *C.E, Cond, Fuel); !Res)
+      return Res;
+    if (!std::holds_alternative<bool>(Cond))
+      return stuck("non-boolean condition");
+    return bigStep(S, R, std::get<bool>(Cond) ? *C.C1 : *C.C2, Fuel);
+  }
+  case Cmd::While: {
+    // The paper's rule continues as the ordered composition `c while x c`,
+    // so every iteration (and every condition re-evaluation) starts from
+    // the post-condition rho; the final rho is the union over iterations.
+    Rho Accumulated;
+    for (uint64_t Iter = 0;; ++Iter) {
+      if (Iter >= Fuel)
+        return {EvalResult::OutOfFuel, "while loop exceeded fuel"};
+      Value Cond;
+      if (EvalResult Res = bigStepExpr(S, R, *C.E, Cond, Fuel); !Res)
+        return Res;
+      if (!std::holds_alternative<bool>(Cond))
+        return stuck("non-boolean condition");
+      if (!std::get<bool>(Cond)) {
+        R.insert(Accumulated.begin(), Accumulated.end());
+        return ok();
+      }
+      Rho Entry = R;
+      if (EvalResult Res = bigStep(S, R, *C.C1, Fuel); !Res)
+        return Res;
+      Accumulated.insert(R.begin(), R.end());
+      R = std::move(Entry);
+    }
+  }
+  case Cmd::Skip:
+    return ok();
+  }
+  return stuck("malformed command");
+}
+
+//===----------------------------------------------------------------------===//
+// Small-step semantics (Section 4.4, Appendix A)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One expression step. Returns the stepped expression, or null with
+/// \p Stuck/Why set, or null with nothing set when \p E is a value.
+ExprP stepExpr(Store &S, Rho &R, const ExprP &E, bool &Stuck,
+               std::string &Why) {
+  switch (E->K) {
+  case Expr::Val:
+    return nullptr;
+  case Expr::Var: {
+    auto It = S.Vars.find(E->Name);
+    if (It == S.Vars.end()) {
+      Stuck = true;
+      Why = "undefined variable '" + E->Name + "'";
+      return nullptr;
+    }
+    return Expr::val(It->second);
+  }
+  case Expr::BinOp: {
+    if (!E->L->isValue()) {
+      ExprP L = stepExpr(S, R, E->L, Stuck, Why);
+      return L ? Expr::binop(E->O, L, E->R) : nullptr;
+    }
+    if (!E->R->isValue()) {
+      ExprP Rn = stepExpr(S, R, E->R, Stuck, Why);
+      return Rn ? Expr::binop(E->O, E->L, Rn) : nullptr;
+    }
+    std::optional<Value> V = applyOp(E->O, E->L->V, E->R->V);
+    if (!V) {
+      Stuck = true;
+      Why = "operator '" + std::string(opSpelling(E->O)) +
+            "' undefined on operands";
+      return nullptr;
+    }
+    return Expr::val(*V);
+  }
+  case Expr::Read: {
+    if (!E->Idx->isValue()) {
+      ExprP Idx = stepExpr(S, R, E->Idx, Stuck, Why);
+      return Idx ? Expr::read(E->Name, Idx) : nullptr;
+    }
+    if (R.count(E->Name)) {
+      Stuck = true;
+      Why = "memory '" + E->Name + "' already consumed";
+      return nullptr;
+    }
+    if (!std::holds_alternative<int64_t>(E->Idx->V)) {
+      Stuck = true;
+      Why = "non-integer index into '" + E->Name + "'";
+      return nullptr;
+    }
+    int64_t N = std::get<int64_t>(E->Idx->V);
+    auto It = S.Mems.find(E->Name);
+    if (It == S.Mems.end() || N < 0 ||
+        static_cast<size_t>(N) >= It->second.size()) {
+      Stuck = true;
+      Why = "bad read of '" + E->Name + "'";
+      return nullptr;
+    }
+    R.insert(E->Name);
+    return Expr::val(It->second[static_cast<size_t>(N)]);
+  }
+  }
+  Stuck = true;
+  Why = "malformed expression";
+  return nullptr;
+}
+
+/// One command step. Returns the next command, or null with Stuck set, or
+/// null for skip (no step exists; caller treats skip as done).
+CmdP stepCmd(Store &S, Rho &R, const CmdP &C, bool &Stuck, std::string &Why) {
+  switch (C->K) {
+  case Cmd::EExpr: {
+    if (C->E->isValue())
+      return Cmd::skip();
+    ExprP E = stepExpr(S, R, C->E, Stuck, Why);
+    return E ? Cmd::expr(E) : nullptr;
+  }
+  case Cmd::Let:
+  case Cmd::Assign: {
+    if (C->E->isValue()) {
+      S.Vars[C->Name] = C->E->V;
+      return Cmd::skip();
+    }
+    ExprP E = stepExpr(S, R, C->E, Stuck, Why);
+    if (!E)
+      return nullptr;
+    return C->K == Cmd::Let ? Cmd::let(C->Name, E) : Cmd::assign(C->Name, E);
+  }
+  case Cmd::Write: {
+    if (!C->E->isValue()) {
+      ExprP Idx = stepExpr(S, R, C->E, Stuck, Why);
+      return Idx ? Cmd::write(C->Name, Idx, C->E2) : nullptr;
+    }
+    if (!C->E2->isValue()) {
+      ExprP V = stepExpr(S, R, C->E2, Stuck, Why);
+      return V ? Cmd::write(C->Name, C->E, V) : nullptr;
+    }
+    if (R.count(C->Name)) {
+      Stuck = true;
+      Why = "memory '" + C->Name + "' already consumed";
+      return nullptr;
+    }
+    if (!std::holds_alternative<int64_t>(C->E->V)) {
+      Stuck = true;
+      Why = "non-integer index into '" + C->Name + "'";
+      return nullptr;
+    }
+    int64_t N = std::get<int64_t>(C->E->V);
+    auto It = S.Mems.find(C->Name);
+    if (It == S.Mems.end() || N < 0 ||
+        static_cast<size_t>(N) >= It->second.size()) {
+      Stuck = true;
+      Why = "bad write to '" + C->Name + "'";
+      return nullptr;
+    }
+    It->second[static_cast<size_t>(N)] = C->E2->V;
+    R.insert(C->Name);
+    return Cmd::skip();
+  }
+  case Cmd::Seq:
+    // c1 c2 --> c1 ~rho~ c2, capturing the current memory context.
+    return Cmd::seqInter(C->C1, R, C->C2);
+  case Cmd::SeqInter: {
+    if (!C->C1->isSkip()) {
+      CmdP C1 = stepCmd(S, R, C->C1, Stuck, Why);
+      return C1 ? Cmd::seqInter(C1, C->Rho, C->C2) : nullptr;
+    }
+    if (!C->C2->isSkip()) {
+      // c2 steps against the *saved* context; the machine's rho is
+      // untouched until the join.
+      Rho Saved = C->Rho;
+      CmdP C2 = stepCmd(S, Saved, C->C2, Stuck, Why);
+      return C2 ? Cmd::seqInter(C->C1, Saved, C2) : nullptr;
+    }
+    // skip ~rho''~ skip --> skip, joining the contexts.
+    R.insert(C->Rho.begin(), C->Rho.end());
+    return Cmd::skip();
+  }
+  case Cmd::Par: {
+    if (!C->C1->isSkip()) {
+      CmdP C1 = stepCmd(S, R, C->C1, Stuck, Why);
+      return C1 ? Cmd::par(C1, C->C2) : nullptr;
+    }
+    return C->C2;
+  }
+  case Cmd::If: {
+    if (!C->E->isValue()) {
+      ExprP E = stepExpr(S, R, C->E, Stuck, Why);
+      return E ? Cmd::ifc(E, C->C1, C->C2) : nullptr;
+    }
+    if (!std::holds_alternative<bool>(C->E->V)) {
+      Stuck = true;
+      Why = "non-boolean condition";
+      return nullptr;
+    }
+    return std::get<bool>(C->E->V) ? C->C1 : C->C2;
+  }
+  case Cmd::While:
+    // while e c --> if e (c while e c) skip
+    return Cmd::ifc(C->E, Cmd::seq(C->C1, C), Cmd::skip());
+  case Cmd::Skip:
+    return nullptr;
+  }
+  Stuck = true;
+  Why = "malformed command";
+  return nullptr;
+}
+
+} // namespace
+
+bool SmallStepper::step() {
+  if (C->isSkip() || IsStuck)
+    return false;
+  bool Stuck = false;
+  std::string Why;
+  CmdP Next = stepCmd(S, R, C, Stuck, Why);
+  if (!Next) {
+    IsStuck = true;
+    StuckWhy = Why.empty() ? "no applicable rule" : Why;
+    return false;
+  }
+  C = std::move(Next);
+  ++Steps;
+  return true;
+}
+
+EvalResult SmallStepper::run(uint64_t Fuel) {
+  while (!C->isSkip()) {
+    if (Steps >= Fuel)
+      return {EvalResult::OutOfFuel, "step budget exceeded"};
+    if (!step()) {
+      if (IsStuck)
+        return {EvalResult::Stuck, StuckWhy};
+      break;
+    }
+  }
+  return {};
+}

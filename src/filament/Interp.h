@@ -1,0 +1,95 @@
+//===- Interp.h - Checked Filament semantics --------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked big-step and small-step operational semantics for Filament
+/// (Section 4.2 / 4.4 and Appendix A). Both semantics thread an
+/// environment sigma (variables + memories) and a consumed-memory context
+/// rho; a program that would need two conflicting accesses to the same
+/// memory in one logical time step gets *stuck*, which the type system is
+/// proven (in the paper) and tested (here) to rule out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_FILAMENT_INTERP_H
+#define DAHLIA_FILAMENT_INTERP_H
+
+#include "filament/Syntax.h"
+#include "support/Error.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dahlia::filament {
+
+/// The runtime environment sigma: scalar variables plus memories.
+struct Store {
+  std::map<std::string, Value> Vars;
+  std::map<std::string, std::vector<Value>> Mems;
+
+  bool operator==(const Store &RHS) const = default;
+};
+
+/// The consumed-memory context rho.
+using Rho = std::set<std::string>;
+
+/// Outcome of a (big-step or iterated small-step) evaluation.
+struct EvalResult {
+  enum Status {
+    OK,         ///< Terminated normally.
+    Stuck,      ///< No rule applies: a memory conflict or a runtime type
+                ///< error that the type system should have prevented.
+    OutOfFuel,  ///< Exceeded the step budget (possible divergence).
+  } St = OK;
+  std::string Why; ///< Human-readable stuck reason.
+
+  explicit operator bool() const { return St == OK; }
+};
+
+/// Evaluates \p C under \p S and \p R with the big-step semantics,
+/// mutating both. \p Fuel bounds loop iterations.
+EvalResult bigStep(Store &S, Rho &R, const Cmd &C, uint64_t Fuel = 1u << 20);
+
+/// Evaluates expression \p E big-step; the value lands in \p Out.
+EvalResult bigStepExpr(Store &S, Rho &R, const Expr &E, Value &Out,
+                       uint64_t Fuel = 1u << 20);
+
+/// A small-step machine over Filament configurations (sigma, rho, c).
+class SmallStepper {
+public:
+  SmallStepper(Store S, Rho R, CmdP C)
+      : S(std::move(S)), R(std::move(R)), C(std::move(C)) {}
+
+  /// Performs one step. Returns false when no step was taken (done or
+  /// stuck; inspect \c done() / \c stuck()).
+  bool step();
+
+  /// Iterates until skip, stuck, or \p Fuel steps.
+  EvalResult run(uint64_t Fuel = 1u << 22);
+
+  bool done() const { return C->isSkip(); }
+  bool stuck() const { return IsStuck; }
+  const std::string &stuckReason() const { return StuckWhy; }
+  const Store &store() const { return S; }
+  const Rho &rho() const { return R; }
+  const CmdP &cmd() const { return C; }
+  uint64_t stepsTaken() const { return Steps; }
+
+private:
+  Store S;
+  Rho R;
+  CmdP C;
+  bool IsStuck = false;
+  std::string StuckWhy;
+  uint64_t Steps = 0;
+};
+
+} // namespace dahlia::filament
+
+#endif // DAHLIA_FILAMENT_INTERP_H

@@ -1,0 +1,235 @@
+//===- Syntax.cpp - Filament core language ----------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/Syntax.h"
+
+#include <sstream>
+
+using namespace dahlia::filament;
+
+std::string dahlia::filament::valueToString(const Value &V) {
+  if (std::holds_alternative<bool>(V))
+    return std::get<bool>(V) ? "true" : "false";
+  return std::to_string(std::get<int64_t>(V));
+}
+
+const char *dahlia::filament::opSpelling(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "+";
+  case Op::Sub:
+    return "-";
+  case Op::Mul:
+    return "*";
+  case Op::Div:
+    return "/";
+  case Op::Mod:
+    return "%";
+  case Op::Eq:
+    return "==";
+  case Op::Neq:
+    return "!=";
+  case Op::Lt:
+    return "<";
+  case Op::Le:
+    return "<=";
+  case Op::And:
+    return "&&";
+  case Op::Or:
+    return "||";
+  }
+  return "?";
+}
+
+ExprP Expr::num(int64_t N) { return val(Value(N)); }
+
+ExprP Expr::boolean(bool B) { return val(Value(B)); }
+
+ExprP Expr::val(Value V) {
+  auto E = std::make_shared<Expr>();
+  E->K = Val;
+  E->V = V;
+  return E;
+}
+
+ExprP Expr::var(std::string Name) {
+  auto E = std::make_shared<Expr>();
+  E->K = Var;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprP Expr::binop(Op O, ExprP L, ExprP R) {
+  auto E = std::make_shared<Expr>();
+  E->K = BinOp;
+  E->O = O;
+  E->L = std::move(L);
+  E->R = std::move(R);
+  return E;
+}
+
+ExprP Expr::read(std::string Mem, ExprP Idx) {
+  auto E = std::make_shared<Expr>();
+  E->K = Read;
+  E->Name = std::move(Mem);
+  E->Idx = std::move(Idx);
+  return E;
+}
+
+CmdP Cmd::expr(ExprP E) {
+  auto C = std::make_shared<Cmd>();
+  C->K = EExpr;
+  C->E = std::move(E);
+  return C;
+}
+
+CmdP Cmd::let(std::string Name, ExprP E) {
+  auto C = std::make_shared<Cmd>();
+  C->K = Let;
+  C->Name = std::move(Name);
+  C->E = std::move(E);
+  return C;
+}
+
+CmdP Cmd::assign(std::string Name, ExprP E) {
+  auto C = std::make_shared<Cmd>();
+  C->K = Assign;
+  C->Name = std::move(Name);
+  C->E = std::move(E);
+  return C;
+}
+
+CmdP Cmd::write(std::string Mem, ExprP Idx, ExprP Val) {
+  auto C = std::make_shared<Cmd>();
+  C->K = Write;
+  C->Name = std::move(Mem);
+  C->E = std::move(Idx);
+  C->E2 = std::move(Val);
+  return C;
+}
+
+CmdP Cmd::seq(CmdP C1, CmdP C2) {
+  auto C = std::make_shared<Cmd>();
+  C->K = Seq;
+  C->C1 = std::move(C1);
+  C->C2 = std::move(C2);
+  return C;
+}
+
+CmdP Cmd::seqInter(CmdP C1, std::set<std::string> Rho, CmdP C2) {
+  auto C = std::make_shared<Cmd>();
+  C->K = SeqInter;
+  C->C1 = std::move(C1);
+  C->Rho = std::move(Rho);
+  C->C2 = std::move(C2);
+  return C;
+}
+
+CmdP Cmd::par(CmdP C1, CmdP C2) {
+  auto C = std::make_shared<Cmd>();
+  C->K = Par;
+  C->C1 = std::move(C1);
+  C->C2 = std::move(C2);
+  return C;
+}
+
+CmdP Cmd::ifc(ExprP Cond, CmdP Then, CmdP Else) {
+  auto C = std::make_shared<Cmd>();
+  C->K = If;
+  C->E = std::move(Cond);
+  C->C1 = std::move(Then);
+  C->C2 = std::move(Else);
+  return C;
+}
+
+CmdP Cmd::whilec(ExprP Cond, CmdP Body) {
+  auto C = std::make_shared<Cmd>();
+  C->K = While;
+  C->E = std::move(Cond);
+  C->C1 = std::move(Body);
+  return C;
+}
+
+CmdP Cmd::skip() {
+  static CmdP S = [] {
+    auto C = std::make_shared<Cmd>();
+    C->K = Skip;
+    return C;
+  }();
+  return S;
+}
+
+std::string dahlia::filament::printExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Val:
+    return valueToString(E.V);
+  case Expr::Var:
+    return E.Name;
+  case Expr::BinOp:
+    return "(" + printExpr(*E.L) + " " + opSpelling(E.O) + " " +
+           printExpr(*E.R) + ")";
+  case Expr::Read:
+    return E.Name + "[" + printExpr(*E.Idx) + "]";
+  }
+  return "?";
+}
+
+std::string dahlia::filament::printCmd(const Cmd &C) {
+  switch (C.K) {
+  case Cmd::EExpr:
+    return printExpr(*C.E);
+  case Cmd::Let:
+    return "let " + C.Name + " = " + printExpr(*C.E);
+  case Cmd::Assign:
+    return C.Name + " := " + printExpr(*C.E);
+  case Cmd::Write:
+    return C.Name + "[" + printExpr(*C.E) + "] := " + printExpr(*C.E2);
+  case Cmd::Seq:
+    return "{" + printCmd(*C.C1) + " --- " + printCmd(*C.C2) + "}";
+  case Cmd::SeqInter: {
+    std::ostringstream OS;
+    OS << "{" << printCmd(*C.C1) << " ~{";
+    bool First = true;
+    for (const std::string &M : C.Rho) {
+      if (!First)
+        OS << ',';
+      OS << M;
+      First = false;
+    }
+    OS << "}~ " << printCmd(*C.C2) << "}";
+    return OS.str();
+  }
+  case Cmd::Par:
+    return "{" + printCmd(*C.C1) + " ; " + printCmd(*C.C2) + "}";
+  case Cmd::If:
+    return "if " + printExpr(*C.E) + " {" + printCmd(*C.C1) + "} {" +
+           printCmd(*C.C2) + "}";
+  case Cmd::While:
+    return "while " + printExpr(*C.E) + " {" + printCmd(*C.C1) + "}";
+  case Cmd::Skip:
+    return "skip";
+  }
+  return "?";
+}
+
+CmdP dahlia::filament::seqAll(const std::vector<CmdP> &Cmds) {
+  if (Cmds.empty())
+    return Cmd::skip();
+  CmdP Acc = Cmds.back();
+  for (size_t I = Cmds.size() - 1; I-- > 0;)
+    Acc = Cmd::seq(Cmds[I], Acc);
+  return Acc;
+}
+
+CmdP dahlia::filament::parAll(const std::vector<CmdP> &Cmds) {
+  if (Cmds.empty())
+    return Cmd::skip();
+  CmdP Acc = Cmds.back();
+  for (size_t I = Cmds.size() - 1; I-- > 0;)
+    Acc = Cmd::par(Cmds[I], Acc);
+  return Acc;
+}

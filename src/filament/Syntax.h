@@ -1,0 +1,135 @@
+//===- Syntax.h - Filament core language ------------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of Filament, the core calculus of Section 4 (Figure 6
+/// plus the appendix extensions):
+///
+/// \code
+///   e ::= v | bop e1 e2 | x | a[e]
+///   c ::= e | let x = e | c1 c2 | c1 ~rho~ c2 | c1 ; c2 | if e c1 c2
+///       | while e c | x := e | a[e1] := e2 | skip
+/// \endcode
+///
+/// `c1 c2` is ordered composition, `c1 ; c2` unordered, and `c1 ~rho~ c2`
+/// the intermediate small-step form that remembers the entry memory
+/// context. Terms are immutable and shared, so small-stepping is cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_FILAMENT_SYNTAX_H
+#define DAHLIA_FILAMENT_SYNTAX_H
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dahlia::filament {
+
+/// Runtime values: numbers or booleans.
+using Value = std::variant<int64_t, bool>;
+
+/// Renders a value ("42", "true").
+std::string valueToString(const Value &V);
+
+/// Binary operators of the core language.
+enum class Op {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Neq,
+  Lt,
+  Le,
+  And,
+  Or,
+};
+
+/// Surface spelling of \p O.
+const char *opSpelling(Op O);
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+/// A Filament expression node.
+struct Expr {
+  enum Kind { Val, Var, BinOp, Read } K;
+
+  Value V{};             ///< Val.
+  std::string Name;      ///< Var name or memory name for Read.
+  Op O = Op::Add;        ///< BinOp.
+  ExprP L, R;            ///< BinOp operands.
+  ExprP Idx;             ///< Read index.
+
+  static ExprP num(int64_t N);
+  static ExprP boolean(bool B);
+  static ExprP val(Value V);
+  static ExprP var(std::string Name);
+  static ExprP binop(Op O, ExprP L, ExprP R);
+  static ExprP read(std::string Mem, ExprP Idx);
+
+  bool isValue() const { return K == Val; }
+};
+
+struct Cmd;
+using CmdP = std::shared_ptr<const Cmd>;
+
+/// A Filament command node.
+struct Cmd {
+  enum Kind {
+    EExpr,    ///< Bare expression.
+    Let,      ///< let x = e
+    Assign,   ///< x := e
+    Write,    ///< a[e1] := e2
+    Seq,      ///< c1 c2 (ordered)
+    SeqInter, ///< c1 ~rho~ c2 (small-step intermediate)
+    Par,      ///< c1 ; c2 (unordered)
+    If,       ///< if e c1 c2
+    While,    ///< while e c
+    Skip,
+  } K;
+
+  ExprP E;                    ///< EExpr / Let / Assign value / If / While cond.
+  ExprP E2;                   ///< Write value.
+  std::string Name;           ///< Let/Assign variable, Write memory.
+  CmdP C1, C2;                ///< Sub-commands.
+  std::set<std::string> Rho;  ///< SeqInter saved memory context.
+
+  static CmdP expr(ExprP E);
+  static CmdP let(std::string Name, ExprP E);
+  static CmdP assign(std::string Name, ExprP E);
+  static CmdP write(std::string Mem, ExprP Idx, ExprP Val);
+  static CmdP seq(CmdP C1, CmdP C2);
+  static CmdP seqInter(CmdP C1, std::set<std::string> Rho, CmdP C2);
+  static CmdP par(CmdP C1, CmdP C2);
+  static CmdP ifc(ExprP Cond, CmdP Then, CmdP Else);
+  static CmdP whilec(ExprP Cond, CmdP Body);
+  static CmdP skip();
+
+  bool isSkip() const { return K == Skip; }
+};
+
+/// Renders \p E in core syntax.
+std::string printExpr(const Expr &E);
+
+/// Renders \p C in core syntax (one line).
+std::string printCmd(const Cmd &C);
+
+/// Folds a list of commands into right-nested ordered composition.
+CmdP seqAll(const std::vector<CmdP> &Cmds);
+
+/// Folds a list of commands into right-nested unordered composition.
+CmdP parAll(const std::vector<CmdP> &Cmds);
+
+} // namespace dahlia::filament
+
+#endif // DAHLIA_FILAMENT_SYNTAX_H

@@ -1,0 +1,248 @@
+//===- TypeSystem.cpp - Filament core type system ---------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/TypeSystem.h"
+
+#include <algorithm>
+
+using namespace dahlia::filament;
+
+namespace {
+
+std::set<std::string> intersect(const std::set<std::string> &A,
+                                const std::set<std::string> &B) {
+  std::set<std::string> Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::inserter(Out, Out.begin()));
+  return Out;
+}
+
+} // namespace
+
+std::optional<CoreType> dahlia::filament::typeExpr(TypeCtx &Ctx,
+                                                   const Expr &E,
+                                                   std::string &Why) {
+  switch (E.K) {
+  case Expr::Val:
+    return std::holds_alternative<bool>(E.V) ? CoreType::Bool : CoreType::Int;
+  case Expr::Var: {
+    auto It = Ctx.Gamma.find(E.Name);
+    if (It == Ctx.Gamma.end()) {
+      Why = "unbound variable '" + E.Name + "'";
+      return std::nullopt;
+    }
+    return It->second;
+  }
+  case Expr::BinOp: {
+    std::optional<CoreType> L = typeExpr(Ctx, *E.L, Why);
+    if (!L)
+      return std::nullopt;
+    std::optional<CoreType> R = typeExpr(Ctx, *E.R, Why);
+    if (!R)
+      return std::nullopt;
+    switch (E.O) {
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+      if (*L != CoreType::Int || *R != CoreType::Int) {
+        Why = "arithmetic on non-integers";
+        return std::nullopt;
+      }
+      return CoreType::Int;
+    case Op::Lt:
+    case Op::Le:
+      if (*L != CoreType::Int || *R != CoreType::Int) {
+        Why = "comparison on non-integers";
+        return std::nullopt;
+      }
+      return CoreType::Bool;
+    case Op::Eq:
+    case Op::Neq:
+      if (*L != *R) {
+        Why = "equality on mismatched types";
+        return std::nullopt;
+      }
+      return CoreType::Bool;
+    case Op::And:
+    case Op::Or:
+      if (*L != CoreType::Bool || *R != CoreType::Bool) {
+        Why = "logic on non-booleans";
+        return std::nullopt;
+      }
+      return CoreType::Bool;
+    }
+    Why = "unknown operator";
+    return std::nullopt;
+  }
+  case Expr::Read: {
+    std::optional<CoreType> IdxTy = typeExpr(Ctx, *E.Idx, Why);
+    if (!IdxTy)
+      return std::nullopt;
+    if (*IdxTy != CoreType::Int) {
+      Why = "non-integer index";
+      return std::nullopt;
+    }
+    if (!Ctx.MemSigs.count(E.Name)) {
+      Why = "unknown memory '" + E.Name + "'";
+      return std::nullopt;
+    }
+    // The affine step: the memory must still be available and is removed
+    // from Delta by this access.
+    if (!Ctx.Delta.count(E.Name)) {
+      Why = "memory '" + E.Name + "' already consumed";
+      return std::nullopt;
+    }
+    Ctx.Delta.erase(E.Name);
+    return CoreType::Int;
+  }
+  }
+  Why = "malformed expression";
+  return std::nullopt;
+}
+
+bool dahlia::filament::typeCmd(TypeCtx &Ctx, const Cmd &C, std::string &Why) {
+  switch (C.K) {
+  case Cmd::EExpr:
+    return typeExpr(Ctx, *C.E, Why).has_value();
+  case Cmd::Let: {
+    if (Ctx.Gamma.count(C.Name)) {
+      Why = "variable '" + C.Name + "' already bound";
+      return false;
+    }
+    std::optional<CoreType> Ty = typeExpr(Ctx, *C.E, Why);
+    if (!Ty)
+      return false;
+    Ctx.Gamma[C.Name] = *Ty;
+    return true;
+  }
+  case Cmd::Assign: {
+    auto It = Ctx.Gamma.find(C.Name);
+    if (It == Ctx.Gamma.end()) {
+      Why = "assignment to unbound variable '" + C.Name + "'";
+      return false;
+    }
+    std::optional<CoreType> Ty = typeExpr(Ctx, *C.E, Why);
+    if (!Ty)
+      return false;
+    if (*Ty != It->second) {
+      Why = "assignment type mismatch for '" + C.Name + "'";
+      return false;
+    }
+    return true;
+  }
+  case Cmd::Write: {
+    std::optional<CoreType> IdxTy = typeExpr(Ctx, *C.E, Why);
+    if (!IdxTy || *IdxTy != CoreType::Int) {
+      if (Why.empty())
+        Why = "non-integer index";
+      return false;
+    }
+    std::optional<CoreType> ValTy = typeExpr(Ctx, *C.E2, Why);
+    if (!ValTy || *ValTy != CoreType::Int) {
+      if (Why.empty())
+        Why = "memories hold integers";
+      return false;
+    }
+    if (!Ctx.MemSigs.count(C.Name)) {
+      Why = "unknown memory '" + C.Name + "'";
+      return false;
+    }
+    if (!Ctx.Delta.count(C.Name)) {
+      Why = "memory '" + C.Name + "' already consumed";
+      return false;
+    }
+    Ctx.Delta.erase(C.Name);
+    return true;
+  }
+  case Cmd::Par: {
+    // Unordered composition threads both contexts.
+    return typeCmd(Ctx, *C.C1, Why) && typeCmd(Ctx, *C.C2, Why);
+  }
+  case Cmd::Seq: {
+    // Ordered composition: both commands are checked under the entry
+    // Delta; the result is the intersection of the two residues.
+    std::set<std::string> Entry = Ctx.Delta;
+    if (!typeCmd(Ctx, *C.C1, Why))
+      return false;
+    std::set<std::string> D2 = Ctx.Delta;
+    Ctx.Delta = Entry;
+    if (!typeCmd(Ctx, *C.C2, Why))
+      return false;
+    Ctx.Delta = intersect(D2, Ctx.Delta);
+    return true;
+  }
+  case Cmd::SeqInter: {
+    // c1 ~rho~ c2: c2 is checked under the complement of the saved rho.
+    if (!typeCmd(Ctx, *C.C1, Why))
+      return false;
+    std::set<std::string> D2 = Ctx.Delta;
+    Ctx.Delta.clear();
+    for (const auto &[Mem, Size] : Ctx.MemSigs) {
+      (void)Size;
+      if (!C.Rho.count(Mem))
+        Ctx.Delta.insert(Mem);
+    }
+    if (!typeCmd(Ctx, *C.C2, Why))
+      return false;
+    Ctx.Delta = intersect(D2, Ctx.Delta);
+    return true;
+  }
+  case Cmd::If: {
+    std::optional<CoreType> CondTy = typeExpr(Ctx, *C.E, Why);
+    if (!CondTy || *CondTy != CoreType::Bool) {
+      if (Why.empty())
+        Why = "non-boolean condition";
+      return false;
+    }
+    std::map<std::string, CoreType> GammaIn = Ctx.Gamma;
+    std::set<std::string> D2 = Ctx.Delta;
+    if (!typeCmd(Ctx, *C.C1, Why))
+      return false;
+    std::set<std::string> D3 = Ctx.Delta;
+    Ctx.Gamma = GammaIn;
+    Ctx.Delta = D2;
+    if (!typeCmd(Ctx, *C.C2, Why))
+      return false;
+    // Branch-local bindings do not escape; availability intersects.
+    Ctx.Gamma = std::move(GammaIn);
+    Ctx.Delta = intersect(intersect(D2, D3), Ctx.Delta);
+    return true;
+  }
+  case Cmd::While: {
+    std::optional<CoreType> CondTy = typeExpr(Ctx, *C.E, Why);
+    if (!CondTy || *CondTy != CoreType::Bool) {
+      if (Why.empty())
+        Why = "non-boolean condition";
+      return false;
+    }
+    std::map<std::string, CoreType> GammaIn = Ctx.Gamma;
+    std::set<std::string> D2 = Ctx.Delta;
+    if (!typeCmd(Ctx, *C.C1, Why))
+      return false;
+    Ctx.Gamma = std::move(GammaIn);
+    Ctx.Delta = intersect(Ctx.Delta, D2);
+    return true;
+  }
+  case Cmd::Skip:
+    return true;
+  }
+  Why = "malformed command";
+  return false;
+}
+
+bool dahlia::filament::wellTyped(
+    const std::map<std::string, int64_t> &MemSigs, const Cmd &C,
+    std::string *Why) {
+  TypeCtx Ctx = TypeCtx::initial(MemSigs);
+  std::string Local;
+  bool OK = typeCmd(Ctx, C, Local);
+  if (Why)
+    *Why = Local;
+  return OK;
+}

@@ -1,0 +1,67 @@
+//===- TypeSystem.h - Filament core type system -----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core affine type system of Section 4.3 / Appendix A: judgments
+/// Gamma, Delta |- e : tau -| Delta' and Gamma1, Delta1 |- c -| Gamma2,
+/// Delta2, where Delta is the affine context of *available* memories.
+/// Together with the checked semantics in Interp.h this realises the
+/// soundness theorem of Section 4.6: well-typed commands never get stuck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_FILAMENT_TYPESYSTEM_H
+#define DAHLIA_FILAMENT_TYPESYSTEM_H
+
+#include "filament/Syntax.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace dahlia::filament {
+
+/// Scalar core types.
+enum class CoreType { Int, Bool };
+
+/// A typing configuration: the memory signature Sigma (every memory and
+/// its size), the variable context Gamma, and the affine context Delta of
+/// currently available memories.
+struct TypeCtx {
+  std::map<std::string, int64_t> MemSigs;
+  std::map<std::string, CoreType> Gamma;
+  std::set<std::string> Delta;
+
+  /// Builds the initial context where every memory is available.
+  static TypeCtx initial(std::map<std::string, int64_t> MemSigs) {
+    TypeCtx Ctx;
+    Ctx.MemSigs = std::move(MemSigs);
+    for (const auto &[Name, Size] : Ctx.MemSigs) {
+      (void)Size;
+      Ctx.Delta.insert(Name);
+    }
+    return Ctx;
+  }
+};
+
+/// Checks \p E under \p Ctx, threading the affine context. Returns the
+/// type, or nullopt (with \p Why set) if ill-typed.
+std::optional<CoreType> typeExpr(TypeCtx &Ctx, const Expr &E,
+                                 std::string &Why);
+
+/// Checks \p C under \p Ctx, threading Gamma and Delta per the paper's
+/// rules. Returns true when well-typed; on failure \p Why explains.
+bool typeCmd(TypeCtx &Ctx, const Cmd &C, std::string &Why);
+
+/// Convenience: whole-program judgment empty-Gamma, full-Delta |- c.
+bool wellTyped(const std::map<std::string, int64_t> &MemSigs, const Cmd &C,
+               std::string *Why = nullptr);
+
+} // namespace dahlia::filament
+
+#endif // DAHLIA_FILAMENT_TYPESYSTEM_H

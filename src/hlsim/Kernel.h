@@ -1,0 +1,142 @@
+//===- Kernel.h - Kernel IR for HLS estimation ------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel intermediate representation consumed by the HLS estimation
+/// substrate: a (possibly imperfect) loop nest with cyclically partitioned
+/// arrays and affine memory accesses. This mirrors the information an HLS
+/// scheduler extracts from pragma-annotated C++ (Section 2): trip counts,
+/// UNROLL factors, ARRAY_PARTITION factors, and the affine access
+/// functions that determine which bank each processing element touches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_HLSIM_KERNEL_H
+#define DAHLIA_HLSIM_KERNEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dahlia::hlsim {
+
+/// An affine index expression: Const + sum of Coeff * loop-variable.
+struct AffineExpr {
+  std::map<std::string, int64_t> Coeffs;
+  int64_t Const = 0;
+
+  static AffineExpr constant(int64_t C) {
+    AffineExpr E;
+    E.Const = C;
+    return E;
+  }
+  static AffineExpr var(const std::string &Name, int64_t Coeff = 1,
+                        int64_t C = 0) {
+    AffineExpr E;
+    E.Coeffs[Name] = Coeff;
+    E.Const = C;
+    return E;
+  }
+
+  /// Evaluates under a loop-variable assignment (missing vars are 0).
+  int64_t eval(const std::map<std::string, int64_t> &Vals) const {
+    int64_t V = Const;
+    for (const auto &[Name, Coeff] : Coeffs) {
+      auto It = Vals.find(Name);
+      if (It != Vals.end())
+        V += Coeff * It->second;
+    }
+    return V;
+  }
+};
+
+/// An on-chip array with per-dimension cyclic partitioning.
+struct ArraySpec {
+  std::string Name;
+  std::vector<int64_t> DimSizes;
+  std::vector<int64_t> Partition; ///< Cyclic partition factor per dim.
+  unsigned Ports = 1;             ///< Read/write ports per bank.
+  unsigned ElemBits = 32;
+
+  int64_t totalBanks() const {
+    int64_t B = 1;
+    for (int64_t P : Partition)
+      B *= P;
+    return B;
+  }
+  int64_t totalElems() const {
+    int64_t N = 1;
+    for (int64_t S : DimSizes)
+      N *= S;
+    return N;
+  }
+};
+
+/// One loop of the nest, outermost first.
+struct Loop {
+  std::string Var;
+  int64_t Trip = 1;
+  int64_t Unroll = 1;
+};
+
+/// One memory access in the loop body.
+struct Access {
+  std::string Array;
+  std::vector<AffineExpr> Idx; ///< One affine expression per dimension.
+  bool IsWrite = false;
+};
+
+/// A kernel: loop nest + arrays + body accesses + arithmetic op counts.
+struct KernelSpec {
+  std::string Name;
+  std::vector<ArraySpec> Arrays;
+  std::vector<Loop> Loops;
+  std::vector<Access> Body;
+  /// Arithmetic operations per body instance (before unrolling).
+  unsigned MulOps = 0;
+  unsigned AddOps = 0;
+  bool FloatingPoint = true;
+  double ClockMHz = 250.0;
+  /// Loop-carried dependence distance-1 chain (e.g. an accumulator):
+  /// limits pipelining of the innermost loop.
+  bool HasAccumulator = false;
+  /// Cycles spent in serial phases outside the modelled nest (e.g. a
+  /// hoisted data-dependent gather loop).
+  double ExtraSerialCycles = 0;
+  /// Latency of one iteration group when the body is dependence-bound and
+  /// cannot pipeline (e.g. a floating-point force chain); the effective
+  /// initiation interval is max(II, IterationLatency).
+  double IterationLatency = 1.0;
+
+  const ArraySpec *findArray(const std::string &Name) const {
+    for (const ArraySpec &A : Arrays)
+      if (A.Name == Name)
+        return &A;
+    return nullptr;
+  }
+
+  /// Product of all unroll factors (the number of processing elements).
+  int64_t totalUnroll() const {
+    int64_t U = 1;
+    for (const Loop &L : Loops)
+      U *= L.Unroll;
+    return U;
+  }
+
+  /// Product of all trip counts.
+  int64_t totalIters() const {
+    int64_t N = 1;
+    for (const Loop &L : Loops)
+      N *= L.Trip;
+    return N;
+  }
+};
+
+} // namespace dahlia::hlsim
+
+#endif // DAHLIA_HLSIM_KERNEL_H

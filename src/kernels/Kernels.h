@@ -1,0 +1,128 @@
+//===- Kernels.h - Benchmark kernels of the evaluation ----------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark kernels of Section 5 and the appendices, in two parallel
+/// representations:
+///
+///  * parameterized *Dahlia source generators* — the real type checker
+///    decides which configurations of each design space are accepted
+///    (Sections 5.2/5.3);
+///  * *hlsim kernel specs* — the HLS estimation substrate produces
+///    latency/LUT/FF/BRAM/DSP numbers for any configuration, accepted or
+///    not (standing in for Vivado HLS estimation mode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_KERNELS_KERNELS_H
+#define DAHLIA_KERNELS_KERNELS_H
+
+#include "hlsim/Kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dahlia::kernels {
+
+//===----------------------------------------------------------------------===//
+// Section 2 motivating kernel: 512x512 dense matrix multiply (Figure 2)
+//===----------------------------------------------------------------------===//
+
+/// Figure 4a/4b: UNROLL FACTOR=\p Unroll on the inner loop, with both
+/// operand matrices cyclically partitioned by \p Partition (1 = none).
+hlsim::KernelSpec gemm512(int64_t Unroll, int64_t Partition);
+
+/// Figure 4c: banking and unrolling in lockstep.
+inline hlsim::KernelSpec gemm512Lockstep(int64_t K) { return gemm512(K, K); }
+
+//===----------------------------------------------------------------------===//
+// gemm-blocked (Figure 7 / Section 5.2)
+//===----------------------------------------------------------------------===//
+
+/// The 7 exploration parameters of the Figure 10 listing: four banking
+/// factors (m1/m2 share BANK11/BANK12; prod uses BANK21/BANK22) and three
+/// unroll factors.
+struct GemmBlockedConfig {
+  int64_t Bank11 = 1, Bank12 = 1, Bank21 = 1, Bank22 = 1;
+  int64_t Unroll1 = 1, Unroll2 = 1, Unroll3 = 1;
+};
+
+/// The paper's 32,000-point design space: banking 1-4, unroll {1,2,4,6,8}.
+std::vector<GemmBlockedConfig> gemmBlockedSpace();
+
+/// Parameterized Dahlia port of gemm-blocked (suffix views over the
+/// blocked tiles, combine-block reduction).
+std::string gemmBlockedDahlia(const GemmBlockedConfig &C);
+
+/// hlsim model of the same configuration.
+hlsim::KernelSpec gemmBlockedSpec(const GemmBlockedConfig &C);
+
+//===----------------------------------------------------------------------===//
+// stencil2d (Figure 8a)
+//===----------------------------------------------------------------------===//
+
+struct Stencil2dConfig {
+  int64_t OrigBank1 = 1, OrigBank2 = 1; ///< 1..6 each.
+  int64_t FilterBank1 = 1, FilterBank2 = 1; ///< 1..3 each.
+  int64_t Unroll1 = 1, Unroll2 = 1; ///< 1..3 each.
+};
+
+std::vector<Stencil2dConfig> stencil2dSpace();
+std::string stencil2dDahlia(const Stencil2dConfig &C);
+hlsim::KernelSpec stencil2dSpec(const Stencil2dConfig &C);
+
+//===----------------------------------------------------------------------===//
+// md-knn (Figure 8b)
+//===----------------------------------------------------------------------===//
+
+struct MdKnnConfig {
+  int64_t BankPos = 1, BankNlPos = 1, BankNl = 1, BankForce = 1; ///< 1..4.
+  int64_t UnrollI = 1, UnrollJ = 1; ///< 1..8.
+};
+
+std::vector<MdKnnConfig> mdKnnSpace();
+std::string mdKnnDahlia(const MdKnnConfig &C);
+hlsim::KernelSpec mdKnnSpec(const MdKnnConfig &C);
+
+//===----------------------------------------------------------------------===//
+// md-grid (Figure 8c)
+//===----------------------------------------------------------------------===//
+
+struct MdGridConfig {
+  int64_t Bank1 = 1, Bank2 = 1, Bank3 = 1; ///< 1..4, one per grid dim.
+  int64_t Unroll1 = 1, Unroll2 = 1, Unroll3 = 1; ///< 1..7.
+};
+
+std::vector<MdGridConfig> mdGridSpace();
+std::string mdGridDahlia(const MdGridConfig &C);
+hlsim::KernelSpec mdGridSpec(const MdGridConfig &C);
+
+//===----------------------------------------------------------------------===//
+// MachSuite ports (Figure 11)
+//===----------------------------------------------------------------------===//
+
+/// One MachSuite benchmark: the baseline HLS implementation and the
+/// Dahlia rewrite (both as hlsim kernel specs), plus the Dahlia source of
+/// the rewrite.
+struct MachSuiteBenchmark {
+  std::string Name;
+  hlsim::KernelSpec Baseline;
+  hlsim::KernelSpec Rewrite;
+  std::string DahliaSource;
+  /// Completed synthesis but failed correctness checks in Vivado (the
+  /// red-highlighted bars of Figure 11).
+  bool MiscompiledByVivado = false;
+};
+
+/// The 16 MachSuite benchmarks of Figure 11 (backprop, fft-transpose and
+/// viterbi are excluded as in the paper).
+std::vector<MachSuiteBenchmark> machSuiteBenchmarks();
+
+} // namespace dahlia::kernels
+
+#endif // DAHLIA_KERNELS_KERNELS_H

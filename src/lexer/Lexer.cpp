@@ -1,0 +1,367 @@
+//===- Lexer.cpp - Dahlia lexer ---------------------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace dahlia;
+
+const char *dahlia::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::KwLet:
+    return "'let'";
+  case TokKind::KwView:
+    return "'view'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwUnroll:
+    return "'unroll'";
+  case TokKind::KwCombine:
+    return "'combine'";
+  case TokKind::KwDef:
+    return "'def'";
+  case TokKind::KwDecl:
+    return "'decl'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwBank:
+    return "'bank'";
+  case TokKind::KwBy:
+    return "'by'";
+  case TokKind::KwShrink:
+    return "'shrink'";
+  case TokKind::KwSuffix:
+    return "'suffix'";
+  case TokKind::KwShift:
+    return "'shift'";
+  case TokKind::KwSplit:
+    return "'split'";
+  case TokKind::KwSkip:
+    return "'skip'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::SeqSep:
+    return "'---'";
+  case TokKind::DotDot:
+    return "'..'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::PlusEq:
+    return "'+='";
+  case TokKind::MinusEq:
+    return "'-='";
+  case TokKind::StarEq:
+    return "'*='";
+  case TokKind::SlashEq:
+    return "'/='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  }
+  return "unknown token";
+}
+
+static TokKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"let", TokKind::KwLet},         {"view", TokKind::KwView},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"unroll", TokKind::KwUnroll},   {"combine", TokKind::KwCombine},
+      {"def", TokKind::KwDef},         {"decl", TokKind::KwDecl},
+      {"true", TokKind::KwTrue},       {"false", TokKind::KwFalse},
+      {"bank", TokKind::KwBank},       {"by", TokKind::KwBy},
+      {"shrink", TokKind::KwShrink},   {"suffix", TokKind::KwSuffix},
+      {"shift", TokKind::KwShift},     {"split", TokKind::KwSplit},
+      {"skip", TokKind::KwSkip},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokKind::Ident : It->second;
+}
+
+namespace {
+
+/// Single-pass scanner over a source buffer with line/column tracking.
+class Scanner {
+public:
+  explicit Scanner(std::string_view Source) : Src(Source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      if (ResultVoid R = skipTrivia(); !R)
+        return R.error();
+      SourceLoc Loc = loc();
+      if (atEnd()) {
+        Toks.push_back({TokKind::Eof, "", 0, 0, Loc});
+        return Toks;
+      }
+      Result<Token> T = next(Loc);
+      if (!T)
+        return T.error();
+      Toks.push_back(T.take());
+    }
+  }
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  ResultVoid skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = loc();
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (atEnd())
+            return Error(ErrorKind::Lex, "unterminated block comment", Start);
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return ResultVoid();
+    }
+    return ResultVoid();
+  }
+
+  Result<Token> next(SourceLoc Loc) {
+    char C = peek();
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexWord(Loc);
+    if (isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Loc);
+    return lexPunct(Loc);
+  }
+
+  Result<Token> lexWord(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (!atEnd() && (isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      advance();
+    std::string Word(Src.substr(Start, Pos - Start));
+    Token T;
+    T.Kind = keywordKind(Word);
+    T.Text = std::move(Word);
+    T.Loc = Loc;
+    return T;
+  }
+
+  Result<Token> lexNumber(SourceLoc Loc) {
+    size_t Start = Pos;
+    bool IsFloat = false;
+    while (!atEnd() && isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    // Accept a fractional part, but not the range operator "..".
+    if (peek() == '.' && isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance();
+      while (!atEnd() && isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      advance();
+      if (peek() == '+' || peek() == '-')
+        advance();
+      if (isdigit(static_cast<unsigned char>(peek()))) {
+        IsFloat = true;
+        while (!atEnd() && isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      } else {
+        // Not an exponent after all; rewind (column drift is acceptable for
+        // this pathological case).
+        Pos = Save;
+      }
+    }
+    std::string Text(Src.substr(Start, Pos - Start));
+    Token T;
+    T.Text = Text;
+    T.Loc = Loc;
+    if (IsFloat) {
+      T.Kind = TokKind::FloatLit;
+      T.FloatValue = strtod(Text.c_str(), nullptr);
+    } else {
+      T.Kind = TokKind::IntLit;
+      T.IntValue = strtoll(Text.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+
+  Result<Token> lexPunct(SourceLoc Loc) {
+    auto Make = [&](TokKind K, int Len) {
+      Token T;
+      T.Kind = K;
+      T.Text = std::string(Src.substr(Pos, Len));
+      T.Loc = Loc;
+      for (int I = 0; I != Len; ++I)
+        advance();
+      return T;
+    };
+    char C = peek();
+    switch (C) {
+    case '(':
+      return Make(TokKind::LParen, 1);
+    case ')':
+      return Make(TokKind::RParen, 1);
+    case '{':
+      return Make(TokKind::LBrace, 1);
+    case '}':
+      return Make(TokKind::RBrace, 1);
+    case '[':
+      return Make(TokKind::LBracket, 1);
+    case ']':
+      return Make(TokKind::RBracket, 1);
+    case ';':
+      return Make(TokKind::Semi, 1);
+    case ',':
+      return Make(TokKind::Comma, 1);
+    case ':':
+      return peek(1) == '=' ? Make(TokKind::Assign, 2)
+                            : Make(TokKind::Colon, 1);
+    case '.':
+      if (peek(1) == '.')
+        return Make(TokKind::DotDot, 2);
+      break;
+    case '-':
+      if (peek(1) == '-' && peek(2) == '-')
+        return Make(TokKind::SeqSep, 3);
+      if (peek(1) == '=')
+        return Make(TokKind::MinusEq, 2);
+      return Make(TokKind::Minus, 1);
+    case '+':
+      return peek(1) == '=' ? Make(TokKind::PlusEq, 2)
+                            : Make(TokKind::Plus, 1);
+    case '*':
+      return peek(1) == '=' ? Make(TokKind::StarEq, 2)
+                            : Make(TokKind::Star, 1);
+    case '/':
+      return peek(1) == '=' ? Make(TokKind::SlashEq, 2)
+                            : Make(TokKind::Slash, 1);
+    case '%':
+      return Make(TokKind::Percent, 1);
+    case '=':
+      return peek(1) == '=' ? Make(TokKind::EqEq, 2)
+                            : Make(TokKind::Equal, 1);
+    case '!':
+      if (peek(1) == '=')
+        return Make(TokKind::NotEq, 2);
+      break;
+    case '<':
+      return peek(1) == '=' ? Make(TokKind::Le, 2) : Make(TokKind::Lt, 1);
+    case '>':
+      return peek(1) == '=' ? Make(TokKind::Ge, 2) : Make(TokKind::Gt, 1);
+    case '&':
+      if (peek(1) == '&')
+        return Make(TokKind::AndAnd, 2);
+      break;
+    case '|':
+      if (peek(1) == '|')
+        return Make(TokKind::OrOr, 2);
+      break;
+    default:
+      break;
+    }
+    return Error(ErrorKind::Lex,
+                 std::string("unexpected character '") + C + "'", Loc);
+  }
+};
+
+} // namespace
+
+Result<std::vector<Token>> dahlia::lex(std::string_view Source) {
+  return Scanner(Source).run();
+}

@@ -1,0 +1,1058 @@
+//===- Desugar.cpp - Dahlia to Filament lowering ----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Desugar.h"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+using namespace dahlia;
+namespace fil = dahlia::filament;
+
+//===----------------------------------------------------------------------===//
+// LoweredMem / LoweredProgram helpers
+//===----------------------------------------------------------------------===//
+
+std::pair<std::string, int64_t>
+dahlia::LoweredMem::locate(const std::vector<int64_t> &Indices) const {
+  assert(Indices.size() == DimSizes.size() && "wrong arity");
+  int64_t Bank = 0, Off = 0;
+  for (size_t D = 0; D != Indices.size(); ++D) {
+    int64_t B = DimBanks[D];
+    int64_t BankLen = DimSizes[D] / B;
+    Bank = Bank * B + Indices[D] % B;
+    Off = Off * BankLen + Indices[D] / B;
+  }
+  return {BankNames[static_cast<size_t>(Bank)], Off};
+}
+
+fil::Store dahlia::LoweredProgram::makeStore(
+    int64_t (*Fill)(const std::string &, int64_t)) const {
+  fil::Store S;
+  for (const auto &[Name, Size] : MemSigs) {
+    std::vector<fil::Value> V;
+    V.reserve(static_cast<size_t>(Size));
+    for (int64_t I = 0; I != Size; ++I)
+      V.push_back(fil::Value(Fill(Name, I)));
+    S.Mems[Name] = std::move(V);
+  }
+  return S;
+}
+
+fil::Store dahlia::LoweredProgram::makeZeroStore() const {
+  return makeStore(+[](const std::string &, int64_t) { return int64_t(0); });
+}
+
+//===----------------------------------------------------------------------===//
+// Lowerer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A (partially) statically analyzed index: Scale * Var + Const when
+/// IsAffine, with HasVar false for pure constants. Raw always carries the
+/// runtime expression.
+struct AffineIdx {
+  fil::ExprP Raw;
+  bool IsAffine = false;
+  bool HasVar = false;
+  std::string VarName;
+  int64_t Scale = 0;
+  int64_t Const = 0;
+
+  static AffineIdx constant(int64_t C) {
+    AffineIdx A;
+    A.Raw = fil::Expr::num(C);
+    A.IsAffine = true;
+    A.Const = C;
+    return A;
+  }
+};
+
+int64_t floorMod(int64_t A, int64_t B) { return ((A % B) + B) % B; }
+
+/// Whether a Dahlia expression is free of memory reads and calls (safe to
+/// re-evaluate, e.g. as a view offset or while condition).
+bool isPureExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::BoolLit:
+  case ExprKind::Var:
+    return true;
+  case ExprKind::BinOp: {
+    const auto &B = *E.as<BinOpExpr>();
+    return isPureExpr(B.lhs()) && isPureExpr(B.rhs());
+  }
+  default:
+    return false;
+  }
+}
+
+/// Lowers Dahlia programs to Filament. One instance per program.
+class Lowerer {
+public:
+  Result<LoweredProgram> run(const Program &P) {
+    for (const FuncDef &F : P.Funcs)
+      Funcs[F.Name] = &F;
+    pushScope();
+    for (const ExternDecl &D : P.Decls) {
+      LoweredMem LM = declareMemory(D.Name, *D.Ty);
+      Output.Mems[D.Name] = LM;
+    }
+    std::vector<fil::CmdP> Body;
+    if (P.Body)
+      lowerCmd(*P.Body, Body);
+    popScope();
+    if (Err)
+      return *Err;
+    LoweredProgram Out = std::move(Output);
+    Out.Program = fil::parAll(Body);
+    Out.MemSigs = MemSigs;
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  struct IterInfo {
+    std::string LoopVar;
+    int64_t Scale = 1;  ///< Unroll factor.
+    int64_t Offset = 0; ///< lo + copy index.
+  };
+
+  struct ViewLow {
+    ViewKind VK = ViewKind::Shrink;
+    std::string Under;
+    std::vector<int64_t> Factors;       ///< shrink/split.
+    std::vector<const Expr *> Offsets;  ///< suffix/shift.
+    std::vector<MemDim> ViewDims;       ///< the view's own dims.
+  };
+
+  struct Binding {
+    enum Kind { Var, Mem, View, Iter, CombineReg } K = Var;
+    std::string FilName;
+    LoweredMem LM;
+    ViewLow VL;
+    IterInfo It;
+    std::vector<std::string> Copies; ///< CombineReg per-copy names.
+  };
+
+  std::map<std::string, const FuncDef *> Funcs;
+  std::vector<std::string> InlineStack;
+  std::vector<std::map<std::string, Binding>> Scopes;
+  std::map<std::string, int64_t> MemSigs;
+  std::map<std::string, std::string> ReadMemo; ///< access sig -> temp.
+  LoweredProgram Output;
+  std::optional<Error> Err;
+  unsigned NextId = 0;
+  int CombineCopy = -1; ///< Active copy while expanding a reducer.
+
+  //===--------------------------------------------------------------------===//
+  // Infrastructure
+  //===--------------------------------------------------------------------===//
+
+  void fail(const std::string &Msg, SourceLoc Loc) {
+    if (!Err)
+      Err = Error(ErrorKind::Internal, Msg, Loc);
+  }
+
+  std::string fresh(const std::string &Base) {
+    return Base + "%" + std::to_string(NextId++);
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  Binding *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  LoweredMem declareMemory(const std::string &Name, const Type &Ty) {
+    assert(Ty.isMem() && "expected memory type");
+    if (Ty.memPorts() != 1)
+      fail("multi-ported memory '" + Name +
+               "' cannot be lowered: the core calculus tracks one affine "
+               "resource per memory (quantitative ports are future work)",
+           SourceLoc());
+    LoweredMem LM;
+    int64_t TotalBanks = Ty.memTotalBanks();
+    int64_t BankSize = Ty.memTotalSize() / TotalBanks;
+    for (const MemDim &D : Ty.memDims()) {
+      LM.DimSizes.push_back(D.Size);
+      LM.DimBanks.push_back(D.Banks);
+    }
+    LM.BankSize = BankSize;
+    std::string Base = fresh(Name);
+    for (int64_t B = 0; B != TotalBanks; ++B) {
+      std::string BankName = Base + "@" + std::to_string(B);
+      MemSigs[BankName] = BankSize;
+      LM.BankNames.push_back(std::move(BankName));
+    }
+    Binding Bind;
+    Bind.K = Binding::Mem;
+    Bind.LM = LM;
+    Scopes.back()[Name] = std::move(Bind);
+    return LM;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  static fil::Op mapOp(BinOpKind Op, bool &Swap) {
+    Swap = false;
+    switch (Op) {
+    case BinOpKind::Add:
+      return fil::Op::Add;
+    case BinOpKind::Sub:
+      return fil::Op::Sub;
+    case BinOpKind::Mul:
+      return fil::Op::Mul;
+    case BinOpKind::Div:
+      return fil::Op::Div;
+    case BinOpKind::Mod:
+      return fil::Op::Mod;
+    case BinOpKind::Eq:
+      return fil::Op::Eq;
+    case BinOpKind::Neq:
+      return fil::Op::Neq;
+    case BinOpKind::Lt:
+      return fil::Op::Lt;
+    case BinOpKind::Le:
+      return fil::Op::Le;
+    case BinOpKind::Gt:
+      Swap = true;
+      return fil::Op::Lt;
+    case BinOpKind::Ge:
+      Swap = true;
+      return fil::Op::Le;
+    case BinOpKind::And:
+      return fil::Op::And;
+    case BinOpKind::Or:
+      return fil::Op::Or;
+    }
+    return fil::Op::Add;
+  }
+
+  /// Lowers \p E, appending read-hoisting statements to \p Out.
+  fil::ExprP lowerExpr(const Expr &E, std::vector<fil::CmdP> &Out) {
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      return fil::Expr::num(E.as<IntLitExpr>()->value());
+    case ExprKind::FloatLit:
+      // Core values are integers; float programs run with truncated
+      // semantics (access behaviour, which is what the checked semantics
+      // observes, is unaffected).
+      return fil::Expr::num(
+          static_cast<int64_t>(std::llround(E.as<FloatLitExpr>()->value())));
+    case ExprKind::BoolLit:
+      return fil::Expr::boolean(E.as<BoolLitExpr>()->value());
+    case ExprKind::Var: {
+      const auto &V = *E.as<VarExpr>();
+      Binding *B = lookup(V.name());
+      if (!B) {
+        fail("unbound name '" + V.name() + "' during lowering", V.loc());
+        return fil::Expr::num(0);
+      }
+      switch (B->K) {
+      case Binding::Var:
+        return fil::Expr::var(B->FilName);
+      case Binding::Iter: {
+        fil::ExprP Val = fil::Expr::var(B->It.LoopVar);
+        if (B->It.Scale != 1)
+          Val = fil::Expr::binop(fil::Op::Mul, fil::Expr::num(B->It.Scale),
+                                 Val);
+        if (B->It.Offset != 0)
+          Val = fil::Expr::binop(fil::Op::Add, Val,
+                                 fil::Expr::num(B->It.Offset));
+        return Val;
+      }
+      case Binding::CombineReg: {
+        if (CombineCopy < 0 ||
+            static_cast<size_t>(CombineCopy) >= B->Copies.size()) {
+          fail("combine register '" + V.name() + "' used outside a reducer",
+               V.loc());
+          return fil::Expr::num(0);
+        }
+        return fil::Expr::var(B->Copies[static_cast<size_t>(CombineCopy)]);
+      }
+      default:
+        fail("memory '" + V.name() + "' used as a value during lowering",
+             V.loc());
+        return fil::Expr::num(0);
+      }
+    }
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      fil::ExprP L = lowerExpr(B.lhs(), Out);
+      fil::ExprP R = lowerExpr(B.rhs(), Out);
+      bool Swap = false;
+      fil::Op O = mapOp(B.op(), Swap);
+      if (Swap)
+        std::swap(L, R);
+      return fil::Expr::binop(O, L, R);
+    }
+    case ExprKind::Access:
+      return lowerRead(*E.as<AccessExpr>(), Out);
+    case ExprKind::PhysAccess:
+      return lowerPhysRead(*E.as<PhysAccessExpr>(), Out);
+    case ExprKind::App:
+      fail("calls that return values are not supported by lowering "
+           "(inline the computation or use a void function)",
+           E.loc());
+      return fil::Expr::num(0);
+    }
+    return fil::Expr::num(0);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Index analysis and access lowering
+  //===--------------------------------------------------------------------===//
+
+  /// Computes both the runtime expression and, when possible, the affine
+  /// description of a Dahlia index expression.
+  AffineIdx affineOf(const Expr &E, std::vector<fil::CmdP> &Out) {
+    AffineIdx A;
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      return AffineIdx::constant(E.as<IntLitExpr>()->value());
+    case ExprKind::Var: {
+      Binding *B = lookup(E.as<VarExpr>()->name());
+      if (B && B->K == Binding::Iter) {
+        A.Raw = lowerExpr(E, Out);
+        A.IsAffine = true;
+        A.HasVar = true;
+        A.VarName = B->It.LoopVar;
+        A.Scale = B->It.Scale;
+        A.Const = B->It.Offset;
+        return A;
+      }
+      if (B && B->K == Binding::Var) {
+        A.Raw = fil::Expr::var(B->FilName);
+        A.IsAffine = true;
+        A.HasVar = true;
+        A.VarName = B->FilName;
+        A.Scale = 1;
+        A.Const = 0;
+        return A;
+      }
+      break;
+    }
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      if (B.op() == BinOpKind::Add || B.op() == BinOpKind::Sub ||
+          B.op() == BinOpKind::Mul) {
+        AffineIdx L = affineOf(B.lhs(), Out);
+        AffineIdx R = affineOf(B.rhs(), Out);
+        bool Swap = false;
+        fil::Op O = mapOp(B.op(), Swap);
+        A.Raw = fil::Expr::binop(O, L.Raw, R.Raw);
+        if (L.IsAffine && R.IsAffine) {
+          if (B.op() == BinOpKind::Add && !(L.HasVar && R.HasVar)) {
+            const AffineIdx &VarSide = L.HasVar ? L : R;
+            const AffineIdx &ConstSide = L.HasVar ? R : L;
+            A.IsAffine = true;
+            A.HasVar = VarSide.HasVar;
+            A.VarName = VarSide.VarName;
+            A.Scale = VarSide.Scale;
+            A.Const = VarSide.Const + ConstSide.Const;
+            return A;
+          }
+          if (B.op() == BinOpKind::Sub && !R.HasVar) {
+            A.IsAffine = true;
+            A.HasVar = L.HasVar;
+            A.VarName = L.VarName;
+            A.Scale = L.Scale;
+            A.Const = L.Const - R.Const;
+            return A;
+          }
+          if (B.op() == BinOpKind::Mul && !(L.HasVar && R.HasVar)) {
+            const AffineIdx &VarSide = L.HasVar ? L : R;
+            const AffineIdx &ConstSide = L.HasVar ? R : L;
+            A.IsAffine = true;
+            A.HasVar = VarSide.HasVar;
+            A.VarName = VarSide.VarName;
+            A.Scale = VarSide.Scale * ConstSide.Const;
+            A.Const = VarSide.Const * ConstSide.Const;
+            return A;
+          }
+        }
+        return A;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    A.Raw = lowerExpr(E, Out);
+    return A;
+  }
+
+  /// Resolves a (possibly view) access down to the root memory, producing
+  /// per-dimension analyzed indices.
+  bool resolveAccess(const std::string &Name,
+                     const std::vector<ExprPtr> &Indices, SourceLoc Loc,
+                     std::vector<fil::CmdP> &Out, LoweredMem &RootMem,
+                     std::vector<AffineIdx> &Dims) {
+    Binding *B = lookup(Name);
+    if (!B || (B->K != Binding::Mem && B->K != Binding::View)) {
+      fail("unknown memory '" + Name + "' during lowering", Loc);
+      return false;
+    }
+    Dims.clear();
+    for (const ExprPtr &I : Indices)
+      Dims.push_back(affineOf(*I, Out));
+
+    std::string Cur = Name;
+    while (true) {
+      Binding *CurB = lookup(Cur);
+      if (CurB->K == Binding::Mem) {
+        RootMem = CurB->LM;
+        return true;
+      }
+      const ViewLow &VL = CurB->VL;
+      std::vector<AffineIdx> UnderDims;
+      size_t VD = 0;
+      Binding *UnderB = lookup(VL.Under);
+      const std::vector<MemDim> &ViewDims = VL.ViewDims;
+      size_t NumUnderDims =
+          UnderB->K == Binding::Mem ? UnderB->LM.DimSizes.size()
+                                    : UnderB->VL.ViewDims.size();
+      for (size_t UD = 0; UD != NumUnderDims; ++UD) {
+        switch (VL.VK) {
+        case ViewKind::Shrink:
+          // shrink accesses compile to direct accesses: sh[i] => A[i].
+          UnderDims.push_back(Dims[VD]);
+          ++VD;
+          break;
+        case ViewKind::Suffix:
+        case ViewKind::Shift: {
+          // v[i] => M[off + i].
+          AffineIdx Off = affineOf(*VL.Offsets[UD], Out);
+          AffineIdx Idx = Dims[VD];
+          AffineIdx Sum;
+          Sum.Raw = fil::Expr::binop(fil::Op::Add, Off.Raw, Idx.Raw);
+          if (Off.IsAffine && Idx.IsAffine && !(Off.HasVar && Idx.HasVar)) {
+            const AffineIdx &VarSide = Off.HasVar ? Off : Idx;
+            Sum.IsAffine = true;
+            Sum.HasVar = VarSide.HasVar;
+            Sum.VarName = VarSide.VarName;
+            Sum.Scale = VarSide.Scale;
+            Sum.Const = Off.Const + Idx.Const;
+          }
+          UnderDims.push_back(Sum);
+          ++VD;
+          break;
+        }
+        case ViewKind::Split: {
+          if (VL.Factors[UD] <= 1) {
+            UnderDims.push_back(Dims[VD]);
+            ++VD;
+            break;
+          }
+          // sp[i][j] on a dim of B banks split by f: window width
+          // w = B / f; element = (j / w) * B + i * w + (j % w).
+          int64_t F = VL.Factors[UD];
+          int64_t BanksU = ViewDims[VD].Banks * (ViewDims[VD + 1].Banks * F /
+                                                 ViewDims[VD].Banks);
+          // Reconstruct underlying banks: view dims are [f bank f] and
+          // [n/f bank B/f], so B = f * (B/f).
+          BanksU = ViewDims[VD].Banks * ViewDims[VD + 1].Banks;
+          int64_t W = BanksU / F;
+          const AffineIdx &Ia = Dims[VD];
+          const AffineIdx &Jb = Dims[VD + 1];
+          AffineIdx Res;
+          Res.Raw = fil::Expr::binop(
+              fil::Op::Add,
+              fil::Expr::binop(
+                  fil::Op::Mul,
+                  fil::Expr::binop(fil::Op::Div, Jb.Raw, fil::Expr::num(W)),
+                  fil::Expr::num(BanksU)),
+              fil::Expr::binop(
+                  fil::Op::Add,
+                  fil::Expr::binop(fil::Op::Mul, Ia.Raw, fil::Expr::num(W)),
+                  fil::Expr::binop(fil::Op::Mod, Jb.Raw, fil::Expr::num(W))));
+          // Static only when both coordinates are constants.
+          if (Ia.IsAffine && !Ia.HasVar && Jb.IsAffine && !Jb.HasVar) {
+            Res.IsAffine = true;
+            Res.Const =
+                (Jb.Const / W) * BanksU + Ia.Const * W + (Jb.Const % W);
+          }
+          UnderDims.push_back(Res);
+          VD += 2;
+          break;
+        }
+        }
+      }
+      Dims = std::move(UnderDims);
+      Cur = VL.Under;
+    }
+  }
+
+  /// Bank of dimension \p D for index \p A, if statically known.
+  static std::optional<int64_t> staticBank(const AffineIdx &A, int64_t Banks) {
+    if (!A.IsAffine)
+      return std::nullopt;
+    if (!A.HasVar)
+      return floorMod(A.Const, Banks);
+    if (A.Scale % Banks == 0)
+      return floorMod(A.Const, Banks);
+    return std::nullopt;
+  }
+
+  /// Emits the read of one access; returns a variable holding the value.
+  fil::ExprP lowerRead(const AccessExpr &A, std::vector<fil::CmdP> &Out) {
+    LoweredMem RootMem;
+    std::vector<AffineIdx> Dims;
+    if (!resolveAccess(A.mem(), A.indices(), A.loc(), Out, RootMem, Dims))
+      return fil::Expr::num(0);
+    return emitRead(RootMem, Dims, Out);
+  }
+
+  fil::ExprP lowerPhysRead(const PhysAccessExpr &A,
+                           std::vector<fil::CmdP> &Out) {
+    Binding *B = lookup(A.mem());
+    if (!B || B->K != Binding::Mem) {
+      fail("physical access requires a root memory", A.loc());
+      return fil::Expr::num(0);
+    }
+    // The checker guarantees a static bank.
+    int64_t Bank = 0;
+    if (const auto *I = A.bank().as<IntLitExpr>())
+      Bank = I->value();
+    fil::ExprP Off = lowerExpr(A.offset(), Out);
+    const std::string &BankMem =
+        B->LM.BankNames[static_cast<size_t>(Bank)];
+    std::string Sig = BankMem + "[" + fil::printExpr(*Off) + "]";
+    auto Memo = ReadMemo.find(Sig);
+    if (Memo != ReadMemo.end())
+      return fil::Expr::var(Memo->second);
+    std::string Tmp = fresh("t");
+    Out.push_back(fil::Cmd::let(Tmp, fil::Expr::read(BankMem, Off)));
+    ReadMemo[Sig] = Tmp;
+    return fil::Expr::var(Tmp);
+  }
+
+  /// Flat bank/offset expressions for an access. When every dimension's
+  /// bank is static the access reads/writes one core memory directly;
+  /// otherwise an if-chain dispatches on the computed flat bank.
+  struct AccessPlan {
+    std::optional<int64_t> StaticBank;
+    fil::ExprP BankExpr; ///< Used when StaticBank is empty.
+    fil::ExprP OffExpr;
+  };
+
+  AccessPlan planAccess(const LoweredMem &LM,
+                        const std::vector<AffineIdx> &Dims) {
+    AccessPlan Plan;
+    bool AllStatic = true;
+    int64_t FlatBank = 0;
+    fil::ExprP BankE = fil::Expr::num(0);
+    fil::ExprP OffE = fil::Expr::num(0);
+    for (size_t D = 0; D != Dims.size(); ++D) {
+      int64_t B = LM.DimBanks[D];
+      int64_t BankLen = LM.DimSizes[D] / B;
+      std::optional<int64_t> SB = staticBank(Dims[D], B);
+      if (SB) {
+        FlatBank = FlatBank * B + *SB;
+        BankE = fil::Expr::binop(
+            fil::Op::Add,
+            fil::Expr::binop(fil::Op::Mul, BankE, fil::Expr::num(B)),
+            fil::Expr::num(*SB));
+      } else {
+        AllStatic = false;
+        BankE = fil::Expr::binop(
+            fil::Op::Add,
+            fil::Expr::binop(fil::Op::Mul, BankE, fil::Expr::num(B)),
+            fil::Expr::binop(fil::Op::Mod, Dims[D].Raw, fil::Expr::num(B)));
+      }
+      fil::ExprP DimOff =
+          B == 1 ? Dims[D].Raw
+                 : fil::Expr::binop(fil::Op::Div, Dims[D].Raw,
+                                    fil::Expr::num(B));
+      OffE = fil::Expr::binop(
+          fil::Op::Add,
+          fil::Expr::binop(fil::Op::Mul, OffE, fil::Expr::num(BankLen)),
+          DimOff);
+    }
+    if (AllStatic)
+      Plan.StaticBank = FlatBank;
+    Plan.BankExpr = BankE;
+    Plan.OffExpr = OffE;
+    return Plan;
+  }
+
+  fil::ExprP emitRead(const LoweredMem &LM, const std::vector<AffineIdx> &Dims,
+                      std::vector<fil::CmdP> &Out) {
+    AccessPlan Plan = planAccess(LM, Dims);
+    std::ostringstream SigOS;
+    SigOS << LM.BankNames.front() << '!';
+    for (const AffineIdx &D : Dims)
+      SigOS << '[' << fil::printExpr(*D.Raw) << ']';
+    std::string Sig = SigOS.str();
+    auto Memo = ReadMemo.find(Sig);
+    if (Memo != ReadMemo.end())
+      return fil::Expr::var(Memo->second);
+
+    std::string Tmp = fresh("t");
+    if (Plan.StaticBank) {
+      const std::string &BankMem =
+          LM.BankNames[static_cast<size_t>(*Plan.StaticBank)];
+      Out.push_back(
+          fil::Cmd::let(Tmp, fil::Expr::read(BankMem, Plan.OffExpr)));
+    } else {
+      // let t = 0; let b = <bank>; if (b == 0) t := m@0[off] else if ...
+      Out.push_back(fil::Cmd::let(Tmp, fil::Expr::num(0)));
+      std::string BankVar = fresh("b");
+      Out.push_back(fil::Cmd::let(BankVar, Plan.BankExpr));
+      fil::CmdP Chain = fil::Cmd::skip();
+      for (size_t B = LM.BankNames.size(); B-- > 0;) {
+        Chain = fil::Cmd::ifc(
+            fil::Expr::binop(fil::Op::Eq, fil::Expr::var(BankVar),
+                             fil::Expr::num(static_cast<int64_t>(B))),
+            fil::Cmd::assign(
+                Tmp, fil::Expr::read(LM.BankNames[B], Plan.OffExpr)),
+            Chain);
+      }
+      Out.push_back(Chain);
+    }
+    ReadMemo[Sig] = Tmp;
+    return fil::Expr::var(Tmp);
+  }
+
+  void emitWrite(const LoweredMem &LM, const std::vector<AffineIdx> &Dims,
+                 fil::ExprP Value, std::vector<fil::CmdP> &Out) {
+    AccessPlan Plan = planAccess(LM, Dims);
+    if (Plan.StaticBank) {
+      Out.push_back(fil::Cmd::write(
+          LM.BankNames[static_cast<size_t>(*Plan.StaticBank)], Plan.OffExpr,
+          Value));
+      return;
+    }
+    std::string BankVar = fresh("b");
+    Out.push_back(fil::Cmd::let(BankVar, Plan.BankExpr));
+    std::string ValVar = fresh("v");
+    Out.push_back(fil::Cmd::let(ValVar, Value));
+    fil::CmdP Chain = fil::Cmd::skip();
+    for (size_t B = LM.BankNames.size(); B-- > 0;) {
+      Chain = fil::Cmd::ifc(
+          fil::Expr::binop(fil::Op::Eq, fil::Expr::var(BankVar),
+                           fil::Expr::num(static_cast<int64_t>(B))),
+          fil::Cmd::write(LM.BankNames[B], Plan.OffExpr,
+                          fil::Expr::var(ValVar)),
+          Chain);
+    }
+    Out.push_back(Chain);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Commands
+  //===--------------------------------------------------------------------===//
+
+  void lowerCmd(const Cmd &C, std::vector<fil::CmdP> &Out) {
+    if (Err)
+      return;
+    switch (C.kind()) {
+    case CmdKind::Skip:
+      return;
+    case CmdKind::Block: {
+      pushScope();
+      lowerCmd(C.as<BlockCmd>()->body(), Out);
+      popScope();
+      return;
+    }
+    case CmdKind::Par: {
+      for (const CmdPtr &Sub : C.as<ParCmd>()->cmds())
+        lowerCmd(*Sub, Out);
+      return;
+    }
+    case CmdKind::Seq: {
+      const auto &S = *C.as<SeqCmd>();
+      auto OuterMemo = ReadMemo;
+      std::vector<fil::CmdP> Steps;
+      bool First = true;
+      for (const CmdPtr &Step : S.cmds()) {
+        // `---` discards read capabilities: later steps re-read.
+        ReadMemo = First ? OuterMemo : std::map<std::string, std::string>();
+        First = false;
+        std::vector<fil::CmdP> StepCmds;
+        lowerCmd(*Step, StepCmds);
+        Steps.push_back(fil::parAll(StepCmds));
+      }
+      ReadMemo = std::move(OuterMemo);
+      Out.push_back(fil::seqAll(Steps));
+      return;
+    }
+    case CmdKind::Let:
+      return lowerLet(*C.as<LetCmd>(), Out);
+    case CmdKind::View:
+      return lowerView(*C.as<ViewCmd>());
+    case CmdKind::If:
+      return lowerIf(*C.as<IfCmd>(), Out);
+    case CmdKind::While:
+      return lowerWhile(*C.as<WhileCmd>(), Out);
+    case CmdKind::For:
+      return lowerFor(*C.as<ForCmd>(), Out);
+    case CmdKind::Assign: {
+      const auto &A = *C.as<AssignCmd>();
+      Binding *B = lookup(A.name());
+      if (!B || B->K != Binding::Var) {
+        fail("assignment target '" + A.name() + "' is not a variable",
+             A.loc());
+        return;
+      }
+      fil::ExprP V = lowerExpr(A.value(), Out);
+      Out.push_back(fil::Cmd::assign(B->FilName, V));
+      return;
+    }
+    case CmdKind::ReduceAssign:
+      return lowerReduce(*C.as<ReduceAssignCmd>(), Out);
+    case CmdKind::Store: {
+      const auto &S = *C.as<StoreCmd>();
+      fil::ExprP V = lowerExpr(S.value(), Out);
+      if (const auto *A = S.target().as<AccessExpr>()) {
+        LoweredMem RootMem;
+        std::vector<AffineIdx> Dims;
+        if (resolveAccess(A->mem(), A->indices(), A->loc(), Out, RootMem,
+                          Dims))
+          emitWrite(RootMem, Dims, V, Out);
+        return;
+      }
+      if (const auto *PA = S.target().as<PhysAccessExpr>()) {
+        Binding *B = lookup(PA->mem());
+        int64_t Bank = 0;
+        if (const auto *I = PA->bank().as<IntLitExpr>())
+          Bank = I->value();
+        fil::ExprP Off = lowerExpr(PA->offset(), Out);
+        Out.push_back(fil::Cmd::write(
+            B->LM.BankNames[static_cast<size_t>(Bank)], Off, V));
+        return;
+      }
+      fail("unsupported store target", S.loc());
+      return;
+    }
+    case CmdKind::Expr: {
+      const auto &E = C.as<ExprCmd>()->expr();
+      if (const auto *App = E.as<AppExpr>()) {
+        lowerCall(*App, Out);
+        return;
+      }
+      fil::ExprP V = lowerExpr(E, Out);
+      Out.push_back(fil::Cmd::expr(V));
+      return;
+    }
+    }
+  }
+
+  void lowerLet(const LetCmd &L, std::vector<fil::CmdP> &Out) {
+    if (L.declType() && L.declType()->isMem()) {
+      declareMemory(L.name(), *L.declType());
+      return;
+    }
+    std::string FilName = fresh(L.name());
+    fil::ExprP Init = L.init() ? lowerExpr(*L.init(), Out)
+                               : fil::ExprP(fil::Expr::num(0));
+    Out.push_back(fil::Cmd::let(FilName, Init));
+    Binding B;
+    B.K = Binding::Var;
+    B.FilName = FilName;
+    Scopes.back()[L.name()] = std::move(B);
+  }
+
+  void lowerView(const ViewCmd &V) {
+    Binding *UB = lookup(V.mem());
+    if (!UB || (UB->K != Binding::Mem && UB->K != Binding::View)) {
+      fail("view over unknown memory '" + V.mem() + "'", V.loc());
+      return;
+    }
+    ViewLow VL;
+    VL.VK = V.viewKind();
+    VL.Under = V.mem();
+    // Reconstruct the view's dims (mirrors the checker).
+    std::vector<MemDim> UnderDims;
+    if (UB->K == Binding::Mem) {
+      for (size_t D = 0; D != UB->LM.DimSizes.size(); ++D)
+        UnderDims.push_back({UB->LM.DimSizes[D], UB->LM.DimBanks[D]});
+    } else {
+      UnderDims = UB->VL.ViewDims;
+    }
+    for (size_t D = 0; D != V.params().size(); ++D) {
+      const ViewDimParam &P = V.params()[D];
+      const MemDim &UD = UnderDims[D];
+      switch (V.viewKind()) {
+      case ViewKind::Shrink:
+        VL.Factors.push_back(P.Factor);
+        VL.ViewDims.push_back({UD.Size, UD.Banks / P.Factor});
+        break;
+      case ViewKind::Suffix:
+      case ViewKind::Shift:
+        if (P.Offset && !isPureExpr(*P.Offset)) {
+          fail("view offsets with memory reads are not supported by "
+               "lowering",
+               V.loc());
+          return;
+        }
+        VL.Offsets.push_back(P.Offset.get());
+        VL.ViewDims.push_back(UD);
+        break;
+      case ViewKind::Split:
+        VL.Factors.push_back(P.Factor);
+        if (P.Factor <= 1) {
+          VL.ViewDims.push_back(UD);
+        } else {
+          VL.ViewDims.push_back({P.Factor, P.Factor});
+          VL.ViewDims.push_back({UD.Size / P.Factor, UD.Banks / P.Factor});
+        }
+        break;
+      }
+    }
+    Binding B;
+    B.K = Binding::View;
+    B.VL = std::move(VL);
+    Scopes.back()[V.name()] = std::move(B);
+  }
+
+  void lowerIf(const IfCmd &I, std::vector<fil::CmdP> &Out) {
+    fil::ExprP Cond = lowerExpr(I.cond(), Out);
+    auto SavedMemo = ReadMemo;
+    std::vector<fil::CmdP> Then;
+    pushScope();
+    lowerCmd(I.thenCmd(), Then);
+    popScope();
+    ReadMemo = SavedMemo;
+    std::vector<fil::CmdP> Else;
+    if (I.elseCmd()) {
+      pushScope();
+      lowerCmd(*I.elseCmd(), Else);
+      popScope();
+    }
+    ReadMemo = std::move(SavedMemo);
+    Out.push_back(
+        fil::Cmd::ifc(Cond, fil::parAll(Then), fil::parAll(Else)));
+  }
+
+  void lowerWhile(const WhileCmd &W, std::vector<fil::CmdP> &Out) {
+    std::vector<fil::CmdP> CondPre;
+    fil::ExprP Cond = lowerExpr(W.cond(), CondPre);
+    if (!CondPre.empty()) {
+      fail("while conditions with memory reads are not supported by "
+           "lowering",
+           W.loc());
+      return;
+    }
+    auto SavedMemo = ReadMemo;
+    ReadMemo.clear();
+    std::vector<fil::CmdP> Body;
+    pushScope();
+    lowerCmd(W.body(), Body);
+    popScope();
+    ReadMemo = std::move(SavedMemo);
+    Out.push_back(fil::Cmd::whilec(Cond, fil::parAll(Body)));
+  }
+
+  void lowerFor(const ForCmd &F, std::vector<fil::CmdP> &Out) {
+    int64_t K = F.unroll();
+    int64_t Trip = (F.hi() - F.lo()) / K;
+    std::string LoopVar = fresh(F.iter() + "_it");
+    Out.push_back(fil::Cmd::let(LoopVar, fil::Expr::num(0)));
+
+    // Collect the body's logical time steps.
+    const Cmd *Body = &F.body();
+    if (const auto *Blk = Body->as<BlockCmd>())
+      Body = &Blk->body();
+    std::vector<const Cmd *> StepsSrc;
+    if (const auto *S = Body->as<SeqCmd>())
+      for (const CmdPtr &Step : S->cmds())
+        StepsSrc.push_back(Step.get());
+    else
+      StepsSrc.push_back(Body);
+
+    // One persistent scope per unrolled copy, so bindings made in one time
+    // step are visible to the copy's later steps.
+    std::vector<std::map<std::string, Binding>> CopyScopes(
+        static_cast<size_t>(K));
+    for (int64_t J = 0; J != K; ++J) {
+      Binding IterB;
+      IterB.K = Binding::Iter;
+      IterB.It = {LoopVar, K, F.lo() + J};
+      CopyScopes[static_cast<size_t>(J)][F.iter()] = std::move(IterB);
+    }
+
+    auto SavedMemo = ReadMemo;
+    std::vector<fil::CmdP> Steps;
+    for (const Cmd *Step : StepsSrc) {
+      ReadMemo.clear();
+      std::vector<fil::CmdP> StepCmds;
+      for (int64_t J = 0; J != K; ++J) {
+        Scopes.push_back(std::move(CopyScopes[static_cast<size_t>(J)]));
+        lowerCmd(*Step, StepCmds);
+        CopyScopes[static_cast<size_t>(J)] = std::move(Scopes.back());
+        Scopes.pop_back();
+      }
+      Steps.push_back(fil::parAll(StepCmds));
+    }
+
+    // The combine block runs as one more time step per iteration group,
+    // with each body let visible as a per-copy combine register.
+    if (F.combine()) {
+      ReadMemo.clear();
+      pushScope();
+      for (const auto &[Name, B0] : CopyScopes[0]) {
+        if (B0.K != Binding::Var)
+          continue;
+        Binding CR;
+        CR.K = Binding::CombineReg;
+        for (int64_t J = 0; J != K; ++J) {
+          auto It = CopyScopes[static_cast<size_t>(J)].find(Name);
+          assert(It != CopyScopes[static_cast<size_t>(J)].end() &&
+                 "combine register missing in copy");
+          CR.Copies.push_back(It->second.FilName);
+        }
+        Scopes.back()[Name] = std::move(CR);
+      }
+      std::vector<fil::CmdP> CombineCmds;
+      const Cmd *Comb = F.combine();
+      if (const auto *Blk = Comb->as<BlockCmd>())
+        Comb = &Blk->body();
+      lowerCmd(*Comb, CombineCmds);
+      popScope();
+      Steps.push_back(fil::parAll(CombineCmds));
+    }
+    ReadMemo = std::move(SavedMemo);
+
+    // Final step: advance the loop counter.
+    Steps.push_back(fil::Cmd::assign(
+        LoopVar, fil::Expr::binop(fil::Op::Add, fil::Expr::var(LoopVar),
+                                  fil::Expr::num(1))));
+    Out.push_back(fil::Cmd::whilec(
+        fil::Expr::binop(fil::Op::Lt, fil::Expr::var(LoopVar),
+                         fil::Expr::num(Trip)),
+        fil::seqAll(Steps)));
+  }
+
+  void lowerReduce(const ReduceAssignCmd &R, std::vector<fil::CmdP> &Out) {
+    Binding *Target = lookup(R.name());
+    if (!Target || Target->K != Binding::Var) {
+      fail("reducer target '" + R.name() + "' is not a variable", R.loc());
+      return;
+    }
+    bool Swap = false;
+    fil::Op O = mapOp(R.op(), Swap);
+    // Does the RHS mention a combine register? If so expand per copy.
+    int Copies = combineCopiesIn(R.value());
+    if (Copies <= 0) {
+      fil::ExprP V = lowerExpr(R.value(), Out);
+      Out.push_back(fil::Cmd::assign(
+          Target->FilName,
+          fil::Expr::binop(O, fil::Expr::var(Target->FilName), V)));
+      return;
+    }
+    for (int J = 0; J != Copies; ++J) {
+      CombineCopy = J;
+      fil::ExprP V = lowerExpr(R.value(), Out);
+      Out.push_back(fil::Cmd::assign(
+          Target->FilName,
+          fil::Expr::binop(O, fil::Expr::var(Target->FilName), V)));
+    }
+    CombineCopy = -1;
+  }
+
+  /// Number of copies of the combine registers mentioned by \p E (0 when
+  /// none).
+  int combineCopiesIn(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Var: {
+      Binding *B = lookup(E.as<VarExpr>()->name());
+      if (B && B->K == Binding::CombineReg)
+        return static_cast<int>(B->Copies.size());
+      return 0;
+    }
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      return std::max(combineCopiesIn(B.lhs()), combineCopiesIn(B.rhs()));
+    }
+    case ExprKind::Access: {
+      const auto &A = *E.as<AccessExpr>();
+      int N = 0;
+      for (const ExprPtr &I : A.indices())
+        N = std::max(N, combineCopiesIn(*I));
+      return N;
+    }
+    default:
+      return 0;
+    }
+  }
+
+  void lowerCall(const AppExpr &A, std::vector<fil::CmdP> &Out) {
+    auto It = Funcs.find(A.callee());
+    if (It == Funcs.end()) {
+      fail("call to unknown function '" + A.callee() + "'", A.loc());
+      return;
+    }
+    const FuncDef &F = *It->second;
+    for (const std::string &Active : InlineStack) {
+      if (Active == F.Name) {
+        fail("recursive call to '" + F.Name + "' cannot be inlined",
+             A.loc());
+        return;
+      }
+    }
+    if (A.args().size() != F.Params.size()) {
+      fail("arity mismatch calling '" + F.Name + "'", A.loc());
+      return;
+    }
+    // Evaluate arguments and bind parameters in a fresh scope.
+    std::vector<Binding> ParamBindings;
+    for (size_t I = 0; I != F.Params.size(); ++I) {
+      const FuncParam &P = F.Params[I];
+      if (P.Ty->isMem()) {
+        const auto *V = A.args()[I]->as<VarExpr>();
+        Binding *MB = V ? lookup(V->name()) : nullptr;
+        if (!MB || MB->K != Binding::Mem) {
+          fail("memory argument must name a memory", A.loc());
+          return;
+        }
+        Binding B;
+        B.K = Binding::Mem;
+        B.LM = MB->LM;
+        ParamBindings.push_back(std::move(B));
+        continue;
+      }
+      fil::ExprP Arg = lowerExpr(*A.args()[I], Out);
+      std::string FilName = fresh(P.Name);
+      Out.push_back(fil::Cmd::let(FilName, Arg));
+      Binding B;
+      B.K = Binding::Var;
+      B.FilName = FilName;
+      ParamBindings.push_back(std::move(B));
+    }
+    pushScope();
+    for (size_t I = 0; I != F.Params.size(); ++I)
+      Scopes.back()[F.Params[I].Name] = std::move(ParamBindings[I]);
+    InlineStack.push_back(F.Name);
+    if (F.Body)
+      lowerCmd(*F.Body, Out);
+    InlineStack.pop_back();
+    popScope();
+  }
+};
+
+} // namespace
+
+Result<LoweredProgram> dahlia::lowerProgram(const Program &P) {
+  return Lowerer().run(P);
+}

@@ -1,0 +1,73 @@
+//===- Desugar.h - Dahlia to Filament lowering ------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Desugars surface Dahlia into the Filament core calculus (Section 4.5):
+///
+///  * a memory `t[m bank n]` becomes n core memories of size m/n each
+///    (multi-dimensional memories flatten per bank);
+///  * `for .. unroll k` becomes a while loop whose body composes k
+///    substituted copies of each logical time step in lockstep;
+///  * identical reads within a time step collapse into one read that is
+///    distributed through a temporary (the hardware fan-out of 3.1);
+///  * views compile to index arithmetic on the underlying memory;
+///  * functions are inlined (the closed-world assumption of Section 6);
+///  * combine blocks expand reducers over the per-copy combine registers.
+///
+/// Lowered programs run on the *checked* Filament semantics, giving an
+/// executable, end-to-end test of the soundness theorem: a Dahlia program
+/// accepted by the type checker must never get stuck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_LOWER_DESUGAR_H
+#define DAHLIA_LOWER_DESUGAR_H
+
+#include "ast/AST.h"
+#include "filament/Interp.h"
+#include "filament/Syntax.h"
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+
+namespace dahlia {
+
+/// Where each bank of a lowered Dahlia memory went.
+struct LoweredMem {
+  std::vector<std::string> BankNames; ///< Core memory per flattened bank.
+  std::vector<int64_t> DimSizes;
+  std::vector<int64_t> DimBanks;
+  int64_t BankSize = 0; ///< Elements per bank.
+
+  /// Maps a logical element (multi-dim indices) to (core memory, offset).
+  std::pair<std::string, int64_t>
+  locate(const std::vector<int64_t> &Indices) const;
+};
+
+/// Result of lowering a whole program.
+struct LoweredProgram {
+  filament::CmdP Program;
+  std::map<std::string, int64_t> MemSigs; ///< Core memories and sizes.
+  std::map<std::string, LoweredMem> Mems; ///< By Dahlia memory name
+                                          ///< (interface decls only).
+
+  /// Builds an initial store with every memory filled by \p Fill(mem, i).
+  filament::Store
+  makeStore(int64_t (*Fill)(const std::string &, int64_t)) const;
+  /// Builds an all-zero initial store.
+  filament::Store makeZeroStore() const;
+};
+
+/// Lowers \p P, which must already have been type-checked (lowering uses
+/// the types annotated on expressions). Returns the core program or a
+/// description of the unsupported construct.
+Result<LoweredProgram> lowerProgram(const Program &P);
+
+} // namespace dahlia
+
+#endif // DAHLIA_LOWER_DESUGAR_H

@@ -1,0 +1,48 @@
+//===- Parser.h - Dahlia parser ---------------------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Dahlia surface language. Grammar
+/// sketch (see Section 3 of the paper for the constructs):
+///
+/// \code
+///   program  := (funcDef | externDecl)* cmd?
+///   funcDef  := 'def' id '(' (id ':' type),* ')' (':' type)? '{' cmd '}'
+///   cmd      := par ('---' par)*            // ordered composition
+///   par      := stmt*                       // unordered composition
+///   stmt     := let | view | if | while | for | block | assign | expr ';'
+///   type     := base ('{' int '}')? ('[' int ('bank' int)? ']')*
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_PARSER_PARSER_H
+#define DAHLIA_PARSER_PARSER_H
+
+#include "ast/AST.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace dahlia {
+
+/// Parses a whole program (function definitions, interface declarations,
+/// kernel body).
+Result<Program> parseProgram(std::string_view Source);
+
+/// Parses a bare command sequence (convenience for tests and examples).
+Result<CmdPtr> parseCommand(std::string_view Source);
+
+/// Parses a single expression (convenience for tests).
+Result<ExprPtr> parseExpression(std::string_view Source);
+
+/// Parses a type in surface syntax, e.g. "float[8 bank 4]".
+Result<TypeRef> parseType(std::string_view Source);
+
+} // namespace dahlia
+
+#endif // DAHLIA_PARSER_PARSER_H

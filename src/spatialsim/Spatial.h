@@ -1,0 +1,56 @@
+//===- Spatial.h - Spatial banking-inference model --------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of Spatial's automatic banking inference for the Figure 9 /
+/// Figure 13 comparison (Section 7, "Spatial"). Spatial infers a banking
+/// strategy from the parallel access pattern; when the unrolling factor
+/// does not divide the memory size the inferred banking diverges from the
+/// unrolling factor and resource usage jumps — the predictability pitfall
+/// the paper demonstrates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SPATIALSIM_SPATIAL_H
+#define DAHLIA_SPATIALSIM_SPATIAL_H
+
+#include "hlsim/Estimator.h"
+
+#include <cstdint>
+
+namespace dahlia::spatialsim {
+
+/// Spatial's inferred banking for the two input matrices of the
+/// gemm-ncubed kernel (Fig. 13a plots these separately because the tool
+/// chooses differently for the row-major and column-major access).
+struct BankingDecision {
+  int64_t BankA = 1;
+  int64_t BankB = 1;
+};
+
+/// Infers banking for a `Reduce(... par U)` access over a dimension of
+/// size \p N. When U divides N the banking equals U; otherwise the solver
+/// picks a legal-but-larger scheme for the row-streamed operand and a
+/// smaller divisor for the column-streamed one.
+BankingDecision inferBanking(int64_t N, int64_t U);
+
+/// Estimated implementation of the Spatial gemm-ncubed design (Appendix E
+/// listing) at inner-loop parallelism \p U on a Zynq-7000-class cost
+/// model.
+hlsim::Estimate
+estimateSpatialGemm(int64_t Dim, int64_t U,
+                    const hlsim::CostModel &CM = hlsim::CostModel());
+
+/// The equivalent Dahlia-generated design (banking forced equal to the
+/// unrolling factor), for the Fig. 13e "up to 10x fewer LUTs" comparison.
+hlsim::Estimate
+estimateDahliaGemm(int64_t Dim, int64_t U,
+                   const hlsim::CostModel &CM = hlsim::CostModel());
+
+} // namespace dahlia::spatialsim
+
+#endif // DAHLIA_SPATIALSIM_SPATIAL_H

@@ -1,0 +1,52 @@
+//===- Error.cpp - Error values and Result<T> ------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace dahlia;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << Line << ':' << Col;
+  return OS.str();
+}
+
+const char *dahlia::errorKindName(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::Lex:
+    return "lex";
+  case ErrorKind::Parse:
+    return "parse";
+  case ErrorKind::Type:
+    return "type";
+  case ErrorKind::Affine:
+    return "affine";
+  case ErrorKind::Banking:
+    return "banking";
+  case ErrorKind::Unroll:
+    return "unroll";
+  case ErrorKind::View:
+    return "view";
+  case ErrorKind::Semantics:
+    return "semantics";
+  case ErrorKind::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  OS << errorKindName(Kind) << " error: " << Message;
+  return OS.str();
+}

@@ -1,0 +1,52 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations and ranges used throughout the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_SOURCELOC_H
+#define DAHLIA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace dahlia {
+
+/// A position in a source buffer, 1-based. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const = default;
+
+  /// Renders as "line:col", or "<unknown>" when invalid.
+  std::string str() const;
+};
+
+/// A half-open range of source positions.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLoc Begin, SourceLoc End)
+      : Begin(Begin), End(End) {}
+  constexpr explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace dahlia
+
+#endif // DAHLIA_SUPPORT_SOURCELOC_H

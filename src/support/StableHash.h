@@ -1,0 +1,51 @@
+//===- StableHash.h - Deterministic hashing ---------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A platform-stable FNV-1a hash. The HLS estimation substrate uses it to
+/// derive deterministic "black-box heuristic" perturbations for
+/// rule-violating design points, so experiment outputs are reproducible
+/// across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_STABLEHASH_H
+#define DAHLIA_SUPPORT_STABLEHASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dahlia {
+
+/// 64-bit FNV-1a over a byte string.
+constexpr uint64_t stableHash(std::string_view Bytes,
+                              uint64_t Seed = 0xcbf29ce484222325ULL) {
+  uint64_t H = Seed;
+  for (char C : Bytes) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Mixes an integer into an existing hash state.
+constexpr uint64_t stableHashCombine(uint64_t H, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Maps a hash to a float uniformly distributed in [0, 1).
+constexpr double stableHashUnit(uint64_t H) {
+  return static_cast<double>(H >> 11) / 9007199254740992.0; // 2^53
+}
+
+} // namespace dahlia
+
+#endif // DAHLIA_SUPPORT_STABLEHASH_H

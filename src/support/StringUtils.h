@@ -1,0 +1,32 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_STRINGUTILS_H
+#define DAHLIA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dahlia {
+
+/// Splits \p Text on \p Sep; empty fields are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns \p Text with leading and trailing ASCII whitespace removed.
+std::string_view trimString(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace dahlia
+
+#endif // DAHLIA_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,156 @@
+//===- BackendTest.cpp - HLS C++ emission tests -----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/EmitHLS.h"
+
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace dahlia;
+using namespace dahlia::kernels;
+
+namespace {
+
+std::string emitOK(std::string_view Src,
+                   const EmitOptions &Opts = EmitOptions()) {
+  Result<Program> P = parseProgram(Src);
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+  if (!P)
+    return "";
+  Program Prog = P.take();
+  std::vector<Error> Errs = typeCheck(Prog);
+  EXPECT_TRUE(Errs.empty()) << (Errs.empty() ? "" : Errs.front().str());
+  Result<std::string> Out = emitHlsCpp(Prog, Opts);
+  EXPECT_TRUE(bool(Out)) << (Out ? "" : Out.error().str());
+  return Out ? Out.take() : "";
+}
+
+bool contains(const std::string &Haystack, std::string_view Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+TEST(Backend, PartitionPragmaFromBanking) {
+  std::string Cpp = emitOK("decl A: bit<32>[8 bank 4]; A[0] := 1;");
+  EXPECT_TRUE(contains(
+      Cpp, "#pragma HLS ARRAY_PARTITION variable=A cyclic factor=4 dim=1"))
+      << Cpp;
+  EXPECT_TRUE(contains(Cpp, "ap_int<32> A[8]")) << Cpp;
+}
+
+TEST(Backend, UnrollPragmaFromUnrollFactor) {
+  std::string Cpp = emitOK("decl A: float[8 bank 4];\n"
+                           "for (let i = 0..8) unroll 4 { A[i] := 1.0; }");
+  EXPECT_TRUE(contains(Cpp, "#pragma HLS UNROLL factor=4")) << Cpp;
+  EXPECT_TRUE(contains(Cpp, "for (int i = 0; i < 8; i++)")) << Cpp;
+}
+
+TEST(Backend, MultiDimPartitionPragmas) {
+  std::string Cpp = emitOK("decl M: float[4 bank 2][6 bank 3]; M[0][0] := 1.0;");
+  EXPECT_TRUE(contains(Cpp, "cyclic factor=2 dim=1")) << Cpp;
+  EXPECT_TRUE(contains(Cpp, "cyclic factor=3 dim=2")) << Cpp;
+}
+
+TEST(Backend, MultiPortedResourcePragma) {
+  std::string Cpp =
+      emitOK("decl A: float{2}[10]; let x = A[0]; A[1] := x + 1;");
+  EXPECT_TRUE(contains(Cpp, "core=RAM_2P_BRAM")) << Cpp;
+}
+
+TEST(Backend, ShrinkViewCompilesToDirectAccess) {
+  // Paper: "The access sh[i] compiles to A[i]".
+  std::string Cpp = emitOK("decl A: float[8 bank 4];\n"
+                           "view sh = shrink A[by 2];\n"
+                           "for (let i = 0..8) unroll 2 { let x = sh[i]; }");
+  EXPECT_TRUE(contains(Cpp, "A[i]")) << Cpp;
+  EXPECT_FALSE(contains(Cpp, "sh[i]")) << Cpp;
+}
+
+TEST(Backend, SuffixViewAddsOffset) {
+  // Paper: view v = suffix M[by k*e] accessed v[i] compiles to M[k*e + i].
+  std::string Cpp = emitOK("decl A: float[8 bank 2];\n"
+                           "for (let i = 0..4) {\n"
+                           "  view s = suffix A[by 2 * i];\n"
+                           "  let x = s[1];\n"
+                           "}");
+  EXPECT_TRUE(contains(Cpp, "A[((2 * i) + 1)]")) << Cpp;
+}
+
+TEST(Backend, SplitViewAddressArithmetic) {
+  std::string Cpp = emitOK("decl A: bit<32>[12 bank 4];\n"
+                           "view sp = split A[by 2];\n"
+                           "let x = sp[0][3];");
+  // (b / w) * B + a * w + b % w with w=2, B=4.
+  EXPECT_TRUE(contains(Cpp, "((3 / 2) * 4 + 0 * 2 + (3 % 2))")) << Cpp;
+}
+
+TEST(Backend, TimeStepBoundariesAreComments) {
+  std::string Cpp = emitOK("decl A: float[4];\nlet x = A[0]\n---\nA[1] := x;");
+  EXPECT_TRUE(contains(Cpp, "logical time step boundary")) << Cpp;
+}
+
+TEST(Backend, CombineBlockInlinedAsReduction) {
+  std::string Cpp = emitOK("decl A: float[8 bank 2]; decl B: float[8 bank 2];\n"
+                           "let dot = 0.0;\n"
+                           "for (let i = 0..8) unroll 2 {\n"
+                           "  let v = A[i] * B[i];\n"
+                           "} combine { dot += v; }");
+  EXPECT_TRUE(contains(Cpp, "dot += v;")) << Cpp;
+}
+
+TEST(Backend, FunctionsEmitted) {
+  std::string Cpp = emitOK(
+      "def f(m: float[4], v: float) { m[0] := v; }\n"
+      "decl A: float[4];\n"
+      "f(A, 1.0);");
+  EXPECT_TRUE(contains(Cpp, "void f(float m[4], float v)")) << Cpp;
+  EXPECT_TRUE(contains(Cpp, "f(A, 1.0);")) << Cpp;
+}
+
+TEST(Backend, PragmasCanBeDisabled) {
+  EmitOptions Opts;
+  Opts.EmitPartitionPragmas = false;
+  Opts.EmitUnrollPragmas = false;
+  Opts.EmitResourcePragmas = false;
+  std::string Cpp = emitOK("decl A: float[8 bank 4];\n"
+                           "for (let i = 0..8) unroll 4 { A[i] := 1.0; }",
+                           Opts);
+  EXPECT_FALSE(contains(Cpp, "#pragma")) << Cpp;
+}
+
+TEST(Backend, GemmBlockedPortEmits) {
+  GemmBlockedConfig C;
+  C.Bank11 = 2;
+  C.Bank12 = 2;
+  C.Bank21 = 2;
+  C.Bank22 = 2;
+  C.Unroll1 = 2;
+  C.Unroll2 = 2;
+  C.Unroll3 = 2;
+  std::string Cpp = emitOK(gemmBlockedDahlia(C));
+  EXPECT_TRUE(contains(Cpp, "ARRAY_PARTITION variable=m1")) << Cpp;
+  EXPECT_TRUE(contains(Cpp, "UNROLL factor=2")) << Cpp;
+  // Suffix views become direct accesses with tile offsets.
+  EXPECT_TRUE(contains(Cpp, "((8 * kk) + k)")) << Cpp;
+}
+
+TEST(Backend, AllMachSuitePortsEmit) {
+  for (const MachSuiteBenchmark &B : machSuiteBenchmarks()) {
+    Result<Program> P = parseProgram(B.DahliaSource);
+    ASSERT_TRUE(bool(P)) << B.Name;
+    Program Prog = P.take();
+    ASSERT_TRUE(typeCheck(Prog).empty()) << B.Name;
+    Result<std::string> Cpp = emitHlsCpp(Prog);
+    EXPECT_TRUE(bool(Cpp)) << B.Name << ": "
+                           << (Cpp ? "" : Cpp.error().str());
+    EXPECT_FALSE(Cpp->empty()) << B.Name;
+  }
+}
+
+} // namespace

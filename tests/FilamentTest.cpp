@@ -1,0 +1,295 @@
+//===- FilamentTest.cpp - Core calculus unit tests --------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Unit tests for the checked big-step and small-step semantics and the
+// core type system of Section 4 / Appendix A.
+//
+//===----------------------------------------------------------------------===//
+
+#include "filament/Interp.h"
+#include "filament/Syntax.h"
+#include "filament/TypeSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace dahlia::filament;
+
+namespace {
+
+Store storeWithMem(const std::string &Name, std::vector<int64_t> Vals) {
+  Store S;
+  std::vector<Value> V;
+  for (int64_t X : Vals)
+    V.push_back(Value(X));
+  S.Mems[Name] = std::move(V);
+  return S;
+}
+
+int64_t intVar(const Store &S, const std::string &Name) {
+  auto It = S.Vars.find(Name);
+  EXPECT_NE(It, S.Vars.end()) << "variable " << Name << " missing";
+  if (It == S.Vars.end())
+    return INT64_MIN;
+  EXPECT_TRUE(std::holds_alternative<int64_t>(It->second));
+  return std::get<int64_t>(It->second);
+}
+
+//===----------------------------------------------------------------------===//
+// Big-step semantics
+//===----------------------------------------------------------------------===//
+
+TEST(FilamentBigStep, ArithmeticAndLet) {
+  Store S;
+  Rho R;
+  CmdP C = Cmd::let(
+      "x", Expr::binop(Op::Add, Expr::num(2),
+                       Expr::binop(Op::Mul, Expr::num(3), Expr::num(4))));
+  EXPECT_TRUE(bool(bigStep(S, R, *C)));
+  EXPECT_EQ(intVar(S, "x"), 14);
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(FilamentBigStep, ReadConsumesMemory) {
+  Store S = storeWithMem("a", {10, 20, 30});
+  Rho R;
+  CmdP C = Cmd::let("x", Expr::read("a", Expr::num(1)));
+  EXPECT_TRUE(bool(bigStep(S, R, *C)));
+  EXPECT_EQ(intVar(S, "x"), 20);
+  EXPECT_EQ(R.count("a"), 1u);
+}
+
+TEST(FilamentBigStep, SecondAccessGetsStuck) {
+  Store S = storeWithMem("a", {1, 2});
+  Rho R;
+  CmdP C = Cmd::par(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::write("a", Expr::num(1), Expr::num(9)));
+  EvalResult Res = bigStep(S, R, *C);
+  EXPECT_EQ(Res.St, EvalResult::Stuck);
+}
+
+TEST(FilamentBigStep, OrderedCompositionRestoresRho) {
+  Store S = storeWithMem("a", {1, 2});
+  Rho R;
+  CmdP C = Cmd::seq(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::write("a", Expr::num(1), Expr::num(9)));
+  EvalResult Res = bigStep(S, R, *C);
+  EXPECT_TRUE(bool(Res)) << Res.Why;
+  EXPECT_EQ(std::get<int64_t>(S.Mems["a"][1]), 9);
+  // The final rho is the union of the two steps' consumption.
+  EXPECT_EQ(R.count("a"), 1u);
+}
+
+TEST(FilamentBigStep, OutOfBoundsGetsStuck) {
+  Store S = storeWithMem("a", {1, 2});
+  Rho R;
+  CmdP C = Cmd::expr(Expr::read("a", Expr::num(5)));
+  EXPECT_EQ(bigStep(S, R, *C).St, EvalResult::Stuck);
+}
+
+TEST(FilamentBigStep, DivisionByZeroGetsStuck) {
+  Store S;
+  Rho R;
+  CmdP C = Cmd::let("x", Expr::binop(Op::Div, Expr::num(1), Expr::num(0)));
+  EXPECT_EQ(bigStep(S, R, *C).St, EvalResult::Stuck);
+}
+
+TEST(FilamentBigStep, IfBranches) {
+  Store S;
+  Rho R;
+  CmdP C = Cmd::par(
+      Cmd::let("x", Expr::num(1)),
+      Cmd::ifc(Expr::binop(Op::Lt, Expr::var("x"), Expr::num(5)),
+               Cmd::assign("x", Expr::num(100)),
+               Cmd::assign("x", Expr::num(-100))));
+  EXPECT_TRUE(bool(bigStep(S, R, *C)));
+  EXPECT_EQ(intVar(S, "x"), 100);
+}
+
+TEST(FilamentBigStep, WhileLoopComputes) {
+  // let i = 0; let acc = 0; while (i < 5) { acc := acc + i ; i := i + 1 }
+  Store S;
+  Rho R;
+  CmdP Body =
+      Cmd::par(Cmd::assign("acc", Expr::binop(Op::Add, Expr::var("acc"),
+                                              Expr::var("i"))),
+               Cmd::assign("i", Expr::binop(Op::Add, Expr::var("i"),
+                                            Expr::num(1))));
+  CmdP C = parAll({Cmd::let("i", Expr::num(0)), Cmd::let("acc", Expr::num(0)),
+                   Cmd::whilec(Expr::binop(Op::Lt, Expr::var("i"),
+                                           Expr::num(5)),
+                               Body)});
+  EXPECT_TRUE(bool(bigStep(S, R, *C)));
+  EXPECT_EQ(intVar(S, "acc"), 10);
+}
+
+TEST(FilamentBigStep, InfiniteLoopRunsOutOfFuel) {
+  Store S;
+  Rho R;
+  CmdP C = Cmd::whilec(Expr::boolean(true), Cmd::skip());
+  EXPECT_EQ(bigStep(S, R, *C, /*Fuel=*/1000).St, EvalResult::OutOfFuel);
+}
+
+TEST(FilamentBigStep, SequentialWhileOverMemory) {
+  // Each while iteration is a fresh time step under ordered composition
+  // inside the body: while i<4 { let t = a[i] --- a[i] := t*2 ; i := i+1 }.
+  Store S = storeWithMem("a", {1, 2, 3, 4});
+  S.Vars["i"] = Value(int64_t(0));
+  Rho R;
+  CmdP Step = Cmd::seq(
+      Cmd::let("t", Expr::read("a", Expr::var("i"))),
+      Cmd::par(Cmd::write("a", Expr::var("i"),
+                          Expr::binop(Op::Mul, Expr::var("t"), Expr::num(2))),
+               Cmd::assign("i", Expr::binop(Op::Add, Expr::var("i"),
+                                            Expr::num(1)))));
+  // Wrap each iteration in ordered composition with skip so rho resets
+  // between iterations.
+  CmdP Loop = Cmd::whilec(Expr::binop(Op::Lt, Expr::var("i"), Expr::num(4)),
+                          Cmd::seq(Step, Cmd::skip()));
+  EvalResult Res = bigStep(S, R, *Loop);
+  EXPECT_TRUE(bool(Res)) << Res.Why;
+  EXPECT_EQ(std::get<int64_t>(S.Mems["a"][3]), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Small-step semantics
+//===----------------------------------------------------------------------===//
+
+TEST(FilamentSmallStep, SeqIntroducesIntermediateForm) {
+  Store S;
+  Rho R;
+  SmallStepper M(S, R, Cmd::seq(Cmd::skip(), Cmd::skip()));
+  ASSERT_TRUE(M.step());
+  EXPECT_EQ(M.cmd()->K, Cmd::SeqInter);
+  ASSERT_TRUE(M.step()); // skip ~rho~ skip --> skip
+  EXPECT_TRUE(M.done());
+}
+
+TEST(FilamentSmallStep, MatchesBigStepOnStraightLine) {
+  Store S0 = storeWithMem("a", {5, 6, 7});
+  CmdP C = Cmd::seq(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::write("a", Expr::num(2),
+                               Expr::binop(Op::Add, Expr::var("x"),
+                                           Expr::num(1))));
+  Store SB = S0;
+  Rho RB;
+  EXPECT_TRUE(bool(bigStep(SB, RB, *C)));
+
+  SmallStepper M(S0, Rho(), C);
+  EvalResult Res = M.run();
+  EXPECT_TRUE(bool(Res)) << Res.Why;
+  EXPECT_EQ(M.store(), SB);
+  EXPECT_EQ(M.rho(), RB);
+}
+
+TEST(FilamentSmallStep, StuckOnConflict) {
+  Store S = storeWithMem("a", {1, 2});
+  CmdP C = Cmd::par(Cmd::expr(Expr::read("a", Expr::num(0))),
+                    Cmd::expr(Expr::read("a", Expr::num(1))));
+  SmallStepper M(S, Rho(), C);
+  EvalResult Res = M.run();
+  EXPECT_EQ(Res.St, EvalResult::Stuck);
+  EXPECT_NE(Res.Why.find("consumed"), std::string::npos);
+}
+
+TEST(FilamentSmallStep, OrderedStepsUseTheSavedContext) {
+  // After c1 consumes a, c2 still runs because it steps against the rho
+  // captured when the composition was entered.
+  Store S = storeWithMem("a", {1, 2});
+  CmdP C = Cmd::seq(Cmd::expr(Expr::read("a", Expr::num(0))),
+                    Cmd::expr(Expr::read("a", Expr::num(1))));
+  SmallStepper M(S, Rho(), C);
+  EvalResult Res = M.run();
+  EXPECT_TRUE(bool(Res)) << Res.Why;
+  EXPECT_EQ(M.rho().count("a"), 1u);
+}
+
+TEST(FilamentSmallStep, WhileUnfoldsToIf) {
+  Store S;
+  SmallStepper M(S, Rho(),
+                 Cmd::whilec(Expr::boolean(false), Cmd::skip()));
+  ASSERT_TRUE(M.step());
+  EXPECT_EQ(M.cmd()->K, Cmd::If);
+  EvalResult Res = M.run();
+  EXPECT_TRUE(bool(Res));
+}
+
+//===----------------------------------------------------------------------===//
+// Core type system
+//===----------------------------------------------------------------------===//
+
+TEST(FilamentTypes, AcceptsStraightLine) {
+  std::map<std::string, int64_t> Sigs = {{"a", 4}};
+  CmdP C = Cmd::let("x", Expr::read("a", Expr::num(0)));
+  std::string Why;
+  EXPECT_TRUE(wellTyped(Sigs, *C, &Why)) << Why;
+}
+
+TEST(FilamentTypes, RejectsDoubleAccess) {
+  std::map<std::string, int64_t> Sigs = {{"a", 4}};
+  CmdP C = Cmd::par(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::let("y", Expr::read("a", Expr::num(1))));
+  std::string Why;
+  EXPECT_FALSE(wellTyped(Sigs, *C, &Why));
+  EXPECT_NE(Why.find("consumed"), std::string::npos);
+}
+
+TEST(FilamentTypes, OrderedCompositionRestores) {
+  std::map<std::string, int64_t> Sigs = {{"a", 4}};
+  CmdP C = Cmd::seq(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::let("y", Expr::read("a", Expr::num(1))));
+  std::string Why;
+  EXPECT_TRUE(wellTyped(Sigs, *C, &Why)) << Why;
+}
+
+TEST(FilamentTypes, SeqResidueIsIntersection) {
+  // After {read a --- read b}, neither a nor b is available.
+  std::map<std::string, int64_t> Sigs = {{"a", 4}, {"b", 4}};
+  CmdP Inner = Cmd::seq(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                        Cmd::let("y", Expr::read("b", Expr::num(0))));
+  CmdP UseA = Cmd::par(Inner, Cmd::let("z", Expr::read("a", Expr::num(1))));
+  CmdP UseB = Cmd::par(Inner, Cmd::let("z", Expr::read("b", Expr::num(1))));
+  EXPECT_FALSE(wellTyped(Sigs, *UseA));
+  EXPECT_FALSE(wellTyped(Sigs, *UseB));
+}
+
+TEST(FilamentTypes, RebindingRejected) {
+  std::map<std::string, int64_t> Sigs;
+  CmdP C = Cmd::par(Cmd::let("x", Expr::num(1)),
+                    Cmd::let("x", Expr::num(2)));
+  EXPECT_FALSE(wellTyped(Sigs, *C));
+}
+
+TEST(FilamentTypes, AssignTypeMismatch) {
+  std::map<std::string, int64_t> Sigs;
+  CmdP C = Cmd::par(Cmd::let("x", Expr::num(1)),
+                    Cmd::assign("x", Expr::boolean(true)));
+  EXPECT_FALSE(wellTyped(Sigs, *C));
+}
+
+TEST(FilamentTypes, BranchConsumptionIntersects) {
+  std::map<std::string, int64_t> Sigs = {{"a", 4}};
+  CmdP C = Cmd::par(
+      Cmd::ifc(Expr::boolean(true),
+               Cmd::expr(Expr::read("a", Expr::num(0))), Cmd::skip()),
+      Cmd::expr(Expr::read("a", Expr::num(1))));
+  EXPECT_FALSE(wellTyped(Sigs, *C));
+}
+
+TEST(FilamentTypes, WhileBodyChecked) {
+  std::map<std::string, int64_t> Sigs = {{"a", 4}};
+  CmdP Bad = Cmd::whilec(
+      Expr::boolean(false),
+      Cmd::par(Cmd::expr(Expr::read("a", Expr::num(0))),
+               Cmd::expr(Expr::read("a", Expr::num(1)))));
+  EXPECT_FALSE(wellTyped(Sigs, *Bad));
+}
+
+TEST(FilamentTypes, PrintingIsStable) {
+  CmdP C = Cmd::seq(Cmd::let("x", Expr::read("a", Expr::num(0))),
+                    Cmd::write("a", Expr::num(1), Expr::var("x")));
+  EXPECT_EQ(printCmd(*C), "{let x = a[0] --- a[1] := x}");
+}
+
+} // namespace

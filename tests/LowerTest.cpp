@@ -1,0 +1,353 @@
+//===- LowerTest.cpp - Dahlia-to-Filament lowering tests --------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Integration tests: Dahlia programs accepted by the affine checker are
+// lowered to the Filament core and executed under the *checked* semantics;
+// they must terminate without getting stuck (the end-to-end realisation of
+// the Section 4.6 soundness theorem) and must compute the right values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Desugar.h"
+
+#include "filament/Interp.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace dahlia;
+namespace fil = dahlia::filament;
+
+namespace {
+
+/// Parses, checks, and lowers; asserts each stage succeeds.
+LoweredProgram lowerOK(std::string_view Src) {
+  Result<Program> P = parseProgram(Src);
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
+  if (!P)
+    return {};
+  Program Prog = P.take();
+  std::vector<Error> Errs = typeCheck(Prog);
+  EXPECT_TRUE(Errs.empty())
+      << (Errs.empty() ? "" : Errs.front().str()) << "\nsource: " << Src;
+  if (!Errs.empty())
+    return {};
+  Result<LoweredProgram> L = lowerProgram(Prog);
+  EXPECT_TRUE(bool(L)) << (L ? "" : L.error().str());
+  if (!L)
+    return {};
+  return L.take();
+}
+
+/// Runs the lowered program on the checked small-step semantics.
+fil::SmallStepper runChecked(const LoweredProgram &L, fil::Store S) {
+  fil::SmallStepper M(std::move(S), fil::Rho(),
+                      L.Program ? L.Program : fil::Cmd::skip());
+  fil::EvalResult Res = M.run(1u << 24);
+  EXPECT_TRUE(bool(Res)) << "execution failed: " << Res.Why << "\n"
+                         << fil::printCmd(*L.Program);
+  return M;
+}
+
+int64_t memAt(const fil::SmallStepper &M, const LoweredProgram &L,
+              const std::string &Name, std::vector<int64_t> Indices) {
+  auto It = L.Mems.find(Name);
+  EXPECT_NE(It, L.Mems.end());
+  auto [BankMem, Off] = It->second.locate(Indices);
+  const auto &Vec = M.store().Mems.at(BankMem);
+  return std::get<int64_t>(Vec.at(static_cast<size_t>(Off)));
+}
+
+TEST(Lower, MemoryBecomesPerBankMemories) {
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 4]; skip;");
+  ASSERT_EQ(L.Mems.count("A"), 1u);
+  EXPECT_EQ(L.Mems["A"].BankNames.size(), 4u);
+  EXPECT_EQ(L.MemSigs.size(), 4u);
+  for (const auto &[Name, Size] : L.MemSigs)
+    EXPECT_EQ(Size, 2) << Name;
+}
+
+TEST(Lower, RoundRobinLayout) {
+  // Element i of an 8/4-banked memory lives in bank i%4 at offset i/4.
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 4]; skip;");
+  const LoweredMem &M = L.Mems["A"];
+  EXPECT_EQ(M.locate({0}).first, M.BankNames[0]);
+  EXPECT_EQ(M.locate({5}).first, M.BankNames[1]);
+  EXPECT_EQ(M.locate({5}).second, 1);
+  EXPECT_EQ(M.locate({7}).first, M.BankNames[3]);
+}
+
+TEST(Lower, StaticWriteAndReadBack) {
+  LoweredProgram L = lowerOK("decl A: bit<32>[4 bank 2];\n"
+                             "A[0] := 7; A[1] := 9;");
+  fil::SmallStepper M = runChecked(L, L.makeZeroStore());
+  EXPECT_EQ(memAt(M, L, "A", {0}), 7);
+  EXPECT_EQ(memAt(M, L, "A", {1}), 9);
+}
+
+TEST(Lower, SequentialLoopOverBankedMemory) {
+  // A dynamic single access dispatches to the right bank at runtime.
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 4];\n"
+                             "for (let i = 0..8) { A[i] := i + 1; }");
+  fil::SmallStepper M = runChecked(L, L.makeZeroStore());
+  for (int64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(memAt(M, L, "A", {I}), I + 1) << "element " << I;
+}
+
+TEST(Lower, UnrolledLoopWritesAllElements) {
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 4];\n"
+                             "for (let i = 0..8) unroll 4 { A[i] := i * 2; }");
+  fil::SmallStepper M = runChecked(L, L.makeZeroStore());
+  for (int64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(memAt(M, L, "A", {I}), 2 * I);
+}
+
+TEST(Lower, IdenticalReadsShareOneFetch) {
+  // Two reads of A[0] in one time step lower to a single core read; the
+  // checked semantics would get stuck otherwise.
+  LoweredProgram L = lowerOK("decl A: bit<32>[4];\n"
+                             "decl O: bit<32>[4 bank 4];\n"
+                             "let x = A[0]; let y = A[0];\n"
+                             "O[0] := x; O[1] := y;");
+  fil::Store S = L.makeZeroStore();
+  // Fill A[0] (bank 0, offset 0).
+  S.Mems[L.Mems["A"].BankNames[0]][0] = fil::Value(int64_t(42));
+  fil::SmallStepper M = runChecked(L, S);
+  EXPECT_EQ(memAt(M, L, "O", {0}), 42);
+  EXPECT_EQ(memAt(M, L, "O", {1}), 42);
+}
+
+TEST(Lower, FanOutReadAcrossUnrolledCopies) {
+  // Every copy reads A[0]: one fetch feeds all PEs (Section 3.1).
+  LoweredProgram L = lowerOK("decl A: bit<32>[4];\n"
+                             "decl O: bit<32>[8 bank 4];\n"
+                             "for (let i = 0..8) unroll 4 { O[i] := A[0]; }");
+  fil::Store S = L.makeZeroStore();
+  S.Mems[L.Mems["A"].BankNames[0]][0] = fil::Value(int64_t(13));
+  fil::SmallStepper M = runChecked(L, S);
+  for (int64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(memAt(M, L, "O", {I}), 13);
+}
+
+TEST(Lower, OrderedCompositionWithinUnrolledBody) {
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 2];\n"
+                             "decl B: bit<32>[8 bank 2];\n"
+                             "for (let i = 0..8) unroll 2 {\n"
+                             "  let x = A[i]\n"
+                             "  ---\n"
+                             "  B[i] := x + 100;\n"
+                             "}");
+  fil::Store S = L.makeZeroStore();
+  for (int64_t I = 0; I != 8; ++I) {
+    auto [Bank, Off] = L.Mems["A"].locate({I});
+    S.Mems[Bank][static_cast<size_t>(Off)] = fil::Value(I);
+  }
+  fil::SmallStepper M = runChecked(L, S);
+  for (int64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(memAt(M, L, "B", {I}), I + 100);
+}
+
+TEST(Lower, CombineBlockReduces) {
+  // Dot-product shape from Section 3.5.
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 2];\n"
+                             "decl B: bit<32>[8 bank 2];\n"
+                             "decl O: bit<32>[1];\n"
+                             "let dot = 0;\n"
+                             "{\n"
+                             "for (let i = 0..8) unroll 2 {\n"
+                             "  let v = A[i] * B[i];\n"
+                             "} combine {\n"
+                             "  dot += v;\n"
+                             "}\n"
+                             "}\n"
+                             "---\n"
+                             "O[0] := dot;");
+  fil::Store S = L.makeZeroStore();
+  int64_t Expected = 0;
+  for (int64_t I = 0; I != 8; ++I) {
+    auto [BankA, OffA] = L.Mems["A"].locate({I});
+    auto [BankB, OffB] = L.Mems["B"].locate({I});
+    S.Mems[BankA][static_cast<size_t>(OffA)] = fil::Value(I + 1);
+    S.Mems[BankB][static_cast<size_t>(OffB)] = fil::Value(I + 2);
+    Expected += (I + 1) * (I + 2);
+  }
+  fil::SmallStepper M = runChecked(L, S);
+  EXPECT_EQ(memAt(M, L, "O", {0}), Expected);
+}
+
+TEST(Lower, MultiDimensionalMatrixMultiply) {
+  // 4x4 integer matrix multiply with an unrolled inner loop.
+  LoweredProgram L = lowerOK(
+      "decl A: bit<32>[4][4 bank 4];\n"
+      "decl B: bit<32>[4 bank 4][4];\n"
+      "decl P: bit<32>[4][4];\n"
+      "for (let i = 0..4) {\n"
+      "  for (let j = 0..4) {\n"
+      "    let sum = 0;\n"
+      "    {\n"
+      "    for (let k = 0..4) unroll 4 {\n"
+      "      let v = A[i][k] * B[k][j];\n"
+      "    } combine { sum += v; }\n"
+      "    }\n"
+      "    ---\n"
+      "    P[i][j] := sum;\n"
+      "  }\n"
+      "}");
+  fil::Store S = L.makeZeroStore();
+  int64_t AM[4][4], BM[4][4];
+  for (int64_t I = 0; I != 4; ++I)
+    for (int64_t J = 0; J != 4; ++J) {
+      AM[I][J] = I * 4 + J + 1;
+      BM[I][J] = (I == J) ? 2 : 1;
+      auto [BankA, OffA] = L.Mems["A"].locate({I, J});
+      auto [BankB, OffB] = L.Mems["B"].locate({I, J});
+      S.Mems[BankA][static_cast<size_t>(OffA)] = fil::Value(AM[I][J]);
+      S.Mems[BankB][static_cast<size_t>(OffB)] = fil::Value(BM[I][J]);
+    }
+  fil::SmallStepper M = runChecked(L, S);
+  for (int64_t I = 0; I != 4; ++I)
+    for (int64_t J = 0; J != 4; ++J) {
+      int64_t Want = 0;
+      for (int64_t K = 0; K != 4; ++K)
+        Want += AM[I][K] * BM[K][J];
+      EXPECT_EQ(memAt(M, L, "P", {I, J}), Want) << I << "," << J;
+    }
+}
+
+TEST(Lower, ShrinkViewCompilesToDirectAccess) {
+  // sh[i] compiles to A[i] (Section 3.6): values read through the view
+  // match the underlying layout.
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 4];\n"
+                             "decl O: bit<32>[8 bank 2];\n"
+                             "view sh = shrink A[by 2];\n"
+                             "for (let i = 0..8) unroll 2 {\n"
+                             "  O[i] := sh[i];\n"
+                             "}");
+  fil::Store S = L.makeZeroStore();
+  for (int64_t I = 0; I != 8; ++I) {
+    auto [Bank, Off] = L.Mems["A"].locate({I});
+    S.Mems[Bank][static_cast<size_t>(Off)] = fil::Value(7 * I);
+  }
+  fil::SmallStepper M = runChecked(L, S);
+  for (int64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(memAt(M, L, "O", {I}), 7 * I);
+}
+
+TEST(Lower, SuffixViewIndexing) {
+  // s = suffix A[by 2*i]; s[1] reads A[2*i + 1] (Section 3.6).
+  LoweredProgram L = lowerOK("decl A: bit<32>[8 bank 2];\n"
+                             "decl O: bit<32>[4 bank 4];\n"
+                             "for (let i = 0..4) unroll 4 {\n"
+                             "  O[i] := 0;\n"
+                             "}\n"
+                             "---\n"
+                             "for (let i = 0..4) {\n"
+                             "  view s = suffix A[by 2 * i];\n"
+                             "  let x = s[1];\n"
+                             "  ---\n"
+                             "  O[i] := x;\n"
+                             "}");
+  fil::Store S = L.makeZeroStore();
+  for (int64_t I = 0; I != 8; ++I) {
+    auto [Bank, Off] = L.Mems["A"].locate({I});
+    S.Mems[Bank][static_cast<size_t>(Off)] = fil::Value(10 * I);
+  }
+  fil::SmallStepper M = runChecked(L, S);
+  for (int64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(memAt(M, L, "O", {I}), 10 * (2 * I + 1));
+}
+
+TEST(Lower, SplitViewLayout) {
+  // split A[by 2] on bit<32>[12 bank 4]: element (i, j) of the view is
+  // A[(j / 2) * 4 + i * 2 + (j % 2)].
+  LoweredProgram L = lowerOK("decl A: bit<32>[12 bank 4];\n"
+                             "decl O: bit<32>[2 bank 2];\n"
+                             "view sp = split A[by 2];\n"
+                             "for (let i = 0..2) unroll 2 {\n"
+                             "  O[i] := sp[i][3];\n"
+                             "}");
+  fil::Store S = L.makeZeroStore();
+  for (int64_t I = 0; I != 12; ++I) {
+    auto [Bank, Off] = L.Mems["A"].locate({I});
+    S.Mems[Bank][static_cast<size_t>(Off)] = fil::Value(100 + I);
+  }
+  fil::SmallStepper M = runChecked(L, S);
+  // (i, 3) -> (3/2)*4 + i*2 + 1 = 5 + 2i.
+  EXPECT_EQ(memAt(M, L, "O", {0}), 105);
+  EXPECT_EQ(memAt(M, L, "O", {1}), 107);
+}
+
+TEST(Lower, FunctionInlining) {
+  LoweredProgram L = lowerOK(
+      "def store2(m: bit<32>[4 bank 2], v: bit<32>) { m[0] := v; m[1] := v; }\n"
+      "decl A: bit<32>[4 bank 2];\n"
+      "store2(A, 5);");
+  fil::SmallStepper M = runChecked(L, L.makeZeroStore());
+  EXPECT_EQ(memAt(M, L, "A", {0}), 5);
+  EXPECT_EQ(memAt(M, L, "A", {1}), 5);
+}
+
+TEST(Lower, MultiPortedMemoriesRejectedByLowering) {
+  // Filament has no quantitative port tracking (Section 4.5 leaves it as
+  // future work), so lowering refuses multi-ported memories explicitly.
+  Result<Program> P =
+      parseProgram("decl A: bit<32>{2}[10]; let x = A[0]; A[1] := x + 1;");
+  ASSERT_TRUE(bool(P));
+  Program Prog = P.take();
+  ASSERT_TRUE(typeCheck(Prog).empty());
+  Result<LoweredProgram> L = lowerProgram(Prog);
+  EXPECT_FALSE(bool(L));
+}
+
+TEST(Lower, WhileLoopLowers) {
+  LoweredProgram L = lowerOK("decl O: bit<32>[1];\n"
+                             "let i = 0; let acc = 0;\n"
+                             "{\n"
+                             "while (i < 5) {\n"
+                             "  acc := acc + i; i := i + 1;\n"
+                             "}\n"
+                             "}\n"
+                             "---\n"
+                             "O[0] := acc;");
+  fil::SmallStepper M = runChecked(L, L.makeZeroStore());
+  EXPECT_EQ(memAt(M, L, "O", {0}), 10);
+}
+
+TEST(Lower, WellTypedProgramsNeverGetStuck) {
+  // End-to-end soundness on a batch of accepted programs, including every
+  // accepted example from the paper encoded in the sema tests.
+  const char *Programs[] = {
+      "decl A: bit<32>[10]; let x = A[0]\n---\nA[1] := 1;",
+      "decl A: bit<32>[10 bank 2]; A{0}[0] := 1; A{1}[0] := 2;",
+      "decl A: bit<32>[10 bank 2];\n"
+      "for (let i = 0..10) unroll 2 { A[i] := 1; }",
+      "decl A: bit<32>[8 bank 4];\nview sh = shrink A[by 2];\n"
+      "for (let i = 0..8) unroll 2 { let x = sh[i]; }",
+      "decl A: bit<32>[12 bank 4];\n"
+      "for (let i = 0..3) {\n  view r = shift A[by i * i];\n"
+      "  for (let j = 0..4) unroll 4 { let x = r[j]; }\n}",
+      "decl A: bit<32>[12 bank 4]; decl B: bit<32>[12 bank 4];\n"
+      "view sa = split A[by 2]; view sb = split B[by 2];\n"
+      "let sum = 0;\n"
+      "for (let i = 0..6) unroll 2 {\n"
+      "  for (let j = 0..2) unroll 2 {\n"
+      "    let v = sa[j][i] * sb[j][i];\n"
+      "  } combine { sum += v; }\n"
+      "}",
+  };
+  for (const char *Src : Programs) {
+    LoweredProgram L = lowerOK(Src);
+    if (!L.Program)
+      continue;
+    fil::SmallStepper M(L.makeZeroStore(), fil::Rho(), L.Program);
+    fil::EvalResult Res = M.run(1u << 24);
+    EXPECT_NE(Res.St, fil::EvalResult::Stuck)
+        << "stuck on accepted program: " << Res.Why << "\nsource:\n"
+        << Src;
+  }
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- RegressionAnchorsTest.cpp - Pinned reproduction anchors --*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Pins the quantitative anchors reported in EXPERIMENTS.md so that any
+// change to the type system's acceptance semantics or the kernel ports is
+// flagged immediately. (Estimator cost constants are deliberately NOT
+// pinned — they are tuning knobs, not semantics.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace dahlia;
+using namespace dahlia::kernels;
+
+namespace {
+
+bool acceptsSrc(const std::string &Src) {
+  Result<Program> P = parseProgram(Src);
+  if (!P)
+    return false;
+  Program Prog = P.take();
+  return typeCheck(Prog).empty();
+}
+
+TEST(Anchors, Stencil2dAcceptanceCount) {
+  // EXPERIMENTS.md E5: 169 of 2,916 configurations accepted.
+  size_t Accepted = 0;
+  for (const Stencil2dConfig &C : stencil2dSpace())
+    Accepted += acceptsSrc(stencil2dDahlia(C)) ? 1 : 0;
+  EXPECT_EQ(Accepted, 169u);
+}
+
+TEST(Anchors, GemmBlockedAcceptanceIsAnalytic) {
+  // EXPERIMENTS.md E4 reports 153/32,000. The closed form under this
+  // checker's rules: banking in {1,2,4} (3 does not divide 128), unroll
+  // in {1,2,4} (6 divides nothing, 8 exceeds max banking), with
+  //   B11 = U1 = U3 (when > 1), B12 = U3 = U2, B21 = U1, B22 = U2.
+  // Verify the closed form on the U-triple diagonal plus spot-check the
+  // full space on a random slice (full sweep lives in bench/fig7).
+  size_t Slice = 0, SliceAccepted = 0;
+  for (const GemmBlockedConfig &C : gemmBlockedSpace()) {
+    if (C.Bank21 != 1 || C.Bank22 != 1)
+      continue; // 2,000-config slice.
+    ++Slice;
+    bool Accepted = acceptsSrc(gemmBlockedDahlia(C));
+    // Analytic prediction for the slice.
+    auto Matches = [](int64_t U, int64_t B) { return U == 1 || U == B; };
+    bool Valid = C.Bank11 != 3 && C.Bank12 != 3 && C.Unroll1 != 6 &&
+                 C.Unroll2 != 6 && C.Unroll3 != 6 &&
+                 Matches(C.Unroll1, C.Bank11) &&
+                 Matches(C.Unroll3, C.Bank12) &&
+                 Matches(C.Unroll3, C.Bank11) &&
+                 Matches(C.Unroll2, C.Bank12) &&
+                 Matches(C.Unroll1, 1) // B21 == 1 in this slice
+                 && Matches(C.Unroll2, 1); // B22 == 1 in this slice
+    EXPECT_EQ(Accepted, Valid)
+        << "B11=" << C.Bank11 << " B12=" << C.Bank12 << " U=" << C.Unroll1
+        << "," << C.Unroll2 << "," << C.Unroll3;
+    SliceAccepted += Accepted ? 1 : 0;
+  }
+  EXPECT_EQ(Slice, 2000u);
+  // Analytic slice count: B21=B22=1 forces U1=U2=1; then B11 free unless
+  // U3>1 (B11=U3), B12 free unless U3>1 (B12=U3):
+  //   U3=1: 3*3 = 9; U3 in {2,4}: 1 each => 11.
+  EXPECT_EQ(SliceAccepted, 11u);
+}
+
+TEST(Anchors, MachSuitePortsPrintAndReparse) {
+  // Every shipped port round-trips through the printer.
+  for (const MachSuiteBenchmark &B : machSuiteBenchmarks()) {
+    Result<Program> P = parseProgram(B.DahliaSource);
+    ASSERT_TRUE(bool(P)) << B.Name;
+    Program Prog = P.take();
+    std::string Printed = printProgram(Prog);
+    Result<Program> Again = parseProgram(Printed);
+    ASSERT_TRUE(bool(Again)) << B.Name << "\n" << Printed;
+    Program Prog2 = Again.take();
+    EXPECT_EQ(printProgram(Prog2), Printed) << B.Name;
+    // And the reparse still type-checks.
+    EXPECT_TRUE(typeCheck(Prog2).empty()) << B.Name;
+  }
+}
+
+TEST(Anchors, SweepKernelsPrintAndReparse) {
+  const std::string Sources[] = {
+      gemmBlockedDahlia(GemmBlockedConfig()),
+      stencil2dDahlia(Stencil2dConfig()),
+      mdKnnDahlia(MdKnnConfig()),
+      mdGridDahlia(MdGridConfig()),
+  };
+  for (const std::string &Src : Sources) {
+    Result<Program> P = parseProgram(Src);
+    ASSERT_TRUE(bool(P));
+    Program Prog = P.take();
+    std::string Printed = printProgram(Prog);
+    Result<Program> Again = parseProgram(Printed);
+    ASSERT_TRUE(bool(Again)) << Printed;
+    Program Prog2 = Again.take();
+    EXPECT_TRUE(typeCheck(Prog2).empty());
+  }
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+//===- SemaPropertyTest.cpp - Acceptance-law property sweeps ----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Parameterized sweeps pinning the type system's acceptance *laws* — the
+// "unwritten rules" the paper makes explicit — across ranges of sizes,
+// banking factors, unroll factors, ports, and view parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "sema/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dahlia;
+
+namespace {
+
+bool acceptsSrc(const std::string &Src) {
+  Result<Program> P = parseProgram(Src);
+  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str()) << "\n" << Src;
+  if (!P)
+    return false;
+  Program Prog = P.take();
+  return typeCheck(Prog).empty();
+}
+
+//===----------------------------------------------------------------------===//
+// Law 1: a banking factor must divide the array size.
+//===----------------------------------------------------------------------===//
+
+class BankingDividesSize
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BankingDividesSize, DeclarationAcceptedIffDivides) {
+  auto [Size, Banks] = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float[" << Size << " bank " << Banks << "];";
+  EXPECT_EQ(acceptsSrc(OS.str()), Size % Banks == 0)
+      << "size=" << Size << " banks=" << Banks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BankingDividesSize,
+                         ::testing::Combine(::testing::Values(8, 12, 16, 30),
+                                            ::testing::Range(1, 9)));
+
+//===----------------------------------------------------------------------===//
+// Law 2: unrolled access requires unroll == banking (or a shrink view).
+//===----------------------------------------------------------------------===//
+
+class UnrollMatchesBanking
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(UnrollMatchesBanking, DirectAccess) {
+  auto [Banks, Unroll] = GetParam();
+  // Size 24 is divisible by every swept banking factor and trip count by
+  // every swept unroll factor.
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "for (let i = 0..24) unroll " << Unroll << " { A[i] := 1.0; }";
+  bool Expect = Unroll == 1 || Unroll == Banks;
+  EXPECT_EQ(acceptsSrc(OS.str()), Expect)
+      << "banks=" << Banks << " unroll=" << Unroll;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnrollMatchesBanking,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                                            ::testing::Values(1, 2, 3, 4, 6)));
+
+class UnrollDividesTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollDividesTrip, LoopAcceptedIffDivides) {
+  int Unroll = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float[12 bank " << Unroll << "];\n"
+     << "for (let i = 0..12) unroll " << Unroll << " { A[i] := 1.0; }";
+  // Banking always divides 12 here only for divisors; combine both laws.
+  bool Expect = 12 % Unroll == 0;
+  EXPECT_EQ(acceptsSrc(OS.str()), Expect) << "unroll=" << Unroll;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnrollDividesTrip, ::testing::Range(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Law 3: static indices map to banks round-robin; two accesses conflict
+// iff they land in the same bank.
+//===----------------------------------------------------------------------===//
+
+class StaticBankLaw
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(StaticBankLaw, PairOfWrites) {
+  auto [Banks, I, J] = GetParam();
+  if (I == J)
+    GTEST_SKIP() << "same location covered by capability tests";
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "A[" << I << "] := 1.0; A[" << J << "] := 2.0;";
+  bool Expect = (I % Banks) != (J % Banks);
+  EXPECT_EQ(acceptsSrc(OS.str()), Expect)
+      << "banks=" << Banks << " i=" << I << " j=" << J;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StaticBankLaw,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(0, 1, 5),
+                                            ::testing::Values(2, 3, 7)));
+
+//===----------------------------------------------------------------------===//
+// Law 4: k ports per bank allow exactly k same-bank accesses per step.
+//===----------------------------------------------------------------------===//
+
+class PortCapacity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PortCapacity, DistinctReadsUpToPortCount) {
+  auto [Ports, Accesses] = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float{" << Ports << "}[16];\n";
+  for (int K = 0; K != Accesses; ++K)
+    OS << "let x" << K << " = A[" << K << "];\n";
+  EXPECT_EQ(acceptsSrc(OS.str()), Accesses <= Ports)
+      << "ports=" << Ports << " accesses=" << Accesses;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PortCapacity,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+//===----------------------------------------------------------------------===//
+// Law 5: shrink views divide the banking factor and re-enable exactly the
+// matching unroll factor.
+//===----------------------------------------------------------------------===//
+
+class ShrinkLaw : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShrinkLaw, FactorMustDivideBanking) {
+  auto [Banks, Factor] = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "view sh = shrink A[by " << Factor << "];";
+  EXPECT_EQ(acceptsSrc(OS.str()), Banks % Factor == 0)
+      << "banks=" << Banks << " factor=" << Factor;
+}
+
+TEST_P(ShrinkLaw, ShrunkViewAcceptsMatchingUnroll) {
+  auto [Banks, Factor] = GetParam();
+  if (Banks % Factor != 0)
+    GTEST_SKIP() << "illegal shrink";
+  int64_t ViewBanks = Banks / Factor;
+  if (24 % ViewBanks != 0 || ViewBanks == 1)
+    GTEST_SKIP();
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "view sh = shrink A[by " << Factor << "];\n"
+     << "for (let i = 0..24) unroll " << ViewBanks
+     << " { let x = sh[i]; }";
+  EXPECT_TRUE(acceptsSrc(OS.str()))
+      << "banks=" << Banks << " factor=" << Factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShrinkLaw,
+                         ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+//===----------------------------------------------------------------------===//
+// Law 6: aligned suffixes need offsets that are multiples of the banking
+// factor; shifts take anything but monopolize the access route.
+//===----------------------------------------------------------------------===//
+
+class SuffixAlignment
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SuffixAlignment, ConstantOffsets) {
+  auto [Banks, Offset] = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "view s = suffix A[by " << Offset << "];\n"
+     << "let x = s[0];";
+  EXPECT_EQ(acceptsSrc(OS.str()), Offset % Banks == 0)
+      << "banks=" << Banks << " offset=" << Offset;
+}
+
+TEST_P(SuffixAlignment, ScaledIteratorOffsets) {
+  auto [Banks, Scale] = GetParam();
+  std::ostringstream OS;
+  OS << "let A: float[24 bank " << Banks << "];\n"
+     << "for (let i = 0..4) {\n"
+     << "  view s = suffix A[by " << Scale << " * i];\n"
+     << "  let x = s[0];\n"
+     << "}";
+  EXPECT_EQ(acceptsSrc(OS.str()), Scale % Banks == 0)
+      << "banks=" << Banks << " scale=" << Scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuffixAlignment,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(0, 2, 3, 4, 6,
+                                                              8)));
+
+//===----------------------------------------------------------------------===//
+// Law 7: multi-dimensional consumption is the cross product of the
+// per-dimension bank sets.
+//===----------------------------------------------------------------------===//
+
+class MultiDimCross
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiDimCross, NestedUnrollNeedsBothDims) {
+  auto [U1, U2] = GetParam();
+  std::ostringstream OS;
+  OS << "let M: float[8 bank 2][12 bank 3];\n"
+     << "for (let i = 0..8) unroll " << U1 << " {\n"
+     << "  for (let j = 0..12) unroll " << U2 << " {\n"
+     << "    M[i][j] := 0.0;\n"
+     << "  }\n"
+     << "}";
+  bool Expect = (U1 == 1 || U1 == 2) && (U2 == 1 || U2 == 3);
+  EXPECT_EQ(acceptsSrc(OS.str()), Expect) << "u1=" << U1 << " u2=" << U2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiDimCross,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+//===----------------------------------------------------------------------===//
+// Law 8: ordered composition is associative in effect — nesting `---`
+// differently does not change acceptance.
+//===----------------------------------------------------------------------===//
+
+TEST(SemaAlgebra, SeqNestingIrrelevantForAcceptance) {
+  const char *Flat = "let A: float[4];\n"
+                     "let a = A[0] --- let b = A[1] --- let c = A[2];";
+  const char *LeftNested = "let A: float[4];\n"
+                           "{ let a = A[0] --- let b = A[1] }\n"
+                           "--- let c = A[2];";
+  const char *RightNested = "let A: float[4];\n"
+                            "let a = A[0] ---\n"
+                            "{ let b = A[1] --- let c = A[2] }";
+  EXPECT_TRUE(acceptsSrc(Flat));
+  EXPECT_TRUE(acceptsSrc(LeftNested));
+  EXPECT_TRUE(acceptsSrc(RightNested));
+}
+
+TEST(SemaAlgebra, ParOrderIrrelevantForAcceptance) {
+  // Unordered composition: acceptance must not depend on statement order
+  // for independent accesses.
+  EXPECT_TRUE(acceptsSrc("let A: float[4 bank 2];\n"
+                         "A[0] := 1.0; A[1] := 2.0;"));
+  EXPECT_TRUE(acceptsSrc("let A: float[4 bank 2];\n"
+                         "A[1] := 2.0; A[0] := 1.0;"));
+  EXPECT_FALSE(acceptsSrc("let A: float[4 bank 2];\n"
+                          "A[0] := 1.0; A[2] := 2.0;"));
+  EXPECT_FALSE(acceptsSrc("let A: float[4 bank 2];\n"
+                          "A[2] := 2.0; A[0] := 1.0;"));
+}
+
+TEST(SemaAlgebra, CheckingIsDeterministic) {
+  // The same program yields the same diagnostics on repeated runs.
+  const char *Src = "let A: float[10 bank 2];\n"
+                    "for (let i = 0..10) unroll 4 { A[i] := 1.0; }";
+  Result<Program> P1 = parseProgram(Src);
+  Result<Program> P2 = parseProgram(Src);
+  Program Prog1 = P1.take(), Prog2 = P2.take();
+  std::vector<Error> E1 = typeCheck(Prog1), E2 = typeCheck(Prog2);
+  ASSERT_EQ(E1.size(), E2.size());
+  for (size_t I = 0; I != E1.size(); ++I)
+    EXPECT_EQ(E1[I].str(), E2[I].str());
+}
+
+} // namespace

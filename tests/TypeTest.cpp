@@ -1,0 +1,69 @@
+//===- TypeTest.cpp - Type representation tests -----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace dahlia;
+
+namespace {
+
+TEST(Type, ScalarPrinting) {
+  EXPECT_EQ(Type::getBool()->str(), "bool");
+  EXPECT_EQ(Type::getFloat()->str(), "float");
+  EXPECT_EQ(Type::getDouble()->str(), "double");
+  EXPECT_EQ(Type::getBit(32)->str(), "bit<32>");
+  EXPECT_EQ(Type::getBit(10, false)->str(), "ubit<10>");
+  EXPECT_EQ(Type::getIdx(0, 4)->str(), "idx{0..4}");
+}
+
+TEST(Type, MemPrinting) {
+  TypeRef M = Type::getMem(Type::getFloat(), {{8, 4}});
+  EXPECT_EQ(M->str(), "float[8 bank 4]");
+  TypeRef M2 = Type::getMem(Type::getFloat(), {{4, 2}, {4, 2}}, 2);
+  EXPECT_EQ(M2->str(), "float{2}[4 bank 2][4 bank 2]");
+  TypeRef M3 = Type::getMem(Type::getBit(32), {{10, 1}});
+  EXPECT_EQ(M3->str(), "bit<32>[10]");
+}
+
+TEST(Type, TotalBanksAndSize) {
+  TypeRef M = Type::getMem(Type::getFloat(), {{4, 2}, {6, 3}});
+  EXPECT_EQ(M->memTotalBanks(), 6);
+  EXPECT_EQ(M->memTotalSize(), 24);
+}
+
+TEST(Type, StructuralEquality) {
+  TypeRef A = Type::getMem(Type::getFloat(), {{8, 4}});
+  TypeRef B = Type::getMem(Type::getFloat(), {{8, 4}});
+  TypeRef C = Type::getMem(Type::getFloat(), {{8, 2}});
+  EXPECT_TRUE(A->equals(*B));
+  EXPECT_FALSE(A->equals(*C));
+  EXPECT_TRUE(Type::getBit(32)->equals(*Type::getBit(32)));
+  EXPECT_FALSE(Type::getBit(32)->equals(*Type::getBit(16)));
+  EXPECT_FALSE(Type::getBit(32)->equals(*Type::getBit(32, false)));
+}
+
+TEST(Type, NumericConversions) {
+  // bit widens into float/double; idx widens into bit.
+  EXPECT_TRUE(Type::getFloat()->accepts(*Type::getBit(32)));
+  EXPECT_TRUE(Type::getDouble()->accepts(*Type::getFloat()));
+  EXPECT_TRUE(Type::getBit(32)->accepts(*Type::getIdx(0, 4)));
+  EXPECT_TRUE(Type::getBit(16)->accepts(*Type::getBit(32)));
+  EXPECT_FALSE(Type::getBool()->accepts(*Type::getBit(1)));
+  EXPECT_FALSE(Type::getIdx(0, 4)->accepts(*Type::getBit(32)));
+}
+
+TEST(Type, IdxCarriesInterval) {
+  TypeRef I = Type::getIdx(2, 6, 0, 32);
+  EXPECT_EQ(I->idxLo(), 2);
+  EXPECT_EQ(I->idxHi(), 6);
+  EXPECT_EQ(I->idxDynLo(), 0);
+  EXPECT_EQ(I->idxDynHi(), 32);
+}
+
+} // namespace
