@@ -6,11 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Section 5.3 methodology shared by the three Figure 8 harnesses:
-/// enumerate the kernel's full design space, run every configuration's
-/// Dahlia port through the real type checker, estimate the accepted
-/// subset, and report the Pareto frontier with a per-parameter breakdown
-/// (the "colour" dimension of each Figure 8 plot).
+/// The Section 5.3 methodology shared by the three Figure 8 harnesses,
+/// run through the parallel DseEngine: enumerate the kernel's full design
+/// space, run every configuration's Dahlia port through the real type
+/// checker, estimate the accepted subset, and report the Pareto frontier
+/// with a per-parameter breakdown (the "colour" dimension of each
+/// Figure 8 plot). Returns the engine result so harnesses can derive
+/// further analyses without re-sweeping the space.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +21,9 @@
 
 #include "BenchUtil.h"
 
-#include "dse/Dse.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "dse/DseEngine.h"
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <string>
@@ -31,58 +32,56 @@
 namespace dahlia::bench {
 
 template <typename Config>
-void runDahliaDirectedDse(
+dse::DseResult runDahliaDirectedDse(
     const std::string &Title, const std::vector<Config> &Space,
-    const std::function<std::string(const Config &)> &Source,
-    const std::function<hlsim::KernelSpec(const Config &)> &Spec,
-    const std::string &ColourName,
+    const dse::DseProblem &Problem, const std::string &ColourName,
     const std::function<int64_t(const Config &)> &Colour,
     const std::string &PaperAccepted, const std::string &PaperPareto) {
   banner(Title);
 
-  std::vector<size_t> AcceptedIdx;
-  for (size_t I = 0; I != Space.size(); ++I) {
-    Result<Program> P = parseProgram(Source(Space[I]));
-    if (!P)
-      continue;
-    Program Prog = P.take();
-    if (typeCheck(Prog).empty())
-      AcceptedIdx.push_back(I);
-  }
-  std::printf("space size:     %zu\n", Space.size());
-  std::printf("Dahlia accepts: %s   (paper: %s)\n",
-              dse::fractionString(AcceptedIdx.size(), Space.size()).c_str(),
-              PaperAccepted.c_str());
+  // The engine result is indexed by configuration; the caller's Space
+  // must enumerate the same order for the colour tables to be right.
+  assert(Problem.Size == Space.size() &&
+         "Space and DseProblem must enumerate the same configurations");
 
-  // Estimate the accepted subset only (the paper: "an unrestricted DSE is
-  // intractable ... we instead measure the space Dahlia accepts").
-  std::vector<dse::Objectives> Objs;
-  for (size_t I : AcceptedIdx)
-    Objs.push_back(dse::Objectives::of(hlsim::estimate(Spec(Space[I]))));
-  std::vector<size_t> Front = dse::paretoFront(Objs);
+  dse::DseResult R = dse::DseEngine().explore(Problem);
+  std::printf("space size:     %zu\n", R.Stats.Explored);
+  std::printf("Dahlia accepts: %s   (paper: %s)\n",
+              dse::fractionString(R.Stats.Accepted, R.Stats.Explored).c_str(),
+              PaperAccepted.c_str());
+  std::printf("throughput:     %.0f configs/sec on %u threads\n",
+              R.Stats.configsPerSecond(), R.Stats.Threads);
+
+  // The engine estimated the accepted subset only (the paper: "an
+  // unrestricted DSE is intractable ... we instead measure the space
+  // Dahlia accepts").
   std::printf("Pareto-optimal among accepted: %zu   (paper: %s)\n",
-              Front.size(), PaperPareto.c_str());
+              R.AcceptedFront.size(), PaperPareto.c_str());
 
   banner("Pareto frontier, coloured by " + ColourName);
   row({ColourName, "cycles", "LUTs", "FFs", "BRAMs", "DSPs"});
-  for (size_t F : Front) {
-    const Config &C = Space[AcceptedIdx[F]];
-    row({fmtInt(Colour(C)), fmt(Objs[F].Latency, 0), fmt(Objs[F].Lut, 0),
-         fmt(Objs[F].Ff, 0), fmt(Objs[F].Bram, 0), fmt(Objs[F].Dsp, 0)});
+  for (size_t F : R.AcceptedFront) {
+    const dse::Objectives &O = R.Points[F].Obj;
+    row({fmtInt(Colour(Space[F])), fmt(O.Latency, 0), fmt(O.Lut, 0),
+         fmt(O.Ff, 0), fmt(O.Bram, 0), fmt(O.Dsp, 0)});
   }
 
   // The colour parameter's first-order effect: best latency per value.
   banner("Best latency per " + ColourName + " value");
   std::map<int64_t, double> Best;
-  for (size_t I = 0; I != AcceptedIdx.size(); ++I) {
-    int64_t Cv = Colour(Space[AcceptedIdx[I]]);
+  for (size_t I = 0; I != R.Points.size(); ++I) {
+    if (!R.Points[I].Accepted)
+      continue;
+    int64_t Cv = Colour(Space[I]);
     auto It = Best.find(Cv);
-    if (It == Best.end() || Objs[I].Latency < It->second)
-      Best[Cv] = Objs[I].Latency;
+    if (It == Best.end() || R.Points[I].Obj.Latency < It->second)
+      Best[Cv] = R.Points[I].Obj.Latency;
   }
   row({ColourName, "best_cycles"});
   for (const auto &[Cv, Lat] : Best)
     row({fmtInt(Cv), fmt(Lat, 0)});
+
+  return R;
 }
 
 } // namespace dahlia::bench

@@ -12,10 +12,9 @@
 
 #include "BenchUtil.h"
 
+#include "driver/CompilerPipeline.h"
 #include "hlsim/Estimator.h"
 #include "kernels/Kernels.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <cmath>
 
@@ -55,13 +54,8 @@ int main() {
   // Every port must still pass the Dahlia checker (the portability claim:
   // all 16 ported without substantial restructuring).
   size_t Checked = 0;
-  for (const MachSuiteBenchmark &B : Benchmarks) {
-    Result<Program> P = parseProgram(B.DahliaSource);
-    if (!P)
-      continue;
-    Program Prog = P.take();
-    Checked += typeCheck(Prog).empty() ? 1 : 0;
-  }
+  for (const MachSuiteBenchmark &B : Benchmarks)
+    Checked += driver::checksSource(B.DahliaSource) ? 1 : 0;
   std::printf("ports accepted by the Dahlia checker: %zu/%zu\n", Checked,
               Benchmarks.size());
   return 0;

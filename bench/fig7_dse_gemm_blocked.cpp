@@ -3,64 +3,68 @@
 // Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
-// Regenerates the exhaustive design-space exploration of Section 5.2:
-// all 32,000 gemm-blocked configurations are estimated (standing in for
-// the paper's 2,666 compute-hours of Vivado HLS estimation) and every
-// configuration's Dahlia port is run through the real type checker. The
-// paper reports: Dahlia accepts 354 configurations (~1.1%); the accepted
-// points lie primarily on the Pareto frontier; the optimal points Dahlia
-// rejects trade many LUTs for BRAMs.
+// Regenerates the exhaustive design-space exploration of Section 5.2
+// through the parallel DseEngine: all 32,000 gemm-blocked configurations
+// are estimated (standing in for the paper's 2,666 compute-hours of
+// Vivado HLS estimation) and every configuration's Dahlia port is run
+// through the real type checker. The paper reports: Dahlia accepts 354
+// configurations (~1.1%); the accepted points lie primarily on the
+// Pareto frontier; the optimal points Dahlia rejects trade many LUTs for
+// BRAMs.
+//
+// Flags:
+//   --threads N   worker threads (also: DAHLIA_DSE_THREADS; default: all
+//                 hardware threads) — CI runs deterministically at 1
+//   --json PATH   write throughput metrics (default: BENCH_fig7_dse.json)
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include "dse/Dse.h"
+#include "dse/DseEngine.h"
 #include "kernels/Kernels.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <algorithm>
-#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 using namespace dahlia;
 using namespace dahlia::bench;
 using namespace dahlia::kernels;
 
-int main() {
-  banner("Figure 7: exhaustive DSE for gemm-blocked (32,000 configs)");
-  auto Start = std::chrono::steady_clock::now();
-
-  std::vector<GemmBlockedConfig> Space = gemmBlockedSpace();
-  std::vector<dse::Objectives> Objs;
-  std::vector<bool> Accepted;
-  std::vector<hlsim::Estimate> Ests;
-  Objs.reserve(Space.size());
-  Accepted.reserve(Space.size());
-
-  size_t AcceptCount = 0;
-  for (const GemmBlockedConfig &C : Space) {
-    hlsim::Estimate E = hlsim::estimate(gemmBlockedSpec(C));
-    Ests.push_back(E);
-    Objs.push_back(dse::Objectives::of(E));
-    Result<Program> P = parseProgram(gemmBlockedDahlia(C));
-    bool OK = false;
-    if (P) {
-      Program Prog = P.take();
-      OK = typeCheck(Prog).empty();
+int main(int Argc, char **Argv) {
+  dse::DseOptions Opts;
+  const char *JsonPath = "BENCH_fig7_dse.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (*End != '\0' || N < 0) {
+        std::fprintf(stderr, "fig7: invalid --threads value '%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
+      JsonPath = Argv[++I];
     }
-    Accepted.push_back(OK);
-    AcceptCount += OK ? 1 : 0;
   }
 
-  std::vector<size_t> Front = dse::paretoFront(Objs);
+  banner("Figure 7: exhaustive DSE for gemm-blocked (32,000 configs)");
+
+  dse::DseProblem Problem = gemmBlockedProblem();
+  dse::DseResult R = dse::DseEngine(Opts).explore(Problem);
+  const dse::DseStats &St = R.Stats;
+
+  std::vector<GemmBlockedConfig> Space = gemmBlockedSpace();
   std::vector<bool> IsFront(Space.size(), false);
-  for (size_t F : Front)
+  for (size_t F : R.Front)
     IsFront[F] = true;
 
   size_t AcceptedOnFront = 0;
   for (size_t I = 0; I != Space.size(); ++I)
-    if (Accepted[I] && IsFront[I])
+    if (R.Points[I].Accepted && IsFront[I])
       ++AcceptedOnFront;
 
   // How close are accepted points to the frontier? Measure the fraction of
@@ -69,49 +73,39 @@ int main() {
   // characterization of the rejected optima).
   size_t AcceptedDominatedOnlyByHighLut = 0;
   for (size_t I = 0; I != Space.size(); ++I) {
-    if (!Accepted[I] || IsFront[I])
+    if (!R.Points[I].Accepted || IsFront[I])
       continue;
     bool OnlyHighLut = true;
-    for (size_t F : Front)
-      if (dse::dominates(Objs[F], Objs[I]) && Objs[F].Lut <= Objs[I].Lut)
+    for (size_t F : R.Front)
+      if (dse::dominates(R.Points[F].Obj, R.Points[I].Obj) &&
+          R.Points[F].Obj.Lut <= R.Points[I].Obj.Lut)
         OnlyHighLut = false;
     AcceptedDominatedOnlyByHighLut += OnlyHighLut ? 1 : 0;
   }
 
-  auto Elapsed = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - Start)
-                     .count();
-
-  std::printf("space size:            %zu\n", Space.size());
+  std::printf("space size:            %zu\n", St.Explored);
   std::printf("Dahlia accepts:        %s   (paper: 354/32000 (1.1%%))\n",
-              dse::fractionString(AcceptCount, Space.size()).c_str());
-  std::printf("Pareto-optimal points: %zu\n", Front.size());
+              dse::fractionString(St.Accepted, St.Explored).c_str());
+  std::printf("Pareto-optimal points: %zu\n", R.Front.size());
   std::printf("accepted on frontier:  %s of accepted\n",
-              dse::fractionString(AcceptedOnFront, AcceptCount).c_str());
-  std::printf("exploration time:      %.1f s (paper: 2,666 compute-hours "
-              "of Vivado estimation)\n",
-              Elapsed);
+              dse::fractionString(AcceptedOnFront, St.Accepted).c_str());
+  std::printf("worker threads:        %u\n", St.Threads);
+  std::printf("exploration time:      %.1f s at %.0f configs/sec "
+              "(paper: 2,666 compute-hours of Vivado estimation)\n",
+              St.Seconds, St.configsPerSecond());
+  if (St.EstimateCacheHits || St.VerdictCacheHits)
+    std::printf("memo cache hits:       %zu estimates, %zu verdicts\n",
+                St.EstimateCacheHits, St.VerdictCacheHits);
 
   // Figure 7b flavour: the accepted Pareto points span an area-latency
   // trade-off curve. Print the accepted frontier.
   banner("Accepted Pareto points (latency/LUT trade-off, cf. Fig. 7b)");
   row({"B11", "B12", "B21", "B22", "U1", "U2", "U3", "cycles", "LUTs"}, 9);
-  std::vector<size_t> AcceptedFront;
-  {
-    std::vector<dse::Objectives> AccObjs;
-    std::vector<size_t> AccIdx;
-    for (size_t I = 0; I != Space.size(); ++I) {
-      if (!Accepted[I])
-        continue;
-      AccObjs.push_back(Objs[I]);
-      AccIdx.push_back(I);
-    }
-    for (size_t F : dse::paretoFront(AccObjs))
-      AcceptedFront.push_back(AccIdx[F]);
-  }
-  std::sort(AcceptedFront.begin(), AcceptedFront.end(), [&](size_t A, size_t B) {
-    return Objs[A].Latency < Objs[B].Latency;
-  });
+  std::vector<size_t> AcceptedFront = R.AcceptedFront;
+  std::sort(AcceptedFront.begin(), AcceptedFront.end(),
+            [&](size_t A, size_t B) {
+              return R.Points[A].Obj.Latency < R.Points[B].Obj.Latency;
+            });
   size_t Shown = 0;
   for (size_t I : AcceptedFront) {
     if (++Shown > 16)
@@ -119,13 +113,32 @@ int main() {
     const GemmBlockedConfig &C = Space[I];
     row({fmtInt(C.Bank11), fmtInt(C.Bank12), fmtInt(C.Bank21),
          fmtInt(C.Bank22), fmtInt(C.Unroll1), fmtInt(C.Unroll2),
-         fmtInt(C.Unroll3), fmt(Objs[I].Latency, 0), fmt(Objs[I].Lut, 0)},
+         fmtInt(C.Unroll3), fmt(R.Points[I].Obj.Latency, 0),
+         fmt(R.Points[I].Obj.Lut, 0)},
         9);
   }
-  std::printf("(%zu accepted Pareto points total)\n", AcceptedFront.size());
+  std::printf("(%zu accepted Pareto points total)\n", R.AcceptedFront.size());
 
   std::printf("\naccepted dominated only by LUT-hungry optima: %zu "
               "(the paper's rejected-but-optimal cluster)\n",
               AcceptedDominatedOnlyByHighLut);
+
+  if (JsonPath && *JsonPath) {
+    std::ofstream Json(JsonPath);
+    Json << "{\n"
+         << "  \"bench\": \"fig7_dse_gemm_blocked\",\n"
+         << "  \"space_size\": " << St.Explored << ",\n"
+         << "  \"accepted\": " << St.Accepted << ",\n"
+         << "  \"pareto_points\": " << R.Front.size() << ",\n"
+         << "  \"accepted_pareto_points\": " << R.AcceptedFront.size()
+         << ",\n"
+         << "  \"threads\": " << St.Threads << ",\n"
+         << "  \"seconds\": " << St.Seconds << ",\n"
+         << "  \"configs_per_sec\": " << St.configsPerSecond() << ",\n"
+         << "  \"estimate_cache_hits\": " << St.EstimateCacheHits << ",\n"
+         << "  \"verdict_cache_hits\": " << St.VerdictCacheHits << "\n"
+         << "}\n";
+    std::printf("throughput metrics written to %s\n", JsonPath);
+  }
   return 0;
 }

@@ -19,11 +19,9 @@ using namespace dahlia::kernels;
 
 int main() {
   runDahliaDirectedDse<Stencil2dConfig>(
-      "Figure 8a: stencil2d Dahlia-directed DSE",
-      stencil2dSpace(),
-      [](const Stencil2dConfig &C) { return stencil2dDahlia(C); },
-      [](const Stencil2dConfig &C) { return stencil2dSpec(C); },
-      "inner_unroll", [](const Stencil2dConfig &C) { return C.Unroll2; },
-      "18/2916 (0.6%)", "8");
+      "Figure 8a: stencil2d Dahlia-directed DSE", stencil2dSpace(),
+      stencil2dProblem(), "inner_unroll",
+      [](const Stencil2dConfig &C) { return C.Unroll2; }, "18/2916 (0.6%)",
+      "8");
   return 0;
 }

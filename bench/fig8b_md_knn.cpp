@@ -13,31 +13,29 @@
 
 #include "kernels/Kernels.h"
 
+#include <algorithm>
+
 using namespace dahlia;
 using namespace dahlia::bench;
 using namespace dahlia::kernels;
 
 int main() {
-  runDahliaDirectedDse<MdKnnConfig>(
-      "Figure 8b: md-knn Dahlia-directed DSE",
-      mdKnnSpace(),
-      [](const MdKnnConfig &C) { return mdKnnDahlia(C); },
-      [](const MdKnnConfig &C) { return mdKnnSpec(C); },
+  std::vector<MdKnnConfig> Space = mdKnnSpace();
+  dse::DseResult R = runDahliaDirectedDse<MdKnnConfig>(
+      "Figure 8b: md-knn Dahlia-directed DSE", Space, mdKnnProblem(),
       "outer_unroll", [](const MdKnnConfig &C) { return C.UnrollI; },
       "525/16384 (3%)", "37");
 
-  // The two-regime structure: compare best latency for banking 1 vs 4.
+  // The two-regime structure: compare best latency for banking 1 vs 4,
+  // straight from the engine's evaluated points (no re-sweep).
   banner("Frontier split by banking (paper: two regimes an order of "
          "magnitude apart)");
   double Best1 = 1e18, Best4 = 1e18;
-  for (const MdKnnConfig &C : mdKnnSpace()) {
-    Result<Program> P = parseProgram(mdKnnDahlia(C));
-    if (!P)
+  for (size_t I = 0; I != Space.size(); ++I) {
+    if (!R.Points[I].Accepted)
       continue;
-    Program Prog = P.take();
-    if (!typeCheck(Prog).empty())
-      continue;
-    double Cycles = hlsim::estimate(mdKnnSpec(C)).Cycles;
+    const MdKnnConfig &C = Space[I];
+    double Cycles = R.Points[I].Obj.Latency;
     if (C.BankPos == 1 && C.BankNlPos == 1)
       Best1 = std::min(Best1, Cycles);
     if (C.BankPos == 4 && C.BankNlPos == 4)

@@ -18,11 +18,9 @@ using namespace dahlia::kernels;
 
 int main() {
   runDahliaDirectedDse<MdGridConfig>(
-      "Figure 8c: md-grid Dahlia-directed DSE",
-      mdGridSpace(),
-      [](const MdGridConfig &C) { return mdGridDahlia(C); },
-      [](const MdGridConfig &C) { return mdGridSpec(C); },
-      "middle_unroll", [](const MdGridConfig &C) { return C.Unroll2; },
-      "81/21952 (0.4%)", "13");
+      "Figure 8c: md-grid Dahlia-directed DSE", mdGridSpace(),
+      mdGridProblem(), "middle_unroll",
+      [](const MdGridConfig &C) { return C.Unroll2; }, "81/21952 (0.4%)",
+      "13");
   return 0;
 }

@@ -3,7 +3,8 @@
 // Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
-// A command-line driver mirroring the original `fuse` compiler:
+// A command-line driver mirroring the original `fuse` compiler, built on
+// the CompilerPipeline driver layer:
 //
 //   dahliac FILE [-o OUT] [--kernel NAME]   emit annotated HLS C++
 //   dahliac FILE --check                    type-check only
@@ -11,15 +12,18 @@
 //   dahliac FILE --run                      lower and execute under the
 //                                           checked semantics (memories
 //                                           zero-initialized; final memory
-//                                           contents printed)
+//                                           contents written to -o or
+//                                           stdout, with the hlsim cycle
+//                                           estimate for cross-checking)
+//   dahliac FILE --estimate                 print the hlsim estimate only
+//   dahliac ... --time                      report per-stage wall clock
 //
 //===----------------------------------------------------------------------===//
 
-#include "backend/EmitHLS.h"
+#include "driver/CompilerPipeline.h"
+#include "driver/SpecExtractor.h"
 #include "filament/Interp.h"
-#include "lower/Desugar.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "filament/Syntax.h"
 
 #include <cstdio>
 #include <cstring>
@@ -27,15 +31,51 @@
 #include <sstream>
 
 using namespace dahlia;
+using namespace dahlia::driver;
 namespace fil = dahlia::filament;
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dahliac FILE [-o OUT] [--kernel NAME] "
-               "[--check | --lower | --run]\n");
+               "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
+               "[--check | --lower | --run | --estimate]\n");
   return 2;
+}
+
+void printTimings(const CompileResult &R) {
+  std::fprintf(stderr, "timings:");
+  for (const StageTiming &T : R.Timings)
+    std::fprintf(stderr, " %s=%.3fms", stageName(T.S), T.Seconds * 1e3);
+  std::fprintf(stderr, " total=%.3fms\n", R.totalSeconds() * 1e3);
+}
+
+/// Renders the final memory contents of a completed run, one memory per
+/// line, first 16 elements in logical row-major order.
+void printMemories(std::FILE *Out, const LoweredProgram &L,
+                   const fil::Store &S) {
+  for (const auto &[Name, Info] : L.Mems) {
+    std::fprintf(Out, "%s:", Name.c_str());
+    int64_t Total = 1;
+    for (int64_t Sz : Info.DimSizes)
+      Total *= Sz;
+    int Printed = 0;
+    for (int64_t Flat = 0; Flat < Total && Printed < 16; ++Flat) {
+      std::vector<int64_t> Idx(Info.DimSizes.size());
+      int64_t Rem = Flat;
+      for (size_t D = Info.DimSizes.size(); D-- > 0;) {
+        Idx[D] = Rem % Info.DimSizes[D];
+        Rem /= Info.DimSizes[D];
+      }
+      auto [Bank, Off] = Info.locate(Idx);
+      std::fprintf(Out, " %s",
+                   fil::valueToString(
+                       S.Mems.at(Bank).at(static_cast<size_t>(Off)))
+                       .c_str());
+      ++Printed;
+    }
+    std::fprintf(Out, Total > 16 ? " ...\n" : "\n");
+  }
 }
 
 } // namespace
@@ -44,7 +84,8 @@ int main(int Argc, char **Argv) {
   const char *File = nullptr;
   const char *OutFile = nullptr;
   std::string KernelName = "kernel";
-  enum { EmitCpp, CheckOnly, Lower, Run } Mode = EmitCpp;
+  bool Time = false;
+  enum { EmitCpp, CheckOnly, Lower, Run, Estimate } Mode = EmitCpp;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--check")) {
@@ -53,6 +94,10 @@ int main(int Argc, char **Argv) {
       Mode = Lower;
     } else if (!std::strcmp(Argv[I], "--run")) {
       Mode = Run;
+    } else if (!std::strcmp(Argv[I], "--estimate")) {
+      Mode = Estimate;
+    } else if (!std::strcmp(Argv[I], "--time")) {
+      Time = true;
     } else if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc) {
       OutFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--kernel") && I + 1 < Argc) {
@@ -77,87 +122,71 @@ int main(int Argc, char **Argv) {
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
-  Result<Program> Parsed = parseProgram(Source);
-  if (!Parsed) {
-    std::fprintf(stderr, "%s: %s\n", File, Parsed.error().str().c_str());
-    return 1;
-  }
-  Program Prog = Parsed.take();
+  PipelineOptions Opts;
+  Opts.InputName = File;
+  Opts.Emit.KernelName = KernelName;
+  CompilerPipeline Pipeline(Opts);
 
-  std::vector<Error> Errors = typeCheck(Prog);
-  if (!Errors.empty()) {
-    for (const Error &E : Errors)
-      std::fprintf(stderr, "%s: %s\n", File, E.str().c_str());
+  Stage Last = Mode == CheckOnly ? Stage::Check
+               : Mode == Lower   ? Stage::Lower
+               : Mode == Run     ? Stage::Interp
+               : Mode == Estimate ? Stage::Estimate
+                                  : Stage::Emit;
+  CompileResult R = Pipeline.run(Source, Last);
+  if (Time)
+    printTimings(R);
+  if (!R) {
+    R.Diags.printAll(stderr, File);
     return 1;
   }
-  if (Mode == CheckOnly) {
+
+  // -o redirects whatever the mode produces; stdout otherwise.
+  std::FILE *Out = stdout;
+  if (OutFile && Mode != CheckOnly) {
+    Out = std::fopen(OutFile, "w");
+    if (!Out) {
+      std::fprintf(stderr, "dahliac: cannot write '%s'\n", OutFile);
+      return 1;
+    }
+  }
+
+  switch (Mode) {
+  case CheckOnly:
     std::printf("%s: well-typed\n", File);
-    return 0;
+    break;
+  case Lower:
+    std::fprintf(Out, "%s\n", fil::printCmd(*R.Lowered->Program).c_str());
+    break;
+  case Run: {
+    std::fprintf(Out, "completed in %llu steps\n",
+                 static_cast<unsigned long long>(R.Run->Steps));
+    // Cross-check against the hlsim cost model: the estimated completed
+    // cycle count for the same (already checked) program's kernel spec.
+    Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog, KernelName);
+    if (Spec) {
+      hlsim::Estimate Est = hlsim::estimate(*Spec);
+      std::fprintf(Out, "hlsim estimate: %.0f cycles (II=%.1f)\n",
+                   Est.Cycles, Est.II);
+    } else {
+      std::fprintf(Out, "hlsim estimate: unavailable (%s)\n",
+                   Spec.error().str().c_str());
+    }
+    printMemories(Out, *R.Lowered, R.Run->Final);
+    break;
   }
-
-  if (Mode == Lower || Mode == Run) {
-    Result<LoweredProgram> L = lowerProgram(Prog);
-    if (!L) {
-      std::fprintf(stderr, "%s: %s\n", File, L.error().str().c_str());
-      return 1;
-    }
-    if (Mode == Lower) {
-      std::printf("%s\n", fil::printCmd(*L->Program).c_str());
-      return 0;
-    }
-    fil::SmallStepper M(L->makeZeroStore(), fil::Rho(), L->Program);
-    fil::EvalResult Res = M.run(1u << 26);
-    if (Res.St == fil::EvalResult::Stuck) {
-      std::fprintf(stderr, "%s: stuck: %s\n", File, Res.Why.c_str());
-      return 1;
-    }
-    if (Res.St == fil::EvalResult::OutOfFuel) {
-      std::fprintf(stderr, "%s: step budget exceeded\n", File);
-      return 1;
-    }
-    std::printf("completed in %llu steps\n",
-                static_cast<unsigned long long>(M.stepsTaken()));
-    for (const auto &[Name, Info] : L->Mems) {
-      std::printf("%s:", Name.c_str());
-      int Printed = 0;
-      const int64_t Total = [&] {
-        int64_t T = 1;
-        for (int64_t S : Info.DimSizes)
-          T *= S;
-        return T;
-      }();
-      for (int64_t Flat = 0; Flat < Total && Printed < 16; ++Flat) {
-        // Walk elements in logical row-major order.
-        std::vector<int64_t> Idx(Info.DimSizes.size());
-        int64_t Rem = Flat;
-        for (size_t D = Info.DimSizes.size(); D-- > 0;) {
-          Idx[D] = Rem % Info.DimSizes[D];
-          Rem /= Info.DimSizes[D];
-        }
-        auto [Bank, Off] = Info.locate(Idx);
-        std::printf(" %s",
-                    fil::valueToString(
-                        M.store().Mems.at(Bank).at(static_cast<size_t>(Off)))
-                        .c_str());
-        ++Printed;
-      }
-      std::printf(Total > 16 ? " ...\n" : "\n");
-    }
-    return 0;
+  case Estimate:
+    std::fprintf(Out,
+                 "cycles=%.0f II=%.1f lut=%lld ff=%lld bram=%lld dsp=%lld\n",
+                 R.Est->Cycles, R.Est->II, static_cast<long long>(R.Est->Lut),
+                 static_cast<long long>(R.Est->Ff),
+                 static_cast<long long>(R.Est->Bram),
+                 static_cast<long long>(R.Est->Dsp));
+    break;
+  case EmitCpp:
+    std::fprintf(Out, "%s", R.HlsCpp->c_str());
+    break;
   }
-
-  EmitOptions Opts;
-  Opts.KernelName = KernelName;
-  Result<std::string> Cpp = emitHlsCpp(Prog, Opts);
-  if (!Cpp) {
-    std::fprintf(stderr, "%s: %s\n", File, Cpp.error().str().c_str());
-    return 1;
-  }
-  if (OutFile) {
-    std::ofstream Out(OutFile);
-    Out << *Cpp;
-  } else {
-    std::printf("%s", Cpp->c_str());
-  }
+  if (Out != stdout)
+    std::fclose(Out);
   return 0;
 }

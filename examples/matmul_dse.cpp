@@ -5,62 +5,64 @@
 //
 // A miniature version of the paper's Section 5.2 workflow: sweep the
 // banking/unrolling parameters of blocked matrix multiplication, let the
-// Dahlia type checker prune the space, estimate the survivors, and print
-// the Pareto-optimal area/latency trade-offs a designer would pick from.
+// Dahlia type checker (via the DseEngine) prune the space, estimate the
+// survivors, and print the Pareto-optimal area/latency trade-offs a
+// designer would pick from.
 //
 //===----------------------------------------------------------------------===//
 
-#include "dse/Dse.h"
+#include "dse/DseEngine.h"
 #include "kernels/Kernels.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace dahlia;
 using namespace dahlia::kernels;
 
 int main() {
   // A small slice of the Fig. 7 space: matched banking, unroll 1..8.
-  std::vector<GemmBlockedConfig> Configs;
+  auto Configs = std::make_shared<std::vector<GemmBlockedConfig>>();
   for (int64_t B : {1, 2, 4})
     for (int64_t U1 : {1, 2, 4})
       for (int64_t U3 : {1, 2, 4, 8})
-        Configs.push_back({B, B, B, B, U1, 1, U3});
+        Configs->push_back({B, B, B, B, U1, 1, U3});
+
+  dse::DseProblem Problem;
+  Problem.Size = Configs->size();
+  Problem.Source = [Configs](size_t I) {
+    return gemmBlockedDahlia((*Configs)[I]);
+  };
+  Problem.Spec = [Configs](size_t I) {
+    return gemmBlockedSpec((*Configs)[I]);
+  };
+  dse::DseResult R = dse::DseEngine().explore(Problem);
 
   std::printf("%6s %6s %6s | %8s | %10s %8s\n", "bank", "U1", "U3",
               "dahlia", "cycles", "LUTs");
-  std::vector<dse::Objectives> AcceptedObjs;
-  std::vector<GemmBlockedConfig> AcceptedCfgs;
-  for (const GemmBlockedConfig &C : Configs) {
-    Result<Program> P = parseProgram(gemmBlockedDahlia(C));
-    Program Prog = P.take();
-    bool OK = typeCheck(Prog).empty();
-    hlsim::Estimate E = hlsim::estimate(gemmBlockedSpec(C));
+  for (size_t I = 0; I != Configs->size(); ++I) {
+    const GemmBlockedConfig &C = (*Configs)[I];
+    const dse::DsePoint &Pt = R.Points[I];
     std::printf("%6lld %6lld %6lld | %8s | %10.0f %8lld\n",
                 static_cast<long long>(C.Bank11),
                 static_cast<long long>(C.Unroll1),
                 static_cast<long long>(C.Unroll3),
-                OK ? "accept" : "REJECT", E.Cycles,
-                static_cast<long long>(E.Lut));
-    if (OK) {
-      AcceptedObjs.push_back(dse::Objectives::of(E));
-      AcceptedCfgs.push_back(C);
-    }
+                Pt.Accepted ? "accept" : "REJECT", Pt.Est.Cycles,
+                static_cast<long long>(Pt.Est.Lut));
   }
 
   std::printf("\nPareto-optimal accepted designs:\n");
-  for (size_t F : dse::paretoFront(AcceptedObjs)) {
-    const GemmBlockedConfig &C = AcceptedCfgs[F];
+  for (size_t F : R.AcceptedFront) {
+    const GemmBlockedConfig &C = (*Configs)[F];
     std::printf("  bank=%lld U1=%lld U3=%lld: %.0f cycles, %.0f LUTs\n",
                 static_cast<long long>(C.Bank11),
                 static_cast<long long>(C.Unroll1),
-                static_cast<long long>(C.Unroll3),
-                AcceptedObjs[F].Latency, AcceptedObjs[F].Lut);
+                static_cast<long long>(C.Unroll3), R.Points[F].Obj.Latency,
+                R.Points[F].Obj.Lut);
   }
   std::printf("\nEvery rejected point would have needed bank-indirection "
               "hardware or conflicted on memory ports; the checker turned "
               "a %zu-point search into %zu predictable candidates.\n",
-              Configs.size(), AcceptedCfgs.size());
+              Configs->size(), R.Stats.Accepted);
   return 0;
 }

@@ -3,20 +3,19 @@
 // Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
-// The end-to-end pipeline on a small kernel: parse Dahlia source, run the
-// time-sensitive affine type checker, and emit annotated HLS C++. Also
-// shows the checker rejecting the paper's canonical conflicting program
-// with an actionable error.
+// The end-to-end pipeline on a small kernel: one CompilerPipeline call
+// parses Dahlia source, runs the time-sensitive affine type checker, and
+// emits annotated HLS C++. Also shows the checker rejecting the paper's
+// canonical conflicting program with an actionable error.
 //
 //===----------------------------------------------------------------------===//
 
-#include "backend/EmitHLS.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "driver/CompilerPipeline.h"
 
 #include <cstdio>
 
 using namespace dahlia;
+using namespace dahlia::driver;
 
 int main() {
   // A dot product in Dahlia: two banked memories, an unrolled doall loop,
@@ -38,30 +37,18 @@ int main() {
 
   std::printf("=== Dahlia source ===\n%s\n", Source);
 
-  Result<Program> Parsed = parseProgram(Source);
-  if (!Parsed) {
-    std::printf("parse error: %s\n", Parsed.error().str().c_str());
-    return 1;
-  }
-  Program Prog = Parsed.take();
+  PipelineOptions Opts;
+  Opts.Emit.KernelName = "dot_product";
+  CompilerPipeline Pipeline(Opts);
 
-  std::vector<Error> Errors = typeCheck(Prog);
-  if (!Errors.empty()) {
-    for (const Error &E : Errors)
-      std::printf("%s\n", E.str().c_str());
+  CompileResult R = Pipeline.emitHls(Source);
+  if (!R) {
+    R.Diags.printAll(stdout);
     return 1;
   }
   std::printf("=== type checks: every memory bank is used at most once per "
               "logical time step ===\n\n");
-
-  EmitOptions Opts;
-  Opts.KernelName = "dot_product";
-  Result<std::string> Cpp = emitHlsCpp(Prog, Opts);
-  if (!Cpp) {
-    std::printf("emission error: %s\n", Cpp.error().str().c_str());
-    return 1;
-  }
-  std::printf("=== generated HLS C++ ===\n%s\n", Cpp->c_str());
+  std::printf("=== generated HLS C++ ===\n%s\n", R.HlsCpp->c_str());
 
   // Now the paper's Section 3.1 example of a program Dahlia rejects: a
   // read and a write to the same memory in one logical time step.
@@ -69,10 +56,8 @@ int main() {
                     "let x = A[0];\n"
                     "A[1] := 1.0;\n";
   std::printf("=== a program the type checker rejects ===\n%s\n", Bad);
-  Result<Program> BadParsed = parseProgram(Bad);
-  Program BadProg = BadParsed.take();
-  for (const Error &E : typeCheck(BadProg))
-    std::printf("  %s\n", E.str().c_str());
+  CompileResult BadR = Pipeline.check(Bad);
+  std::printf("%s", BadR.Diags.render().c_str());
   std::printf("\nfix: separate the accesses with `---` (ordered "
               "composition) so they run in different logical time steps.\n");
   return 0;

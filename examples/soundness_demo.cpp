@@ -11,16 +11,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/CompilerPipeline.h"
 #include "filament/Interp.h"
 #include "filament/Syntax.h"
 #include "filament/TypeSystem.h"
-#include "lower/Desugar.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <cstdio>
 
 using namespace dahlia;
+using namespace dahlia::driver;
 namespace fil = dahlia::filament;
 
 int main() {
@@ -33,29 +32,26 @@ int main() {
                      "}\n";
   std::printf("=== well-typed program ===\n%s\n", Good);
 
-  Result<Program> P = parseProgram(Good);
-  Program Prog = P.take();
-  std::vector<Error> Errs = typeCheck(Prog);
-  std::printf("type checker: %s\n",
-              Errs.empty() ? "accepted" : Errs.front().str().c_str());
+  PipelineOptions Opts;
+  Opts.Fill = +[](const std::string &, int64_t I) { return 10 * (I + 1); };
+  CompilerPipeline Pipeline(Opts);
 
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  if (!L) {
-    std::printf("lowering failed: %s\n", L.error().str().c_str());
+  CompileResult R = Pipeline.interp(Good);
+  std::printf("type checker: %s\n",
+              R.Prog && !R.Diags.hasErrors() ? "accepted"
+                                             : R.firstError().c_str());
+  if (!R) {
+    std::printf("pipeline failed: %s\n", R.firstError().c_str());
     return 1;
   }
   std::printf("lowered to Filament core (%zu per-bank memories):\n  %s\n\n",
-              L->MemSigs.size(), fil::printCmd(*L->Program).c_str());
-
-  fil::Store S = L->makeStore(
-      +[](const std::string &, int64_t I) { return 10 * (I + 1); });
-  fil::SmallStepper M(S, fil::Rho(), L->Program);
-  fil::EvalResult Res = M.run();
+              R.Lowered->MemSigs.size(),
+              fil::printCmd(*R.Lowered->Program).c_str());
   std::printf("checked small-step execution: %s after %llu steps\n",
-              Res ? "completed (never stuck, as the soundness theorem "
-                    "guarantees)"
-                  : Res.Why.c_str(),
-              static_cast<unsigned long long>(M.stepsTaken()));
+              R.Run->Result ? "completed (never stuck, as the soundness "
+                              "theorem guarantees)"
+                            : R.Run->Result.Why.c_str(),
+              static_cast<unsigned long long>(R.Run->Steps));
 
   // The same accesses *without* the time-step separator.
   const char *Bad = "decl A: bit<32>[4 bank 2];\n"
@@ -65,11 +61,9 @@ int main() {
                     "  A[i] := x * 2;\n"
                     "}\n";
   std::printf("\n=== the same program without `---` ===\n%s\n", Bad);
-  Result<Program> PB = parseProgram(Bad);
-  Program ProgB = PB.take();
-  std::vector<Error> ErrsB = typeCheck(ProgB);
+  CompileResult BadR = Pipeline.check(Bad);
   std::printf("type checker: %s\n",
-              ErrsB.empty() ? "accepted (?!)" : ErrsB.front().str().c_str());
+              BadR ? "accepted (?!)" : BadR.firstError().c_str());
 
   // Build the conflicting core program by hand and watch it get stuck —
   // the behaviour the type system exists to prevent.

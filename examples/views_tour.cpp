@@ -8,49 +8,40 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "backend/EmitHLS.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "driver/CompilerPipeline.h"
 
 #include <cstdio>
 
 using namespace dahlia;
+using namespace dahlia::driver;
 
 namespace {
 
 void demo(const char *Title, const char *Source) {
   std::printf("\n=== %s ===\n%s", Title, Source);
-  Result<Program> P = parseProgram(Source);
-  if (!P) {
-    std::printf("  -> parse error: %s\n", P.error().str().c_str());
-    return;
-  }
-  Program Prog = P.take();
-  std::vector<Error> Errs = typeCheck(Prog);
-  if (!Errs.empty()) {
-    std::printf("  -> REJECTED: %s\n", Errs.front().str().c_str());
+  CompileResult R = CompilerPipeline().emitHls(Source);
+  if (!R) {
+    if (R.Diags.hasKind(ErrorKind::Parse) || R.Diags.hasKind(ErrorKind::Lex))
+      std::printf("  -> parse error: %s\n", R.firstError().c_str());
+    else
+      std::printf("  -> REJECTED: %s\n", R.firstError().c_str());
     return;
   }
   std::printf("  -> accepted");
-  Result<std::string> Cpp = emitHlsCpp(Prog);
-  if (Cpp) {
-    // Show the compiled access (the line mentioning the root memory).
-    std::printf("; view accesses compile to direct indexing:\n");
-    std::string S = Cpp.take();
-    size_t Pos = 0;
-    while ((Pos = S.find("\n", Pos)) != std::string::npos) {
-      size_t Next = S.find("\n", Pos + 1);
-      std::string Line = S.substr(Pos + 1, Next - Pos - 1);
-      if (Line.find("A[") != std::string::npos &&
-          Line.find("#pragma") == std::string::npos &&
-          Line.find("float A") == std::string::npos)
-        std::printf("     %s\n", Line.c_str());
-      Pos = Pos + 1;
-      if (Next == std::string::npos)
-        break;
-    }
-  } else {
-    std::printf("\n");
+  // Show the compiled access (the line mentioning the root memory).
+  std::printf("; view accesses compile to direct indexing:\n");
+  const std::string &S = *R.HlsCpp;
+  size_t Pos = 0;
+  while ((Pos = S.find("\n", Pos)) != std::string::npos) {
+    size_t Next = S.find("\n", Pos + 1);
+    std::string Line = S.substr(Pos + 1, Next - Pos - 1);
+    if (Line.find("A[") != std::string::npos &&
+        Line.find("#pragma") == std::string::npos &&
+        Line.find("float A") == std::string::npos)
+      std::printf("     %s\n", Line.c_str());
+    Pos = Pos + 1;
+    if (Next == std::string::npos)
+      break;
   }
 }
 

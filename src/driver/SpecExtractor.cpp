@@ -1,0 +1,263 @@
+//===- SpecExtractor.cpp - Program -> hlsim kernel spec ---------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SpecExtractor.h"
+
+#include <map>
+
+using namespace dahlia;
+using namespace dahlia::driver;
+using hlsim::AffineExpr;
+
+namespace {
+
+unsigned elemBits(const Type &Elem) {
+  switch (Elem.kind()) {
+  case TypeKind::Bool:
+    return 1;
+  case TypeKind::Float:
+    return 32;
+  case TypeKind::Double:
+    return 64;
+  case TypeKind::Bit:
+    return Elem.bitWidth();
+  default:
+    return 32;
+  }
+}
+
+/// Walks the program, accumulating the spec. Views are resolved to their
+/// root memory so accesses count against the real banks.
+class Extractor {
+public:
+  explicit Extractor(hlsim::KernelSpec &K) : K(K) {}
+
+  void visitCmd(const Cmd &C) {
+    switch (C.kind()) {
+    case CmdKind::Let: {
+      const auto &L = *C.as<LetCmd>();
+      if (L.init())
+        visitExpr(*L.init());
+      break;
+    }
+    case CmdKind::View: {
+      const auto &V = *C.as<ViewCmd>();
+      // Resolve transitively: a view over a view reaches the root memory.
+      auto It = ViewRoot.find(V.mem());
+      ViewRoot[V.name()] = It != ViewRoot.end() ? It->second : V.mem();
+      break;
+    }
+    case CmdKind::If: {
+      const auto &I = *C.as<IfCmd>();
+      visitExpr(I.cond());
+      visitCmd(I.thenCmd());
+      if (I.elseCmd())
+        visitCmd(*I.elseCmd());
+      break;
+    }
+    case CmdKind::While: {
+      const auto &W = *C.as<WhileCmd>();
+      visitExpr(W.cond());
+      visitCmd(W.body());
+      break;
+    }
+    case CmdKind::For: {
+      const auto &F = *C.as<ForCmd>();
+      // The first loop seen at each depth defines the modelled nest;
+      // sibling loops contribute their accesses and ops but not extra
+      // nest levels (best-effort).
+      if (Depth == K.Loops.size())
+        K.Loops.push_back({F.iter(), F.hi() - F.lo(), F.unroll()});
+      ++Depth;
+      visitCmd(F.body());
+      if (F.combine()) {
+        K.HasAccumulator = true;
+        visitCmd(*F.combine());
+      }
+      --Depth;
+      break;
+    }
+    case CmdKind::Assign:
+      visitExpr(C.as<AssignCmd>()->value());
+      break;
+    case CmdKind::ReduceAssign: {
+      const auto &R = *C.as<ReduceAssignCmd>();
+      countOp(R.op());
+      visitExpr(R.value());
+      break;
+    }
+    case CmdKind::Store: {
+      const auto &S = *C.as<StoreCmd>();
+      visitAccess(S.target(), /*IsWrite=*/true);
+      visitExpr(S.value());
+      break;
+    }
+    case CmdKind::Expr:
+      visitExpr(C.as<ExprCmd>()->expr());
+      break;
+    case CmdKind::Seq:
+      for (const CmdPtr &Sub : C.as<SeqCmd>()->cmds())
+        visitCmd(*Sub);
+      break;
+    case CmdKind::Par:
+      for (const CmdPtr &Sub : C.as<ParCmd>()->cmds())
+        visitCmd(*Sub);
+      break;
+    case CmdKind::Block:
+      visitCmd(C.as<BlockCmd>()->body());
+      break;
+    case CmdKind::Skip:
+      break;
+    }
+  }
+
+  void visitExpr(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      countOp(B.op());
+      visitExpr(B.lhs());
+      visitExpr(B.rhs());
+      break;
+    }
+    case ExprKind::Access:
+    case ExprKind::PhysAccess:
+      visitAccess(E, /*IsWrite=*/false);
+      break;
+    case ExprKind::App:
+      for (const ExprPtr &A : E.as<AppExpr>()->args())
+        visitExpr(*A);
+      break;
+    case ExprKind::FloatLit:
+      K.FloatingPoint = true;
+      break;
+    default:
+      break;
+    }
+    if (E.type() && (E.type()->isFloat() || E.type()->isDouble()))
+      K.FloatingPoint = true;
+  }
+
+private:
+  void countOp(BinOpKind Op) {
+    switch (Op) {
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+      ++K.AddOps;
+      break;
+    case BinOpKind::Mul:
+    case BinOpKind::Div:
+    case BinOpKind::Mod:
+      ++K.MulOps;
+      break;
+    default:
+      break;
+    }
+  }
+
+  void visitAccess(const Expr &E, bool IsWrite) {
+    std::string Mem;
+    std::vector<AffineExpr> Idx;
+    if (const auto *A = E.as<AccessExpr>()) {
+      Mem = A->mem();
+      for (const ExprPtr &I : A->indices()) {
+        Idx.push_back(toAffine(*I));
+        visitExpr(*I);
+      }
+    } else if (const auto *PA = E.as<PhysAccessExpr>()) {
+      Mem = PA->mem();
+      Idx.push_back(toAffine(PA->offset()));
+    }
+    auto It = ViewRoot.find(Mem);
+    if (It != ViewRoot.end())
+      Mem = It->second;
+    if (K.findArray(Mem))
+      K.Body.push_back({Mem, std::move(Idx), IsWrite});
+  }
+
+  /// Converts an index expression to affine form; non-affine subterms
+  /// degrade to their constant part (the estimator treats unknown loop
+  /// variables as 0 anyway).
+  AffineExpr toAffine(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      return AffineExpr::constant(E.as<IntLitExpr>()->value());
+    case ExprKind::Var:
+      return AffineExpr::var(E.as<VarExpr>()->name());
+    case ExprKind::BinOp: {
+      const auto &B = *E.as<BinOpExpr>();
+      AffineExpr L = toAffine(B.lhs());
+      AffineExpr R = toAffine(B.rhs());
+      switch (B.op()) {
+      case BinOpKind::Add:
+      case BinOpKind::Sub: {
+        int64_t Sign = B.op() == BinOpKind::Add ? 1 : -1;
+        for (const auto &[Name, Coeff] : R.Coeffs)
+          L.Coeffs[Name] += Sign * Coeff;
+        L.Const += Sign * R.Const;
+        return L;
+      }
+      case BinOpKind::Mul: {
+        // Affine only when one side is constant.
+        const AffineExpr *Var = &L, *Konst = &R;
+        if (!L.Coeffs.empty() && !R.Coeffs.empty())
+          return AffineExpr::constant(0);
+        if (L.Coeffs.empty())
+          std::swap(Var, Konst);
+        AffineExpr Out;
+        for (const auto &[Name, Coeff] : Var->Coeffs)
+          Out.Coeffs[Name] = Coeff * Konst->Const;
+        Out.Const = Var->Const * Konst->Const;
+        return Out;
+      }
+      default:
+        return AffineExpr::constant(0);
+      }
+    }
+    default:
+      return AffineExpr::constant(0);
+    }
+  }
+
+  hlsim::KernelSpec &K;
+  std::map<std::string, std::string> ViewRoot;
+  size_t Depth = 0;
+};
+
+} // namespace
+
+Result<hlsim::KernelSpec>
+dahlia::driver::extractKernelSpec(const Program &P, const std::string &Name) {
+  hlsim::KernelSpec K;
+  K.Name = Name;
+  K.FloatingPoint = false;
+
+  for (const ExternDecl &D : P.Decls) {
+    if (!D.Ty || !D.Ty->isMem())
+      continue;
+    hlsim::ArraySpec A;
+    A.Name = D.Name;
+    for (const MemDim &Dim : D.Ty->memDims()) {
+      A.DimSizes.push_back(Dim.Size);
+      A.Partition.push_back(Dim.Banks);
+    }
+    A.Ports = D.Ty->memPorts();
+    A.ElemBits = elemBits(*D.Ty->memElem());
+    if (D.Ty->memElem()->isFloat() || D.Ty->memElem()->isDouble())
+      K.FloatingPoint = true;
+    K.Arrays.push_back(std::move(A));
+  }
+
+  Extractor Ex(K);
+  if (P.Body)
+    Ex.visitCmd(*P.Body);
+
+  if (K.Arrays.empty() && K.Loops.empty())
+    return Error(ErrorKind::Internal,
+                 "program has no interface memories or loops to estimate");
+  return K;
+}

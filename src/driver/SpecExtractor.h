@@ -1,0 +1,42 @@
+//===- SpecExtractor.h - Program -> hlsim kernel spec -----------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives an \c hlsim::KernelSpec from a type-checked Dahlia program, the
+/// same information an HLS scheduler extracts from pragma-annotated C++:
+/// interface memories with their banking, the main loop nest with trip and
+/// unroll factors, the affine memory accesses of the body, and arithmetic
+/// op counts. This powers the pipeline's Estimate stage and lets
+/// `dahliac --run` cross-check the checked interpreter against the hlsim
+/// cost model without a hand-written spec.
+///
+/// Extraction is best-effort: accesses through views are attributed to the
+/// root memory, and non-affine index expressions degrade to their constant
+/// part. Programs whose shape the estimator cannot represent at all (no
+/// interface memories and no loops) are rejected with an \c Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_DRIVER_SPECEXTRACTOR_H
+#define DAHLIA_DRIVER_SPECEXTRACTOR_H
+
+#include "ast/AST.h"
+#include "hlsim/Kernel.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace dahlia::driver {
+
+/// Extracts an estimation spec from \p P, which must have been
+/// type-checked. \p Name becomes the spec's kernel name.
+Result<hlsim::KernelSpec> extractKernelSpec(const Program &P,
+                                            const std::string &Name = "kernel");
+
+} // namespace dahlia::driver
+
+#endif // DAHLIA_DRIVER_SPECEXTRACTOR_H

@@ -7,6 +7,8 @@
 
 #include "dse/Dse.h"
 
+#include "dse/DseEngine.h"
+
 #include <algorithm>
 #include <functional>
 #include <sstream>
@@ -27,37 +29,17 @@ bool dahlia::dse::dominates(const Objectives &A, const Objectives &B) {
          StrictlyBetter;
 }
 
+bool dahlia::dse::equalObjectives(const Objectives &A, const Objectives &B) {
+  return A.Latency == B.Latency && A.Lut == B.Lut && A.Ff == B.Ff &&
+         A.Bram == B.Bram && A.Dsp == B.Dsp;
+}
+
 std::vector<size_t>
 dahlia::dse::paretoFront(const std::vector<Objectives> &Points) {
-  // Sort by latency then area so each point only needs to be checked
-  // against current front members (simple cull; spaces here are <= ~32k).
-  std::vector<size_t> Order(Points.size());
+  ParetoFront Front;
   for (size_t I = 0; I != Points.size(); ++I)
-    Order[I] = I;
-  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    if (Points[A].Latency != Points[B].Latency)
-      return Points[A].Latency < Points[B].Latency;
-    return Points[A].Lut < Points[B].Lut;
-  });
-  auto Equal = [](const Objectives &A, const Objectives &B) {
-    return A.Latency == B.Latency && A.Lut == B.Lut && A.Ff == B.Ff &&
-           A.Bram == B.Bram && A.Dsp == B.Dsp;
-  };
-  std::vector<size_t> Front;
-  for (size_t Idx : Order) {
-    bool Dominated = false;
-    for (size_t F : Front) {
-      // Exactly equal objective vectors collapse to one representative.
-      if (dominates(Points[F], Points[Idx]) || Equal(Points[F], Points[Idx])) {
-        Dominated = true;
-        break;
-      }
-    }
-    if (!Dominated)
-      Front.push_back(Idx);
-  }
-  std::sort(Front.begin(), Front.end());
-  return Front;
+    Front.insert(I, Points[I]);
+  return Front.indices();
 }
 
 void dahlia::dse::enumerateConfigs(

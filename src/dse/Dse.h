@@ -47,7 +47,13 @@ struct Objectives {
 /// better in at least one.
 bool dominates(const Objectives &A, const Objectives &B);
 
+/// Exact equality in every objective.
+bool equalObjectives(const Objectives &A, const Objectives &B);
+
 /// Indices of the Pareto-optimal points among \p Points (minimization).
+/// Exactly-equal objective vectors collapse to the lowest index.
+/// Implemented on the incremental \c ParetoFront of DseEngine.h, so batch
+/// and streamed exploration agree on membership.
 std::vector<size_t> paretoFront(const std::vector<Objectives> &Points);
 
 /// Enumerates the cross product of per-parameter value lists, invoking

@@ -1,0 +1,174 @@
+//===- DseEngine.h - Parallel, memoized design-space exploration -*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exploration engine behind the Section 5.2/5.3 sweeps. A
+/// \c DseProblem describes a configuration space (each index renders to
+/// Dahlia source for the real type checker and to an hlsim kernel spec
+/// for estimation); \c DseEngine shards the space across a worker pool
+/// with a work-stealing index queue, memoizes estimates and type-check
+/// verdicts in a \c StableHash-keyed cache, and streams points into
+/// incremental per-worker Pareto fronts that merge deterministically —
+/// the resulting front membership is identical at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_DSE_DSEENGINE_H
+#define DAHLIA_DSE_DSEENGINE_H
+
+#include "dse/Dse.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dahlia::dse {
+
+/// A design-space exploration problem over \c Size configurations.
+struct DseProblem {
+  size_t Size = 0;
+  /// Renders configuration \p I as Dahlia source (type-checker input).
+  std::function<std::string(size_t)> Source;
+  /// Renders configuration \p I as an hlsim kernel spec.
+  std::function<hlsim::KernelSpec(size_t)> Spec;
+  /// When false, rejected configurations are not estimated — the paper's
+  /// Section 5.3 methodology ("an unrestricted DSE is intractable; we
+  /// instead measure the space Dahlia accepts"). Figure 7 estimates
+  /// everything; the Figure 8 sweeps set this to false.
+  bool EstimateRejected = true;
+};
+
+/// Incremental Pareto-front accumulator (minimization over \c Objectives).
+/// Membership is a pure function of the inserted point set: insertion
+/// order never matters, and exactly-equal objective vectors collapse to
+/// the lowest inserted index. This is what makes the parallel engine's
+/// front byte-identical to the serial one.
+class ParetoFront {
+public:
+  /// Offers point \p Index with objectives \p O.
+  void insert(size_t Index, const Objectives &O);
+
+  /// Folds every member of \p Other in.
+  void merge(const ParetoFront &Other);
+
+  /// Member indices in ascending order.
+  std::vector<size_t> indices() const;
+
+  size_t size() const { return Members.size(); }
+  bool empty() const { return Members.empty(); }
+
+private:
+  struct Member {
+    size_t Index;
+    Objectives Obj;
+  };
+  std::vector<Member> Members;
+};
+
+/// Shared, thread-safe memoization cache for estimates (keyed by
+/// \c hlsim::specHash) and type-check verdicts (keyed by a stable hash of
+/// the Dahlia source). Many points of a sweep share kernel structure, and
+/// repeated explorations (re-runs, multi-space harnesses, tests at
+/// several thread counts) hit outright; passing one cache to several
+/// engine runs makes the later runs near-free.
+class DseCache {
+public:
+  bool lookupEstimate(uint64_t Key, hlsim::Estimate &Out) const;
+  void insertEstimate(uint64_t Key, const hlsim::Estimate &E);
+  bool lookupVerdict(uint64_t Key, bool &Accepted) const;
+  void insertVerdict(uint64_t Key, bool Accepted);
+
+  size_t estimateHits() const { return EstimateHits.load(); }
+  size_t verdictHits() const { return VerdictHits.load(); }
+
+private:
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<uint64_t, hlsim::Estimate> Estimates;
+    std::unordered_map<uint64_t, bool> Verdicts;
+  };
+  Shard &shard(uint64_t Key) const { return Shards[Key % NumShards]; }
+
+  mutable Shard Shards[NumShards];
+  mutable std::atomic<size_t> EstimateHits{0}, VerdictHits{0};
+};
+
+/// Engine configuration.
+struct DseOptions {
+  /// Worker threads; 0 resolves via DAHLIA_DSE_THREADS, then
+  /// hardware_concurrency.
+  unsigned Threads = 0;
+  bool Memoize = true;
+  /// Configurations taken from the queue per grab.
+  size_t GrainSize = 32;
+  /// Optional cache shared across explorations; allocated fresh per run
+  /// when null and \c Memoize is set.
+  std::shared_ptr<DseCache> Cache;
+};
+
+/// Resolves the effective worker count: \p Requested if nonzero, else the
+/// DAHLIA_DSE_THREADS environment variable, else hardware concurrency.
+unsigned resolveThreadCount(unsigned Requested);
+
+/// One evaluated configuration.
+struct DsePoint {
+  hlsim::Estimate Est;
+  Objectives Obj;
+  bool Accepted = false;  ///< Dahlia type checker verdict.
+  bool Estimated = false; ///< False when estimation was skipped.
+};
+
+/// Aggregate counters of one exploration.
+struct DseStats {
+  size_t Explored = 0;
+  size_t Accepted = 0;
+  size_t Estimated = 0;
+  size_t EstimateCacheHits = 0;
+  size_t VerdictCacheHits = 0;
+  unsigned Threads = 1;
+  double Seconds = 0;
+
+  /// Exploration throughput — the number BENCH_*.json tracks.
+  double configsPerSecond() const {
+    return Seconds > 0 ? static_cast<double>(Explored) / Seconds : 0;
+  }
+};
+
+/// Everything an exploration produces.
+struct DseResult {
+  /// Index-aligned with the problem's configuration space.
+  std::vector<DsePoint> Points;
+  /// Pareto-front indices over every estimated point (ascending).
+  std::vector<size_t> Front;
+  /// Pareto-front indices over the accepted subset only (ascending).
+  std::vector<size_t> AcceptedFront;
+  DseStats Stats;
+};
+
+/// The exploration engine. Stateless across runs; one instance may be
+/// reused (a shared \c DseCache carries state between runs if desired).
+class DseEngine {
+public:
+  explicit DseEngine(DseOptions O = DseOptions()) : Opts(std::move(O)) {}
+
+  DseResult explore(const DseProblem &P) const;
+
+  const DseOptions &options() const { return Opts; }
+
+private:
+  DseOptions Opts;
+};
+
+} // namespace dahlia::dse
+
+#endif // DAHLIA_DSE_DSEENGINE_H

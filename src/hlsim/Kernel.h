@@ -18,6 +18,9 @@
 #ifndef DAHLIA_HLSIM_KERNEL_H
 #define DAHLIA_HLSIM_KERNEL_H
 
+#include "support/StableHash.h"
+
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -136,6 +139,64 @@ struct KernelSpec {
     return N;
   }
 };
+
+/// Platform-stable structural hash of a kernel spec, covering every field
+/// \c estimate reads. Two specs with equal hashes may share one memoized
+/// estimate (the DSE engine's cache key).
+inline uint64_t specHash(const KernelSpec &K) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Num = [&H](uint64_t V) { H = stableHashCombine(H, V); };
+  // Every variable-length field is length-prefixed so adjacent fields can
+  // never realign into a colliding byte stream.
+  auto Str = [&](const std::string &S) {
+    Num(S.size());
+    H = stableHash(S, H);
+  };
+  auto Dbl = [&Num](double D) { Num(std::bit_cast<uint64_t>(D)); };
+  Str(K.Name);
+  auto Affine = [&](const AffineExpr &E) {
+    Num(E.Coeffs.size());
+    for (const auto &[Name, Coeff] : E.Coeffs) {
+      Str(Name);
+      Num(static_cast<uint64_t>(Coeff));
+    }
+    Num(static_cast<uint64_t>(E.Const));
+  };
+  Num(K.Arrays.size());
+  for (const ArraySpec &A : K.Arrays) {
+    Str(A.Name);
+    Num(A.DimSizes.size());
+    for (int64_t S : A.DimSizes)
+      Num(static_cast<uint64_t>(S));
+    Num(A.Partition.size());
+    for (int64_t P : A.Partition)
+      Num(static_cast<uint64_t>(P));
+    Num(A.Ports);
+    Num(A.ElemBits);
+  }
+  Num(K.Loops.size());
+  for (const Loop &L : K.Loops) {
+    Str(L.Var);
+    Num(static_cast<uint64_t>(L.Trip));
+    Num(static_cast<uint64_t>(L.Unroll));
+  }
+  Num(K.Body.size());
+  for (const Access &A : K.Body) {
+    Str(A.Array);
+    Num(A.Idx.size());
+    for (const AffineExpr &E : A.Idx)
+      Affine(E);
+    Num(A.IsWrite);
+  }
+  Num(K.MulOps);
+  Num(K.AddOps);
+  Num(K.FloatingPoint);
+  Dbl(K.ClockMHz);
+  Num(K.HasAccumulator);
+  Dbl(K.ExtraSerialCycles);
+  Dbl(K.IterationLatency);
+  return H;
+}
 
 } // namespace dahlia::hlsim
 

@@ -7,6 +7,7 @@
 
 #include "kernels/Kernels.h"
 
+#include <memory>
 #include <sstream>
 
 using namespace dahlia::kernels;
@@ -361,4 +362,48 @@ KernelSpec dahlia::kernels::mdGridSpec(const MdGridConfig &C) {
        true},
   };
   return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Exploration problems
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename Config>
+dahlia::dse::DseProblem
+makeProblem(std::vector<Config> Space,
+            std::string (*Source)(const Config &),
+            KernelSpec (*Spec)(const Config &), bool EstimateRejected) {
+  auto Shared = std::make_shared<std::vector<Config>>(std::move(Space));
+  dahlia::dse::DseProblem P;
+  P.Size = Shared->size();
+  P.Source = [Shared, Source](size_t I) { return Source((*Shared)[I]); };
+  P.Spec = [Shared, Spec](size_t I) { return Spec((*Shared)[I]); };
+  P.EstimateRejected = EstimateRejected;
+  return P;
+}
+
+} // namespace
+
+dahlia::dse::DseProblem dahlia::kernels::gemmBlockedProblem() {
+  return makeProblem<GemmBlockedConfig>(gemmBlockedSpace(), gemmBlockedDahlia,
+                                        gemmBlockedSpec,
+                                        /*EstimateRejected=*/true);
+}
+
+dahlia::dse::DseProblem dahlia::kernels::stencil2dProblem() {
+  return makeProblem<Stencil2dConfig>(stencil2dSpace(), stencil2dDahlia,
+                                      stencil2dSpec,
+                                      /*EstimateRejected=*/false);
+}
+
+dahlia::dse::DseProblem dahlia::kernels::mdKnnProblem() {
+  return makeProblem<MdKnnConfig>(mdKnnSpace(), mdKnnDahlia, mdKnnSpec,
+                                  /*EstimateRejected=*/false);
+}
+
+dahlia::dse::DseProblem dahlia::kernels::mdGridProblem() {
+  return makeProblem<MdGridConfig>(mdGridSpace(), mdGridDahlia, mdGridSpec,
+                                   /*EstimateRejected=*/false);
 }

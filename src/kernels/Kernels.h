@@ -21,6 +21,7 @@
 #ifndef DAHLIA_KERNELS_KERNELS_H
 #define DAHLIA_KERNELS_KERNELS_H
 
+#include "dse/DseEngine.h"
 #include "hlsim/Kernel.h"
 
 #include <cstdint>
@@ -122,6 +123,20 @@ struct MachSuiteBenchmark {
 /// The 16 MachSuite benchmarks of Figure 11 (backprop, fft-transpose and
 /// viterbi are excluded as in the paper).
 std::vector<MachSuiteBenchmark> machSuiteBenchmarks();
+
+//===----------------------------------------------------------------------===//
+// Exploration problems
+//===----------------------------------------------------------------------===//
+//
+// Uniform index -> source / spec views of the sweep spaces above, ready
+// for dse::DseEngine. The Figure 7 problem estimates rejected points too
+// (the paper's exhaustive sweep); the Figure 8 problems estimate only the
+// Dahlia-accepted subset (the Section 5.3 methodology).
+
+dse::DseProblem gemmBlockedProblem(); ///< Figure 7, 32,000 configs.
+dse::DseProblem stencil2dProblem();   ///< Figure 8a.
+dse::DseProblem mdKnnProblem();       ///< Figure 8b.
+dse::DseProblem mdGridProblem();      ///< Figure 8c.
 
 } // namespace dahlia::kernels
 

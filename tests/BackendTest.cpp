@@ -5,11 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "backend/EmitHLS.h"
+#include "driver/CompilerPipeline.h"
 
 #include "kernels/Kernels.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <gtest/gtest.h>
 
@@ -20,16 +18,11 @@ namespace {
 
 std::string emitOK(std::string_view Src,
                    const EmitOptions &Opts = EmitOptions()) {
-  Result<Program> P = parseProgram(Src);
-  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
-  if (!P)
-    return "";
-  Program Prog = P.take();
-  std::vector<Error> Errs = typeCheck(Prog);
-  EXPECT_TRUE(Errs.empty()) << (Errs.empty() ? "" : Errs.front().str());
-  Result<std::string> Out = emitHlsCpp(Prog, Opts);
-  EXPECT_TRUE(bool(Out)) << (Out ? "" : Out.error().str());
-  return Out ? Out.take() : "";
+  driver::PipelineOptions PO;
+  PO.Emit = Opts;
+  driver::CompileResult R = driver::CompilerPipeline(PO).emitHls(Src);
+  EXPECT_TRUE(R.ok()) << R.firstError();
+  return R.ok() ? std::move(*R.HlsCpp) : "";
 }
 
 bool contains(const std::string &Haystack, std::string_view Needle) {
@@ -142,14 +135,10 @@ TEST(Backend, GemmBlockedPortEmits) {
 
 TEST(Backend, AllMachSuitePortsEmit) {
   for (const MachSuiteBenchmark &B : machSuiteBenchmarks()) {
-    Result<Program> P = parseProgram(B.DahliaSource);
-    ASSERT_TRUE(bool(P)) << B.Name;
-    Program Prog = P.take();
-    ASSERT_TRUE(typeCheck(Prog).empty()) << B.Name;
-    Result<std::string> Cpp = emitHlsCpp(Prog);
-    EXPECT_TRUE(bool(Cpp)) << B.Name << ": "
-                           << (Cpp ? "" : Cpp.error().str());
-    EXPECT_FALSE(Cpp->empty()) << B.Name;
+    driver::CompileResult R =
+        driver::CompilerPipeline().emitHls(B.DahliaSource);
+    ASSERT_TRUE(R.ok()) << B.Name << ": " << R.firstError();
+    EXPECT_FALSE(R.HlsCpp->empty()) << B.Name;
   }
 }
 

@@ -99,6 +99,54 @@ TEST(Dse, FractionFormatting) {
   EXPECT_EQ(fractionString(354, 32000), "354/32000 (1.1%)");
 }
 
+TEST(Dse, FractionFormattingZeroDenominator) {
+  EXPECT_EQ(fractionString(0, 0), "0/0");
+}
+
+TEST(Dse, ParetoFrontEmptyInput) {
+  EXPECT_TRUE(paretoFront({}).empty());
+}
+
+TEST(Dse, ParetoFrontSinglePoint) {
+  EXPECT_EQ(paretoFront({point(3, 4)}), (std::vector<size_t>{0}));
+}
+
+TEST(Dse, ParetoFrontDuplicatePointsCollapseToLowestIndex) {
+  // Exactly equal objective vectors keep one representative: the lowest
+  // index, regardless of where the duplicates appear.
+  std::vector<Objectives> Pts = {point(2, 2), point(1, 1), point(1, 1),
+                                 point(1, 1)};
+  EXPECT_EQ(paretoFront(Pts), (std::vector<size_t>{1}));
+  std::vector<Objectives> AllSame(5, point(7, 7));
+  EXPECT_EQ(paretoFront(AllSame), (std::vector<size_t>{0}));
+}
+
+TEST(Dse, ParetoFrontSingleObjectiveTies) {
+  // Equal latency is not domination by itself: the tie breaks on the
+  // remaining objectives, and exact ties collapse.
+  std::vector<Objectives> Pts = {point(1, 5), point(1, 3), point(1, 3),
+                                 point(1, 7)};
+  EXPECT_EQ(paretoFront(Pts), (std::vector<size_t>{1}));
+  // A tie in one objective with a trade-off in another keeps both.
+  std::vector<Objectives> Trade = {point(1, 5), point(1, 5)};
+  Trade[0].Bram = 1; // (1,5,bram=1) vs (1,5,bram=0): second dominates.
+  EXPECT_EQ(paretoFront(Trade), (std::vector<size_t>{1}));
+  Trade[0].Bram = 0;
+  Trade[0].Dsp = 2;
+  Trade[1].Bram = 3; // now incomparable: both survive.
+  EXPECT_EQ(paretoFront(Trade), (std::vector<size_t>{0, 1}));
+}
+
+TEST(Dse, DominatesEdgeCases) {
+  EXPECT_FALSE(dominates(point(1, 1), point(1, 1))); // irreflexive
+  Objectives A = point(1, 2), B = point(1, 2);
+  A.Dsp = 1;
+  EXPECT_TRUE(dominates(B, A));  // better only in DSP
+  EXPECT_FALSE(dominates(A, B));
+  EXPECT_TRUE(equalObjectives(point(2, 3), point(2, 3)));
+  EXPECT_FALSE(equalObjectives(A, B));
+}
+
 //===----------------------------------------------------------------------===//
 // Spatial banking inference (Figure 9 / 13)
 //===----------------------------------------------------------------------===//

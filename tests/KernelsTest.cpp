@@ -11,8 +11,7 @@
 
 #include "kernels/Kernels.h"
 
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "driver/CompilerPipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -22,17 +21,11 @@ using namespace dahlia::kernels;
 namespace {
 
 bool acceptsSource(const std::string &Src, std::string *Why = nullptr) {
-  Result<Program> P = parseProgram(Src);
-  if (!P) {
-    if (Why)
-      *Why = P.error().str();
-    return false;
-  }
-  Program Prog = P.take();
-  std::vector<Error> Errs = typeCheck(Prog);
-  if (!Errs.empty() && Why)
-    *Why = Errs.front().str();
-  return Errs.empty();
+  std::string FirstError;
+  bool OK = driver::checksSource(Src, FirstError);
+  if (!OK && Why)
+    *Why = FirstError;
+  return OK;
 }
 
 TEST(Kernels, DefaultConfigsTypeCheck) {

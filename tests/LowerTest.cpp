@@ -10,11 +10,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "lower/Desugar.h"
+#include "driver/CompilerPipeline.h"
 
 #include "filament/Interp.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <gtest/gtest.h>
 
@@ -23,23 +21,14 @@ namespace fil = dahlia::filament;
 
 namespace {
 
-/// Parses, checks, and lowers; asserts each stage succeeds.
+/// Parses, checks, and lowers through the pipeline; asserts each stage
+/// succeeds.
 LoweredProgram lowerOK(std::string_view Src) {
-  Result<Program> P = parseProgram(Src);
-  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str());
-  if (!P)
+  driver::CompileResult R = driver::CompilerPipeline().lower(Src);
+  EXPECT_TRUE(R.ok()) << R.firstError() << "\nsource: " << Src;
+  if (!R)
     return {};
-  Program Prog = P.take();
-  std::vector<Error> Errs = typeCheck(Prog);
-  EXPECT_TRUE(Errs.empty())
-      << (Errs.empty() ? "" : Errs.front().str()) << "\nsource: " << Src;
-  if (!Errs.empty())
-    return {};
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  EXPECT_TRUE(bool(L)) << (L ? "" : L.error().str());
-  if (!L)
-    return {};
-  return L.take();
+  return std::move(*R.Lowered);
 }
 
 /// Runs the lowered program on the checked small-step semantics.
@@ -293,13 +282,11 @@ TEST(Lower, FunctionInlining) {
 TEST(Lower, MultiPortedMemoriesRejectedByLowering) {
   // Filament has no quantitative port tracking (Section 4.5 leaves it as
   // future work), so lowering refuses multi-ported memories explicitly.
-  Result<Program> P =
-      parseProgram("decl A: bit<32>{2}[10]; let x = A[0]; A[1] := x + 1;");
-  ASSERT_TRUE(bool(P));
-  Program Prog = P.take();
-  ASSERT_TRUE(typeCheck(Prog).empty());
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  EXPECT_FALSE(bool(L));
+  const char *Src = "decl A: bit<32>{2}[10]; let x = A[0]; A[1] := x + 1;";
+  ASSERT_TRUE(driver::checksSource(Src));
+  driver::CompileResult R = driver::CompilerPipeline().lower(Src);
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.Lowered.has_value());
 }
 
 TEST(Lower, WhileLoopLowers) {

@@ -11,10 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/CompilerPipeline.h"
 #include "filament/Interp.h"
-#include "lower/Desugar.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <gtest/gtest.h>
 
@@ -24,12 +22,18 @@ namespace fil = dahlia::filament;
 namespace {
 
 std::vector<Error> check(std::string_view Src) {
-  Result<CmdPtr> C = parseCommand(Src);
-  EXPECT_TRUE(bool(C)) << (C ? "" : C.error().str());
-  if (!C)
-    return {Error(ErrorKind::Parse, "parse failed")};
-  CmdPtr Cmd = C.take();
-  return typeCheck(*Cmd);
+  std::vector<Error> Errs = driver::checkBareCommand(Src);
+  bool ParseFailed = !Errs.empty() && (Errs.front().kind() == ErrorKind::Parse ||
+                                       Errs.front().kind() == ErrorKind::Lex);
+  EXPECT_FALSE(ParseFailed) << Errs.front().str();
+  return Errs;
+}
+
+/// Parses, checks, and lowers through the pipeline; asserts success.
+LoweredProgram lowerOK(std::string_view Src) {
+  driver::CompileResult R = driver::CompilerPipeline().lower(Src);
+  EXPECT_TRUE(R.ok()) << R.firstError();
+  return R.ok() ? std::move(*R.Lowered) : LoweredProgram{};
 }
 
 //===----------------------------------------------------------------------===//
@@ -109,17 +113,13 @@ TEST(Paper32, RegisterInferenceListingChecksAndRuns) {
                     "let x = A[0] + 1\n"
                     "---\n"
                     "B[0] := A[1] + x;";
-  Result<Program> P = parseProgram(Src);
-  ASSERT_TRUE(bool(P));
-  Program Prog = P.take();
-  ASSERT_TRUE(typeCheck(Prog).empty());
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  ASSERT_TRUE(bool(L)) << (L ? "" : L.error().str());
-  fil::Store S = L->makeStore(
+  LoweredProgram L = lowerOK(Src);
+  ASSERT_TRUE(L.Program);
+  fil::Store S = L.makeStore(
       +[](const std::string &, int64_t I) { return 5 + I; });
-  fil::SmallStepper M(S, fil::Rho(), L->Program);
+  fil::SmallStepper M(S, fil::Rho(), L.Program);
   ASSERT_TRUE(bool(M.run()));
-  auto [Bank, Off] = L->Mems["B"].locate({0});
+  auto [Bank, Off] = L.Mems["B"].locate({0});
   // B[0] = A[1] + (A[0] + 1) = 6 + 6 = 12.
   EXPECT_EQ(std::get<int64_t>(M.store().Mems.at(Bank).at(
                 static_cast<size_t>(Off))),
@@ -170,15 +170,11 @@ TEST(Paper33, PhysicalAndLogicalAgreeAtRuntime) {
   // Writing through M{3}[0] must land at M[1][1] in the lowered layout.
   const char *Src = "decl M: bit<32>[4 bank 2][4 bank 2];\n"
                     "M{3}[0] := 42;";
-  Result<Program> P = parseProgram(Src);
-  ASSERT_TRUE(bool(P));
-  Program Prog = P.take();
-  ASSERT_TRUE(typeCheck(Prog).empty());
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  ASSERT_TRUE(bool(L));
-  fil::SmallStepper M(L->makeZeroStore(), fil::Rho(), L->Program);
+  LoweredProgram L = lowerOK(Src);
+  ASSERT_TRUE(L.Program);
+  fil::SmallStepper M(L.makeZeroStore(), fil::Rho(), L.Program);
   ASSERT_TRUE(bool(M.run()));
-  auto [Bank, Off] = L->Mems["M"].locate({1, 1});
+  auto [Bank, Off] = L.Mems["M"].locate({1, 1});
   EXPECT_EQ(std::get<int64_t>(
                 M.store().Mems.at(Bank).at(static_cast<size_t>(Off))),
             42);
@@ -242,23 +238,19 @@ TEST(Paper35, DotProductListingsAndExecution) {
                     "}\n"
                     "---\n"
                     "out[0] := dot;";
-  Result<Program> P = parseProgram(Src);
-  ASSERT_TRUE(bool(P));
-  Program Prog = P.take();
-  ASSERT_TRUE(typeCheck(Prog).empty());
-  Result<LoweredProgram> L = lowerProgram(Prog);
-  ASSERT_TRUE(bool(L));
+  LoweredProgram L = lowerOK(Src);
+  ASSERT_TRUE(L.Program);
   // A[i] = i+1, B[i] = 2 -> dot = 2 * (1+...+10) = 110.
-  fil::Store S = L->makeZeroStore();
+  fil::Store S = L.makeZeroStore();
   for (int64_t I = 0; I != 10; ++I) {
-    auto [BA, OA] = L->Mems["A"].locate({I});
-    auto [BB, OB] = L->Mems["B"].locate({I});
+    auto [BA, OA] = L.Mems["A"].locate({I});
+    auto [BB, OB] = L.Mems["B"].locate({I});
     S.Mems[BA][static_cast<size_t>(OA)] = fil::Value(I + 1);
     S.Mems[BB][static_cast<size_t>(OB)] = fil::Value(int64_t(2));
   }
-  fil::SmallStepper M(S, fil::Rho(), L->Program);
+  fil::SmallStepper M(S, fil::Rho(), L.Program);
   ASSERT_TRUE(bool(M.run()));
-  auto [Bank, Off] = L->Mems["out"].locate({0});
+  auto [Bank, Off] = L.Mems["out"].locate({0});
   EXPECT_EQ(std::get<int64_t>(
                 M.store().Mems.at(Bank).at(static_cast<size_t>(Off))),
             110);

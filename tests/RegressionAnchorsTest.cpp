@@ -11,9 +11,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/ASTPrinter.h"
+#include "driver/CompilerPipeline.h"
 #include "kernels/Kernels.h"
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
 
 #include <gtest/gtest.h>
 
@@ -22,13 +21,7 @@ using namespace dahlia::kernels;
 
 namespace {
 
-bool acceptsSrc(const std::string &Src) {
-  Result<Program> P = parseProgram(Src);
-  if (!P)
-    return false;
-  Program Prog = P.take();
-  return typeCheck(Prog).empty();
-}
+bool acceptsSrc(const std::string &Src) { return driver::checksSource(Src); }
 
 TEST(Anchors, Stencil2dAcceptanceCount) {
   // EXPERIMENTS.md E5: 169 of 2,916 configurations accepted.
@@ -75,17 +68,16 @@ TEST(Anchors, GemmBlockedAcceptanceIsAnalytic) {
 
 TEST(Anchors, MachSuitePortsPrintAndReparse) {
   // Every shipped port round-trips through the printer.
+  driver::CompilerPipeline Pipeline;
   for (const MachSuiteBenchmark &B : machSuiteBenchmarks()) {
-    Result<Program> P = parseProgram(B.DahliaSource);
-    ASSERT_TRUE(bool(P)) << B.Name;
-    Program Prog = P.take();
-    std::string Printed = printProgram(Prog);
-    Result<Program> Again = parseProgram(Printed);
-    ASSERT_TRUE(bool(Again)) << B.Name << "\n" << Printed;
-    Program Prog2 = Again.take();
-    EXPECT_EQ(printProgram(Prog2), Printed) << B.Name;
+    driver::CompileResult P = Pipeline.parse(B.DahliaSource);
+    ASSERT_TRUE(P.ok()) << B.Name;
+    std::string Printed = printProgram(*P.Prog);
+    driver::CompileResult Again = Pipeline.parse(Printed);
+    ASSERT_TRUE(Again.ok()) << B.Name << "\n" << Printed;
+    EXPECT_EQ(printProgram(*Again.Prog), Printed) << B.Name;
     // And the reparse still type-checks.
-    EXPECT_TRUE(typeCheck(Prog2).empty()) << B.Name;
+    EXPECT_TRUE(driver::checksSource(Printed)) << B.Name;
   }
 }
 
@@ -96,15 +88,12 @@ TEST(Anchors, SweepKernelsPrintAndReparse) {
       mdKnnDahlia(MdKnnConfig()),
       mdGridDahlia(MdGridConfig()),
   };
+  driver::CompilerPipeline Pipeline;
   for (const std::string &Src : Sources) {
-    Result<Program> P = parseProgram(Src);
-    ASSERT_TRUE(bool(P));
-    Program Prog = P.take();
-    std::string Printed = printProgram(Prog);
-    Result<Program> Again = parseProgram(Printed);
-    ASSERT_TRUE(bool(Again)) << Printed;
-    Program Prog2 = Again.take();
-    EXPECT_TRUE(typeCheck(Prog2).empty());
+    driver::CompileResult P = Pipeline.parse(Src);
+    ASSERT_TRUE(P.ok());
+    std::string Printed = printProgram(*P.Prog);
+    EXPECT_TRUE(driver::checksSource(Printed)) << Printed;
   }
 }
 

@@ -9,8 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "parser/Parser.h"
-#include "sema/TypeChecker.h"
+#include "driver/CompilerPipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -21,12 +20,11 @@ using namespace dahlia;
 namespace {
 
 bool acceptsSrc(const std::string &Src) {
-  Result<Program> P = parseProgram(Src);
-  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str()) << "\n" << Src;
-  if (!P)
-    return false;
-  Program Prog = P.take();
-  return typeCheck(Prog).empty();
+  driver::CompileResult R = driver::CompilerPipeline().check(Src);
+  EXPECT_FALSE(R.Diags.hasKind(ErrorKind::Parse) ||
+               R.Diags.hasKind(ErrorKind::Lex))
+      << R.firstError() << "\n" << Src;
+  return R.ok();
 }
 
 //===----------------------------------------------------------------------===//
@@ -262,13 +260,11 @@ TEST(SemaAlgebra, CheckingIsDeterministic) {
   // The same program yields the same diagnostics on repeated runs.
   const char *Src = "let A: float[10 bank 2];\n"
                     "for (let i = 0..10) unroll 4 { A[i] := 1.0; }";
-  Result<Program> P1 = parseProgram(Src);
-  Result<Program> P2 = parseProgram(Src);
-  Program Prog1 = P1.take(), Prog2 = P2.take();
-  std::vector<Error> E1 = typeCheck(Prog1), E2 = typeCheck(Prog2);
-  ASSERT_EQ(E1.size(), E2.size());
-  for (size_t I = 0; I != E1.size(); ++I)
-    EXPECT_EQ(E1[I].str(), E2[I].str());
+  driver::CompilerPipeline Pipeline;
+  driver::CompileResult R1 = Pipeline.check(Src);
+  driver::CompileResult R2 = Pipeline.check(Src);
+  ASSERT_EQ(R1.Diags.errorCount(), R2.Diags.errorCount());
+  EXPECT_EQ(R1.Diags.render(), R2.Diags.render());
 }
 
 } // namespace

@@ -8,9 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "sema/TypeChecker.h"
-
-#include "parser/Parser.h"
+#include "driver/CompilerPipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -20,21 +18,19 @@ namespace {
 
 /// Type-checks \p Src as a bare command; returns diagnosed errors.
 std::vector<Error> checkSrc(std::string_view Src) {
-  Result<CmdPtr> C = parseCommand(Src);
-  EXPECT_TRUE(bool(C)) << (C ? "" : C.error().str()) << "\nsource: " << Src;
-  if (!C)
-    return {Error(ErrorKind::Parse, "parse failed")};
-  CmdPtr Cmd = C.take();
-  return typeCheck(*Cmd);
+  std::vector<Error> Errs = driver::checkBareCommand(Src);
+  bool ParseFailed = !Errs.empty() && (Errs.front().kind() == ErrorKind::Parse ||
+                                       Errs.front().kind() == ErrorKind::Lex);
+  EXPECT_FALSE(ParseFailed) << Errs.front().str() << "\nsource: " << Src;
+  return Errs;
 }
 
 std::vector<Error> checkProgramSrc(std::string_view Src) {
-  Result<Program> P = parseProgram(Src);
-  EXPECT_TRUE(bool(P)) << (P ? "" : P.error().str()) << "\nsource: " << Src;
-  if (!P)
-    return {Error(ErrorKind::Parse, "parse failed")};
-  Program Prog = P.take();
-  return typeCheck(Prog);
+  driver::CompileResult R = driver::CompilerPipeline().check(Src);
+  EXPECT_FALSE(R.Diags.hasKind(ErrorKind::Parse) ||
+               R.Diags.hasKind(ErrorKind::Lex))
+      << R.firstError() << "\nsource: " << Src;
+  return R.Diags.errors();
 }
 
 ::testing::AssertionResult accepts(std::string_view Src) {
@@ -427,12 +423,9 @@ TEST(SemaView, SplitEnablesBlockedParallelism) {
 
 TEST(SemaView, SplitViewType) {
   // split A[by 2] over float[12 bank 4] has type float[2 bank 2][6 bank 2].
-  Result<CmdPtr> C = parseCommand("let A: float[12 bank 4];\n"
-                                  "view sp = split A[by 2];\n"
-                                  "let x = sp[0][0];");
-  ASSERT_TRUE(bool(C));
-  CmdPtr Cmd = C.take();
-  EXPECT_TRUE(typeCheck(*Cmd).empty());
+  EXPECT_TRUE(accepts("let A: float[12 bank 4];\n"
+                      "view sp = split A[by 2];\n"
+                      "let x = sp[0][0];"));
 }
 
 TEST(SemaView, SplitFactorMustDivide) {
