@@ -13,9 +13,11 @@
 // BRAMs.
 //
 // Flags:
-//   --threads N   worker threads (also: DAHLIA_DSE_THREADS; default: all
-//                 hardware threads) — CI runs deterministically at 1
-//   --json PATH   write throughput metrics (default: BENCH_fig7_dse.json)
+//   --threads N     worker threads (also: DAHLIA_DSE_THREADS; default: all
+//                   hardware threads) — CI runs deterministically at 1
+//   --json PATH     write throughput metrics (default: BENCH_fig7_dse.json)
+//   --cache-dir D   persist the memo cache under D (e.g. .dahlia-cache);
+//                   a second run then starts warm and reports the hit rate
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,11 +25,13 @@
 
 #include "dse/DseEngine.h"
 #include "kernels/Kernels.h"
+#include "service/PersistentCache.h"
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 using namespace dahlia;
 using namespace dahlia::bench;
@@ -36,6 +40,7 @@ using namespace dahlia::kernels;
 int main(int Argc, char **Argv) {
   dse::DseOptions Opts;
   const char *JsonPath = "BENCH_fig7_dse.json";
+  const char *CacheDir = nullptr;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
       char *End = nullptr;
@@ -48,14 +53,31 @@ int main(int Argc, char **Argv) {
       Opts.Threads = static_cast<unsigned>(N);
     } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
       JsonPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--cache-dir") && I + 1 < Argc) {
+      CacheDir = Argv[++I];
     }
   }
 
   banner("Figure 7: exhaustive DSE for gemm-blocked (32,000 configs)");
 
+  // With --cache-dir, the memo cache round-trips through the persistent
+  // on-disk layer: this run starts warm from any previous run's snapshot
+  // and leaves a snapshot behind for the next one.
+  std::unique_ptr<service::PersistentCache> Persist;
+  bool WarmStart = false;
+  if (CacheDir && *CacheDir) {
+    Opts.Cache = std::make_shared<dse::DseCache>();
+    Persist = std::make_unique<service::PersistentCache>(CacheDir);
+    WarmStart = Persist->load(*Opts.Cache);
+  }
+
   dse::DseProblem Problem = gemmBlockedProblem();
   dse::DseResult R = dse::DseEngine(Opts).explore(Problem);
   const dse::DseStats &St = R.Stats;
+
+  if (Persist && !Persist->save(*Opts.Cache))
+    std::fprintf(stderr, "fig7: warning: failed to save cache to %s\n",
+                 CacheDir);
 
   std::vector<GemmBlockedConfig> Space = gemmBlockedSpace();
   std::vector<bool> IsFront(Space.size(), false);
@@ -93,9 +115,17 @@ int main(int Argc, char **Argv) {
   std::printf("exploration time:      %.1f s at %.0f configs/sec "
               "(paper: 2,666 compute-hours of Vivado estimation)\n",
               St.Seconds, St.configsPerSecond());
+  double VerdictHitRate =
+      St.Explored ? static_cast<double>(St.VerdictCacheHits) / St.Explored : 0;
+  double EstimateHitRate =
+      St.Estimated ? static_cast<double>(St.EstimateCacheHits) / St.Estimated
+                   : 0;
   if (St.EstimateCacheHits || St.VerdictCacheHits)
-    std::printf("memo cache hits:       %zu estimates, %zu verdicts\n",
-                St.EstimateCacheHits, St.VerdictCacheHits);
+    std::printf("memo cache hits:       %zu estimates (%.1f%%), %zu verdicts "
+                "(%.1f%%)%s\n",
+                St.EstimateCacheHits, EstimateHitRate * 100,
+                St.VerdictCacheHits, VerdictHitRate * 100,
+                WarmStart ? " [warm from persistent cache]" : "");
 
   // Figure 7b flavour: the accepted Pareto points span an area-latency
   // trade-off curve. Print the accepted frontier.
@@ -136,7 +166,11 @@ int main(int Argc, char **Argv) {
          << "  \"seconds\": " << St.Seconds << ",\n"
          << "  \"configs_per_sec\": " << St.configsPerSecond() << ",\n"
          << "  \"estimate_cache_hits\": " << St.EstimateCacheHits << ",\n"
-         << "  \"verdict_cache_hits\": " << St.VerdictCacheHits << "\n"
+         << "  \"verdict_cache_hits\": " << St.VerdictCacheHits << ",\n"
+         << "  \"estimate_hit_rate\": " << EstimateHitRate << ",\n"
+         << "  \"verdict_hit_rate\": " << VerdictHitRate << ",\n"
+         << "  \"persistent_cache_warm\": " << (WarmStart ? "true" : "false")
+         << "\n"
          << "}\n";
     std::printf("throughput metrics written to %s\n", JsonPath);
   }

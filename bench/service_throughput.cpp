@@ -1,0 +1,222 @@
+//===- service_throughput.cpp - Compile service throughput bench -*- C++ -*-=//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Replays thousands of generated kernel variants against CompileService
+// through the full JSON wire path (ServiceClient in-process transport) and
+// reports requests/sec and cache-hit-rate into BENCH_service.json. The
+// workload mirrors real DSE traffic: a sweep's worth of gemm-blocked and
+// stencil2d variants as `check` requests, an `estimate` pass over the
+// stencil slice, then a re-play of the same variants — the epoch where the
+// memo cache should answer nearly everything.
+//
+// Flags:
+//   --requests N   total first-pass check requests (default 2000)
+//   --batch N      epoch size (default 64)
+//   --threads N    epoch worker threads (default: all hardware threads)
+//   --cache-dir D  persistent cache directory (default: fresh temp dir)
+//   --json PATH    output metrics (default BENCH_service.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "kernels/Kernels.h"
+#include "service/ServiceClient.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::kernels;
+using namespace dahlia::service;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PassResult {
+  size_t Requests = 0;
+  size_t Ok = 0;
+  size_t Cached = 0;
+  double Seconds = 0;
+
+  double rps() const { return Seconds > 0 ? Requests / Seconds : 0; }
+  double hitRate() const {
+    return Requests ? static_cast<double>(Cached) / Requests : 0;
+  }
+};
+
+/// Streams \p Reqs through \p Client in epochs of \p Batch.
+PassResult replay(ServiceClient &Client, const std::vector<Request> &Reqs,
+                  size_t Batch) {
+  PassResult P;
+  P.Requests = Reqs.size();
+  double T0 = now();
+  for (size_t I = 0; I < Reqs.size(); I += Batch) {
+    size_t E = std::min(I + Batch, Reqs.size());
+    std::vector<Request> Epoch(Reqs.begin() + I, Reqs.begin() + E);
+    for (ClientResponse &C : Client.callBatch(std::move(Epoch))) {
+      P.Ok += C.R.Ok ? 1 : 0;
+      P.Cached += C.R.Cached ? 1 : 0;
+    }
+  }
+  P.Seconds = now() - T0;
+  return P;
+}
+
+Request checkReq(std::string Src) {
+  Request R;
+  R.Kind = Op::Check;
+  R.Source = std::move(Src);
+  return R;
+}
+
+Request estimateReq(std::string Src) {
+  Request R;
+  R.Kind = Op::Estimate;
+  R.Source = std::move(Src);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t NumRequests = 2000;
+  size_t Batch = 64;
+  unsigned Threads = 0;
+  const char *JsonPath = "BENCH_service.json";
+  std::string CacheDir;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--requests") && I + 1 < Argc) {
+      NumRequests = static_cast<size_t>(std::atoll(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--batch") && I + 1 < Argc) {
+      Batch = static_cast<size_t>(std::atoll(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
+      Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--cache-dir") && I + 1 < Argc) {
+      CacheDir = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: service_throughput [--requests N] [--batch N] "
+                   "[--threads N] [--cache-dir D] [--json PATH]\n");
+      return 2;
+    }
+  }
+  Batch = std::max<size_t>(Batch, 1);
+  bool OwnCacheDir = CacheDir.empty();
+  if (CacheDir.empty()) {
+    // Per-run scratch directory: a fixed name would let two concurrent
+    // bench runs (or two users sharing /tmp) delete each other's live
+    // cache and skew the warm-pass numbers.
+    uint64_t Tag = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    CacheDir = (std::filesystem::temp_directory_path() /
+                ("dahlia-service-bench-cache-" + std::to_string(Tag)))
+                   .string();
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC); // Start cold by default.
+  }
+
+  banner("Compile service throughput (line-JSON wire path, batched epochs)");
+
+  // The variant stream: alternate gemm-blocked and stencil2d configs so
+  // consecutive requests do not share sources.
+  std::vector<GemmBlockedConfig> Gemm = gemmBlockedSpace();
+  std::vector<Stencil2dConfig> Sten = stencil2dSpace();
+  std::vector<Request> CheckPass;
+  CheckPass.reserve(NumRequests);
+  for (size_t I = 0; CheckPass.size() < NumRequests; ++I) {
+    CheckPass.push_back(checkReq(gemmBlockedDahlia(Gemm[I % Gemm.size()])));
+    if (CheckPass.size() < NumRequests)
+      CheckPass.push_back(checkReq(stencil2dDahlia(Sten[I % Sten.size()])));
+  }
+  std::vector<Request> EstimatePass;
+  for (size_t I = 0; I != std::min<size_t>(NumRequests / 4, Sten.size()); ++I)
+    EstimatePass.push_back(estimateReq(stencil2dDahlia(Sten[I])));
+
+  ServiceOptions Opts;
+  Opts.Threads = Threads;
+  Opts.MaxBatch = Batch;
+  Opts.CacheDir = CacheDir;
+
+  PassResult Cold, Estimates, Warm;
+  ServiceStats Stats;
+  {
+    CompileService Svc(Opts);
+    ServiceClient Client(Svc);
+
+    Cold = replay(Client, CheckPass, Batch);
+    Estimates = replay(Client, EstimatePass, Batch);
+    Warm = replay(Client, CheckPass, Batch); // Same variants again.
+    Stats = Svc.stats();
+  } // Saves the persistent cache.
+
+  std::printf("worker threads:        %u\n",
+              dse::resolveThreadCount(Threads));
+  std::printf("epoch size:            %zu\n", Batch);
+  std::printf("cache dir:             %s\n", CacheDir.c_str());
+  banner("Passes");
+  row({"pass", "requests", "ok", "cached", "sec", "req/s"}, 10);
+  row({"check-cold", fmtInt(Cold.Requests), fmtInt(Cold.Ok),
+       fmtInt(Cold.Cached), fmt(Cold.Seconds, 2), fmt(Cold.rps(), 0)},
+      10);
+  row({"estimate", fmtInt(Estimates.Requests), fmtInt(Estimates.Ok),
+       fmtInt(Estimates.Cached), fmt(Estimates.Seconds, 2),
+       fmt(Estimates.rps(), 0)},
+      10);
+  row({"check-warm", fmtInt(Warm.Requests), fmtInt(Warm.Ok),
+       fmtInt(Warm.Cached), fmt(Warm.Seconds, 2), fmt(Warm.rps(), 0)},
+      10);
+  std::printf("\nwarm-pass hit rate:    %.1f%%\n", Warm.hitRate() * 100);
+  std::printf("lifetime hit rate:     %.1f%% (%zu/%zu cacheable)\n",
+              Stats.cacheHitRate() * 100, Stats.CacheHits,
+              Stats.CacheableRequests);
+  std::printf("lifetime throughput:   %.0f req/s over %zu epochs\n",
+              Stats.requestsPerSecond(), Stats.Epochs);
+
+  if (JsonPath && *JsonPath) {
+    Json J = Json::object();
+    J["bench"] = "service_throughput";
+    J["threads"] = dse::resolveThreadCount(Threads);
+    J["batch"] = Batch;
+    J["requests"] = Stats.Requests;
+    J["requests_per_sec"] = Stats.requestsPerSecond();
+    J["cache_hit_rate"] = Stats.cacheHitRate();
+    J["cold_requests_per_sec"] = Cold.rps();
+    J["warm_requests_per_sec"] = Warm.rps();
+    J["warm_hit_rate"] = Warm.hitRate();
+    J["estimate_requests_per_sec"] = Estimates.rps();
+    J["epochs"] = Stats.Epochs;
+    std::ofstream OutFile(JsonPath);
+    OutFile << J.dump() << "\n";
+    std::printf("\nthroughput metrics written to %s\n", JsonPath);
+  }
+
+  // Exercise the restart path: a fresh service over the same cache dir
+  // must start warm (this is what the acceptance criterion measures for
+  // the Figure 7 sweep).
+  {
+    CompileService Svc(Opts);
+    std::printf("restart warm-start:    %s (%zu verdicts, %zu estimates)\n",
+                Svc.stats().WarmStart ? "yes" : "NO",
+                Svc.stats().WarmVerdicts, Svc.stats().WarmEstimates);
+  }
+  if (OwnCacheDir) {
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC);
+  }
+  return 0;
+}

@@ -17,6 +17,10 @@
 //                                           estimate for cross-checking)
 //   dahliac FILE --estimate                 print the hlsim estimate only
 //   dahliac ... --time                      report per-stage wall clock
+//   dahliac ... --json                      emit one JSON object on stdout
+//                                           (diagnostics, estimate, timings;
+//                                           same serializer as dahlia-serve)
+//                                           and exit non-zero on any error
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,7 @@
 #include "driver/SpecExtractor.h"
 #include "filament/Interp.h"
 #include "filament/Syntax.h"
+#include "service/Protocol.h"
 
 #include <cstdio>
 #include <cstring>
@@ -39,7 +44,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
-               "[--check | --lower | --run | --estimate]\n");
+               "[--json] [--check | --lower | --run | --estimate]\n");
   return 2;
 }
 
@@ -85,6 +90,7 @@ int main(int Argc, char **Argv) {
   const char *OutFile = nullptr;
   std::string KernelName = "kernel";
   bool Time = false;
+  bool EmitJson = false;
   enum { EmitCpp, CheckOnly, Lower, Run, Estimate } Mode = EmitCpp;
 
   for (int I = 1; I < Argc; ++I) {
@@ -98,6 +104,8 @@ int main(int Argc, char **Argv) {
       Mode = Estimate;
     } else if (!std::strcmp(Argv[I], "--time")) {
       Time = true;
+    } else if (!std::strcmp(Argv[I], "--json")) {
+      EmitJson = true;
     } else if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc) {
       OutFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--kernel") && I + 1 < Argc) {
@@ -135,6 +143,36 @@ int main(int Argc, char **Argv) {
   CompileResult R = Pipeline.run(Source, Last);
   if (Time)
     printTimings(R);
+
+  // --json: one machine-readable object on stdout (the same serializers
+  // dahlia-serve uses), non-zero exit whenever diagnostics were reported.
+  if (EmitJson) {
+    Json J = Json::object();
+    J["file"] = File;
+    J["mode"] = Mode == CheckOnly ? "check"
+                : Mode == Lower   ? "lower"
+                : Mode == Run     ? "run"
+                : Mode == Estimate ? "estimate"
+                                   : "emit";
+    J["ok"] = R.ok();
+    J["diagnostics"] = service::toJson(R.Diags);
+    J["timings_ms"] = service::timingsToJson(R);
+    if (R.Est)
+      J["estimate"] = service::toJson(*R.Est);
+    if (Mode == Lower && R.Lowered)
+      J["lowered"] = fil::printCmd(*R.Lowered->Program);
+    if (Mode == EmitCpp && R.HlsCpp)
+      J["hls_cpp"] = *R.HlsCpp;
+    if (Mode == Run && R.Run) {
+      Json RunJ = Json::object();
+      RunJ["steps"] = R.Run->Steps;
+      RunJ["completed"] = bool(R.Run->Result);
+      J["run"] = std::move(RunJ);
+    }
+    std::printf("%s\n", J.dump().c_str());
+    return R.Diags.hasErrors() ? 1 : 0;
+  }
+
   if (!R) {
     R.Diags.printAll(stderr, File);
     return 1;

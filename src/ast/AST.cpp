@@ -194,3 +194,20 @@ CmdPtr BlockCmd::clone() const {
 }
 
 CmdPtr SkipCmd::clone() const { return std::make_unique<SkipCmd>(loc()); }
+
+Program Program::clone() const {
+  Program P;
+  P.Funcs.reserve(Funcs.size());
+  for (const FuncDef &F : Funcs) {
+    FuncDef NF;
+    NF.Name = F.Name;
+    NF.Params = F.Params; // TypeRef is shared; FuncParam copies are cheap.
+    NF.RetTy = F.RetTy;
+    NF.Body = F.Body ? F.Body->clone() : nullptr;
+    NF.Loc = F.Loc;
+    P.Funcs.push_back(std::move(NF));
+  }
+  P.Decls = Decls; // Types are immutable and shared.
+  P.Body = Body ? Body->clone() : nullptr;
+  return P;
+}

@@ -356,7 +356,9 @@ public:
   const Expr &cond() const { return *Cond; }
   Expr &cond() { return *Cond; }
   const Cmd &thenCmd() const { return *Then; }
+  Cmd &thenCmd() { return *Then; }
   const Cmd *elseCmd() const { return Else.get(); } ///< May be null.
+  Cmd *elseCmd() { return Else.get(); }
   CmdPtr clone() const override;
 
 private:
@@ -375,6 +377,7 @@ public:
   const Expr &cond() const { return *Cond; }
   Expr &cond() { return *Cond; }
   const Cmd &body() const { return *Body; }
+  Cmd &body() { return *Body; }
   CmdPtr clone() const override;
 
 private:
@@ -398,8 +401,14 @@ public:
   int64_t lo() const { return Lo; }
   int64_t hi() const { return Hi; }
   int64_t unroll() const { return Unroll; }
+  /// Rewrites the unroll factor in place. Used by the compile service's
+  /// session layer to re-check bank/unroll variants of a cached parse
+  /// without re-parsing.
+  void setUnroll(int64_t U) { Unroll = U; }
   const Cmd &body() const { return *Body; }
+  Cmd &body() { return *Body; }
   const Cmd *combine() const { return Combine.get(); } ///< May be null.
+  Cmd *combine() { return Combine.get(); }
   CmdPtr clone() const override;
 
 private:
@@ -571,6 +580,11 @@ struct Program {
   std::vector<FuncDef> Funcs;
   std::vector<ExternDecl> Decls;
   CmdPtr Body;
+
+  /// Deep copy. The compile service's session layer keeps one pristine
+  /// parsed program per session and clones it per re-check, since type
+  /// checking annotates expression types in place.
+  Program clone() const;
 };
 
 } // namespace dahlia

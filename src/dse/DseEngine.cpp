@@ -9,10 +9,12 @@
 
 #include "driver/CompilerPipeline.h"
 #include "support/StableHash.h"
+#include "support/WorkStealingPool.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 using namespace dahlia;
@@ -93,6 +95,46 @@ void DseCache::insertVerdict(uint64_t Key, bool Accepted) {
   S.Verdicts.emplace(Key, Accepted);
 }
 
+size_t DseCache::estimateCount() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Estimates.size();
+  }
+  return N;
+}
+
+size_t DseCache::verdictCount() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Verdicts.size();
+  }
+  return N;
+}
+
+std::vector<std::pair<uint64_t, hlsim::Estimate>>
+DseCache::snapshotEstimates() const {
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out.insert(Out.end(), S.Estimates.begin(), S.Estimates.end());
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+std::vector<std::pair<uint64_t, bool>> DseCache::snapshotVerdicts() const {
+  std::vector<std::pair<uint64_t, bool>> Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out.insert(Out.end(), S.Verdicts.begin(), S.Verdicts.end());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Worker pool
 //===----------------------------------------------------------------------===//
@@ -110,37 +152,6 @@ unsigned dahlia::dse::resolveThreadCount(unsigned Requested) {
 }
 
 namespace {
-
-/// One worker's slice of the index space. The owner takes grains from the
-/// front; idle workers steal the upper half from the back. A plain mutex
-/// per deque suffices: with estimation at ~0.3 ms/config and grains of
-/// ~32 configs, the lock is touched every ~10 ms per worker.
-struct IndexDeque {
-  std::mutex M;
-  size_t Begin = 0, End = 0;
-
-  bool pop(size_t Grain, size_t &B, size_t &E) {
-    std::lock_guard<std::mutex> Lock(M);
-    if (Begin >= End)
-      return false;
-    B = Begin;
-    E = std::min(Begin + Grain, End);
-    Begin = E;
-    return true;
-  }
-
-  bool stealHalf(size_t &B, size_t &E) {
-    std::lock_guard<std::mutex> Lock(M);
-    size_t Avail = End - Begin;
-    if (Avail == 0 || Begin >= End)
-      return false;
-    size_t Take = (Avail + 1) / 2;
-    B = End - Take;
-    E = End;
-    End = B;
-    return true;
-  }
-};
 
 struct WorkerTally {
   size_t Accepted = 0;
@@ -168,12 +179,6 @@ DseResult DseEngine::explore(const DseProblem &P) const {
   size_t EstHits0 = Cache ? Cache->estimateHits() : 0;
   size_t VerHits0 = Cache ? Cache->verdictHits() : 0;
 
-  // Pre-split the index space into one contiguous deque per worker.
-  std::vector<IndexDeque> Queues(Threads);
-  for (unsigned W = 0; W != Threads; ++W) {
-    Queues[W].Begin = P.Size * W / Threads;
-    Queues[W].End = P.Size * (W + 1) / Threads;
-  }
   std::vector<WorkerTally> Tallies(Threads);
 
   driver::CompilerPipeline Pipeline;
@@ -214,40 +219,7 @@ DseResult DseEngine::explore(const DseProblem &P) const {
     }
   };
 
-  auto WorkerMain = [&](unsigned W) {
-    size_t B, E;
-    while (true) {
-      if (Queues[W].pop(Grain, B, E)) {
-        EvalRange(W, B, E);
-        continue;
-      }
-      // Own deque drained: steal the upper half of a victim's range.
-      bool Stole = false;
-      for (unsigned Off = 1; Off != Threads && !Stole; ++Off) {
-        unsigned V = (W + Off) % Threads;
-        if (Queues[V].stealHalf(B, E)) {
-          Queues[W].M.lock();
-          Queues[W].Begin = B;
-          Queues[W].End = E;
-          Queues[W].M.unlock();
-          Stole = true;
-        }
-      }
-      if (!Stole)
-        return;
-    }
-  };
-
-  if (Threads <= 1) {
-    WorkerMain(0);
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Threads);
-    for (unsigned W = 0; W != Threads; ++W)
-      Pool.emplace_back(WorkerMain, W);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  workStealingFor(P.Size, Threads, Grain, EvalRange);
 
   // Deterministic reduction: the dominance-maximal set is unique and the
   // equal-vector tie rule is order-independent, so any merge order yields

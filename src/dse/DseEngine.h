@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace dahlia::dse {
@@ -80,6 +81,11 @@ private:
 /// repeated explorations (re-runs, multi-space harnesses, tests at
 /// several thread counts) hit outright; passing one cache to several
 /// engine runs makes the later runs near-free.
+///
+/// The snapshot accessors are the plug-in point for
+/// \c service::PersistentCache: a snapshot taken after a sweep is written
+/// to disk, and a later process bulk-inserts it back before exploring, so
+/// Figure 7 sweeps survive restarts.
 class DseCache {
 public:
   bool lookupEstimate(uint64_t Key, hlsim::Estimate &Out) const;
@@ -89,6 +95,15 @@ public:
 
   size_t estimateHits() const { return EstimateHits.load(); }
   size_t verdictHits() const { return VerdictHits.load(); }
+
+  /// Entry counts (sum over shards; each shard locked in turn).
+  size_t estimateCount() const;
+  size_t verdictCount() const;
+
+  /// Copies of the current contents, sorted by key so the serialized form
+  /// is deterministic regardless of insertion order or shard layout.
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> snapshotEstimates() const;
+  std::vector<std::pair<uint64_t, bool>> snapshotVerdicts() const;
 
 private:
   static constexpr size_t NumShards = 16;

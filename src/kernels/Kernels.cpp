@@ -222,16 +222,18 @@ std::vector<MdKnnConfig> dahlia::kernels::mdKnnSpace() {
 
 std::string dahlia::kernels::mdKnnDahlia(const MdKnnConfig &C) {
   std::ostringstream OS;
-  OS << "decl position: bit<32>[256 bank " << C.BankPos << "];\n"
-     << "decl pos_stage: bit<32>[256];\n"
+  // The position/force data is floating point (the spec models the
+  // Lennard-Jones chain in FP); only the neighbour-index list is integer.
+  OS << "decl position: float[256 bank " << C.BankPos << "];\n"
+     << "decl pos_stage: float[256];\n"
      // The atom dimension's banking tracks the unroll factor (our port
      // re-banks the staging memory it owns); the neighbour dimension's
      // banking is the swept BankNlPos parameter and gates inner
      // parallelism.
-     << "decl nlpos: bit<32>[256 bank " << C.UnrollI << "][16 bank "
+     << "decl nlpos: float[256 bank " << C.UnrollI << "][16 bank "
      << C.BankNlPos << "];\n"
      << "decl nl: bit<32>[256 bank " << C.BankNl << "][16];\n"
-     << "decl force: bit<32>[256 bank " << C.BankForce << "];\n"
+     << "decl force: float[256 bank " << C.BankForce << "];\n"
      // Phase 1: the data-dependent gather, hoisted into its own serial
      // loop (Section 5.3: "we hoist this serial section").
      << "for (let i0 = 0..256) {\n"
@@ -246,7 +248,7 @@ std::string dahlia::kernels::mdKnnDahlia(const MdKnnConfig &C) {
      << "---\n"
      // Phase 2: the parallelizable force computation.
      << "for (let i = 0..256) unroll " << C.UnrollI << " {\n"
-     << "  let fsum = 0;\n"
+     << "  let fsum = 0.0;\n"
      << "  {\n"
      << "    for (let j = 0..16) unroll " << C.UnrollJ << " {\n"
      << "      let del = position[i] - nlpos[i][j];\n"
@@ -308,16 +310,17 @@ std::vector<MdGridConfig> dahlia::kernels::mdGridSpace() {
 
 std::string dahlia::kernels::mdGridDahlia(const MdGridConfig &C) {
   std::ostringstream OS;
-  OS << "decl pos: bit<32>[4 bank " << C.Bank1 << "][4 bank " << C.Bank2
+  // Floating-point interface, matching the spec's FP force model.
+  OS << "decl pos: float[4 bank " << C.Bank1 << "][4 bank " << C.Bank2
      << "][4 bank " << C.Bank3 << "][16];\n"
-     << "decl frc: bit<32>[4 bank " << C.Bank1 << "][4 bank " << C.Bank2
+     << "decl frc: float[4 bank " << C.Bank1 << "][4 bank " << C.Bank2
      << "][4 bank " << C.Bank3 << "][16];\n"
      // The outer three (cell) loops are parallelizable; the inner atom
      // loop is a sequential reduction per cell.
      << "for (let i = 0..4) unroll " << C.Unroll1 << " {\n"
      << "  for (let j = 0..4) unroll " << C.Unroll2 << " {\n"
      << "    for (let k = 0..4) unroll " << C.Unroll3 << " {\n"
-     << "      let acc = 0;\n"
+     << "      let acc = 0.0;\n"
      << "      {\n"
      << "        for (let a = 0..16) {\n"
      << "          let q = pos[i][j][k][a];\n"

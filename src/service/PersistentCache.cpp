@@ -1,0 +1,249 @@
+//===- PersistentCache.cpp - On-disk memo cache for check/estimate -*- C++ -*-//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/PersistentCache.h"
+
+#include "support/StableHash.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+using namespace dahlia;
+using namespace dahlia::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'A', 'H', 'C'};
+
+//===----------------------------------------------------------------------===//
+// Little-endian byte stream helpers
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (I * 8)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (I * 8)) & 0xff));
+}
+
+void putDouble(std::string &Out, double D) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(D));
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+/// Bounds-checked reader over the loaded file image.
+struct Reader {
+  const unsigned char *P;
+  size_t Len;
+  size_t Pos = 0;
+  bool Bad = false;
+
+  bool need(size_t N) {
+    if (Pos + N > Len) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(P[Pos + I]) << (I * 8);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(P[Pos + I]) << (I * 8);
+    Pos += 8;
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double D;
+    std::memcpy(&D, &Bits, sizeof(D));
+    return D;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return P[Pos++];
+  }
+};
+
+/// Serialized size of one estimate record: 7 × u64/double + II + 2 flags.
+constexpr size_t kEstimateRecordBytes = 8 * 8 + 2;
+constexpr size_t kVerdictRecordBytes = 8 + 1;
+
+void putEstimate(std::string &Out, const hlsim::Estimate &E) {
+  putDouble(Out, E.Cycles);
+  putDouble(Out, E.RuntimeMs);
+  putU64(Out, static_cast<uint64_t>(E.Lut));
+  putU64(Out, static_cast<uint64_t>(E.Ff));
+  putU64(Out, static_cast<uint64_t>(E.Bram));
+  putU64(Out, static_cast<uint64_t>(E.Dsp));
+  putU64(Out, static_cast<uint64_t>(E.LutMem));
+  putDouble(Out, E.II);
+  Out.push_back(E.Incorrect ? 1 : 0);
+  Out.push_back(E.Predictable ? 1 : 0);
+}
+
+hlsim::Estimate getEstimate(Reader &R) {
+  hlsim::Estimate E;
+  E.Cycles = R.f64();
+  E.RuntimeMs = R.f64();
+  E.Lut = static_cast<int64_t>(R.u64());
+  E.Ff = static_cast<int64_t>(R.u64());
+  E.Bram = static_cast<int64_t>(R.u64());
+  E.Dsp = static_cast<int64_t>(R.u64());
+  E.LutMem = static_cast<int64_t>(R.u64());
+  E.II = R.f64();
+  E.Incorrect = R.u8() != 0;
+  E.Predictable = R.u8() != 0;
+  return E;
+}
+
+} // namespace
+
+PersistentCache::PersistentCache(std::string D, PersistentCacheOptions O)
+    : Dir(std::move(D)), Opts(O) {
+  if (Opts.Version == 0)
+    Opts.Version = kPersistentCacheFormatVersion;
+  File = (fs::path(Dir) / "memo.bin").string();
+}
+
+bool PersistentCache::load(dse::DseCache &Into,
+                           PersistentCacheLoadStats *Stats) const {
+  std::ifstream In(File, std::ios::binary);
+  if (!In)
+    return false;
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  // Header: magic + version + payload + trailing checksum over everything
+  // before it. Anything that doesn't fit is treated as absent.
+  if (Bytes.size() < 4 + 4 + 8 + 8 + 8)
+    return false;
+  if (std::memcmp(Bytes.data(), kMagic, 4) != 0)
+    return false;
+
+  size_t BodyLen = Bytes.size() - 8;
+  Reader R{reinterpret_cast<const unsigned char *>(Bytes.data()),
+           Bytes.size()};
+  R.Pos = 4;
+  uint32_t Version = R.u32();
+  if (Version != Opts.Version)
+    return false;
+
+  // Verify the checksum before trusting any count field.
+  Reader Tail{reinterpret_cast<const unsigned char *>(Bytes.data()),
+              Bytes.size()};
+  Tail.Pos = BodyLen;
+  uint64_t Expected = Tail.u64();
+  uint64_t Actual = stableHash(std::string_view(Bytes.data(), BodyLen));
+  if (Expected != Actual)
+    return false;
+
+  uint64_t NumVerdicts = R.u64();
+  if (R.Bad || NumVerdicts > (BodyLen - R.Pos) / kVerdictRecordBytes)
+    return false;
+  std::vector<std::pair<uint64_t, bool>> Verdicts;
+  Verdicts.reserve(NumVerdicts);
+  for (uint64_t I = 0; I != NumVerdicts; ++I) {
+    uint64_t Key = R.u64();
+    bool Accepted = R.u8() != 0;
+    Verdicts.emplace_back(Key, Accepted);
+  }
+
+  uint64_t NumEstimates = R.u64();
+  if (R.Bad || NumEstimates > (BodyLen - R.Pos) / kEstimateRecordBytes)
+    return false;
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates;
+  Estimates.reserve(NumEstimates);
+  for (uint64_t I = 0; I != NumEstimates; ++I) {
+    uint64_t Key = R.u64();
+    Estimates.emplace_back(Key, getEstimate(R));
+  }
+  if (R.Bad || R.Pos != BodyLen)
+    return false;
+
+  for (const auto &[Key, Accepted] : Verdicts)
+    Into.insertVerdict(Key, Accepted);
+  for (const auto &[Key, Est] : Estimates)
+    Into.insertEstimate(Key, Est);
+  if (Stats) {
+    Stats->Verdicts = Verdicts.size();
+    Stats->Estimates = Estimates.size();
+  }
+  return true;
+}
+
+bool PersistentCache::save(const dse::DseCache &From) const {
+  std::vector<std::pair<uint64_t, bool>> Verdicts = From.snapshotVerdicts();
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates =
+      From.snapshotEstimates();
+
+  // Eviction cap: verdicts (one byte of payload each, and each one stands
+  // for a full type-check) win over estimates; within a class the
+  // highest-keyed entries go first. Snapshots are key-sorted, so
+  // truncation is deterministic.
+  if (Verdicts.size() > Opts.MaxEntries)
+    Verdicts.resize(Opts.MaxEntries);
+  size_t EstBudget = Opts.MaxEntries - Verdicts.size();
+  if (Estimates.size() > EstBudget)
+    Estimates.resize(EstBudget);
+
+  std::string Out;
+  Out.reserve(16 + Verdicts.size() * kVerdictRecordBytes +
+              Estimates.size() * kEstimateRecordBytes + 8);
+  Out.append(kMagic, 4);
+  putU32(Out, Opts.Version);
+  putU64(Out, Verdicts.size());
+  for (const auto &[Key, Accepted] : Verdicts) {
+    putU64(Out, Key);
+    Out.push_back(Accepted ? 1 : 0);
+  }
+  putU64(Out, Estimates.size());
+  for (const auto &[Key, Est] : Estimates) {
+    putU64(Out, Key);
+    putEstimate(Out, Est);
+  }
+  putU64(Out, stableHash(Out));
+
+  std::error_code EC;
+  fs::create_directories(Dir, EC); // Existing directory is not an error.
+
+  std::string Tmp = File + ".tmp";
+  {
+    std::ofstream OutFile(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutFile)
+      return false;
+    OutFile.write(Out.data(), static_cast<std::streamsize>(Out.size()));
+    if (!OutFile)
+      return false;
+  }
+  fs::rename(Tmp, File, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}

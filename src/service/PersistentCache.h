@@ -1,0 +1,99 @@
+//===- PersistentCache.h - On-disk memo cache for check/estimate -*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persists a \c dse::DseCache (type-check verdicts keyed by source hash,
+/// hlsim estimates keyed by spec hash) across process runs, so Figure 7
+/// sweeps and long-lived compile-service instances start warm. The cache
+/// lives under a directory (by convention `.dahlia-cache/`) in a single
+/// versioned binary file:
+///
+///   .dahlia-cache/
+///     memo.bin      magic | format version | verdicts | estimates | checksum
+///     memo.bin.tmp  transient; the save path writes here, then renames
+///
+/// Robustness contract (exercised by PersistentCacheTest):
+///   * saves are crash-safe: the snapshot is written to `memo.bin.tmp` and
+///     atomically renamed over `memo.bin`, so readers never observe a
+///     half-written file;
+///   * a missing file, a version mismatch, or a truncated/corrupt file
+///     (bad magic, bad checksum, counts exceeding the payload) loads as
+///     empty — the caller rebuilds cleanly and the next save overwrites;
+///   * concurrent readers are safe: load only reads, and the
+///     rename-into-place discipline means they see either the old or the
+///     new complete file;
+///   * the entry count is capped (\c MaxEntries); eviction keeps verdicts
+///     (tiny, expensive to recompute) over estimates, dropping the
+///     highest-keyed entries first — deterministic, since a memo cache is
+///     correct under any subset.
+///
+/// All integers are serialized little-endian regardless of host order, so
+/// a cache written on one machine loads on another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SERVICE_PERSISTENTCACHE_H
+#define DAHLIA_SERVICE_PERSISTENTCACHE_H
+
+#include "dse/DseEngine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dahlia::service {
+
+/// Tunables of the on-disk cache.
+struct PersistentCacheOptions {
+  /// Total entry cap (verdicts + estimates) enforced at save time.
+  size_t MaxEntries = 1u << 20;
+  /// Format version written and required on load. Only tests override
+  /// this (to exercise the mismatch path); real callers track
+  /// \c kFormatVersion implicitly.
+  uint32_t Version = 0; ///< 0 = current kFormatVersion.
+};
+
+/// The current on-disk format version. Bump when the record layout
+/// changes; old files are then ignored and rebuilt.
+inline constexpr uint32_t kPersistentCacheFormatVersion = 1;
+
+/// Counters describing one load.
+struct PersistentCacheLoadStats {
+  size_t Verdicts = 0;
+  size_t Estimates = 0;
+};
+
+/// Handle to one on-disk cache directory. Stateless between calls; safe
+/// to use from several threads as long as saves are not concurrent with
+/// each other (concurrent loads are always fine).
+class PersistentCache {
+public:
+  explicit PersistentCache(std::string Dir,
+                           PersistentCacheOptions O = PersistentCacheOptions());
+
+  /// Bulk-inserts the on-disk snapshot into \p Into. Returns false (with
+  /// \p Into untouched) when the file is missing, has a different format
+  /// version, or is truncated/corrupt — never throws or crashes.
+  bool load(dse::DseCache &Into,
+            PersistentCacheLoadStats *Stats = nullptr) const;
+
+  /// Atomically writes a snapshot of \p From (write temp, then rename).
+  /// Returns false on I/O failure (e.g. unwritable directory).
+  bool save(const dse::DseCache &From) const;
+
+  /// The cache file this handle reads and writes.
+  const std::string &path() const { return File; }
+  const std::string &directory() const { return Dir; }
+
+private:
+  std::string Dir;
+  std::string File;
+  PersistentCacheOptions Opts;
+};
+
+} // namespace dahlia::service
+
+#endif // DAHLIA_SERVICE_PERSISTENTCACHE_H

@@ -1,0 +1,216 @@
+//===- Protocol.cpp - Compile service wire protocol -------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+using namespace dahlia;
+using namespace dahlia::service;
+
+const char *dahlia::service::opName(Op O) {
+  switch (O) {
+  case Op::Check:
+    return "check";
+  case Op::Estimate:
+    return "estimate";
+  case Op::Lower:
+    return "lower";
+  case Op::DseSweep:
+    return "dse-sweep";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Request
+//===----------------------------------------------------------------------===//
+
+std::optional<Request> Request::fromJson(const std::string &Line,
+                                         std::string *Err) {
+  std::optional<Json> J = Json::parse(Line, Err);
+  if (!J)
+    return std::nullopt;
+  if (!J->isObject()) {
+    if (Err)
+      *Err = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  Request R;
+  R.Id = J->at("id").asInt();
+
+  const std::string &OpStr = J->at("op").asString();
+  if (OpStr == "check" || OpStr.empty()) { // check is the default op
+    R.Kind = Op::Check;
+  } else if (OpStr == "estimate") {
+    R.Kind = Op::Estimate;
+  } else if (OpStr == "lower") {
+    R.Kind = Op::Lower;
+  } else if (OpStr == "dse-sweep") {
+    R.Kind = Op::DseSweep;
+  } else {
+    if (Err)
+      *Err = "unknown op '" + OpStr + "'";
+    return std::nullopt;
+  }
+
+  R.Source = J->at("source").asString();
+  R.Session = J->at("session").asString();
+  R.Space = J->at("space").asString();
+  int64_t Limit = J->at("limit").asInt();
+  int64_t Threads = J->at("threads").asInt();
+  if (Limit < 0 || Threads < 0 || Threads > 4096) {
+    if (Err)
+      *Err = "'limit'/'threads' out of range";
+    return std::nullopt;
+  }
+  R.Limit = static_cast<size_t>(Limit);
+  R.Threads = static_cast<unsigned>(Threads);
+
+  if (J->contains("rewrite")) {
+    const Json &RwJ = J->at("rewrite");
+    if (!RwJ.isObject()) {
+      if (Err)
+        *Err = "rewrite must be an object";
+      return std::nullopt;
+    }
+    Rewrite Rw;
+    for (const auto &[Mem, Factors] : RwJ.at("banks").asObject()) {
+      std::vector<int64_t> F;
+      for (const Json &B : Factors.asArray())
+        F.push_back(B.asInt());
+      Rw.Banks[Mem] = std::move(F);
+    }
+    for (const auto &[Iter, Factor] : RwJ.at("unrolls").asObject())
+      Rw.Unrolls[Iter] = Factor.asInt();
+    R.Rw = std::move(Rw);
+  }
+
+  if (R.Kind == Op::DseSweep) {
+    if (R.Space.empty()) {
+      if (Err)
+        *Err = "dse-sweep requires a 'space'";
+      return std::nullopt;
+    }
+  } else if (!R.Source.empty() && R.Rw) {
+    // Ambiguous: would the rewrite apply to this source or not? Make the
+    // client pick one (establish with source, then rewrite by session).
+    if (Err)
+      *Err = "request cannot carry both 'source' and 'rewrite'";
+    return std::nullopt;
+  } else if (R.Source.empty() && !(R.Rw && !R.Session.empty())) {
+    if (Err)
+      *Err = "request requires 'source' (or 'session' + 'rewrite')";
+    return std::nullopt;
+  }
+  return R;
+}
+
+Json Request::toJson() const {
+  Json J = Json::object();
+  J["id"] = Id;
+  J["op"] = opName(Kind);
+  if (!Source.empty())
+    J["source"] = Source;
+  if (!Session.empty())
+    J["session"] = Session;
+  if (Rw) {
+    Json RwJ = Json::object();
+    Json BanksJ = Json::object();
+    for (const auto &[Mem, Factors] : Rw->Banks) {
+      Json Arr = Json::array();
+      for (int64_t F : Factors)
+        Arr.push_back(F);
+      BanksJ[Mem] = std::move(Arr);
+    }
+    Json UnrollsJ = Json::object();
+    for (const auto &[Iter, Factor] : Rw->Unrolls)
+      UnrollsJ[Iter] = Factor;
+    RwJ["banks"] = std::move(BanksJ);
+    RwJ["unrolls"] = std::move(UnrollsJ);
+    J["rewrite"] = std::move(RwJ);
+  }
+  if (Kind == Op::DseSweep) {
+    J["space"] = Space;
+    if (Limit)
+      J["limit"] = Limit;
+    if (Threads)
+      J["threads"] = Threads;
+  }
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Response
+//===----------------------------------------------------------------------===//
+
+Json Response::toJson() const {
+  Json J = Json::object();
+  J["id"] = Id;
+  J["op"] = opName(Kind);
+  J["ok"] = Ok;
+  J["latency_ms"] = LatencyMs;
+  if (Cached)
+    J["cached"] = true;
+  if (ParseReused)
+    J["parse_reused"] = true;
+  if (!Errors.empty()) {
+    Json Arr = Json::array();
+    for (const Error &E : Errors)
+      Arr.push_back(service::toJson(E));
+    J["errors"] = std::move(Arr);
+  }
+  if (Est)
+    J["estimate"] = service::toJson(*Est);
+  if (!Lowered.empty())
+    J["lowered"] = Lowered;
+  if (Kind == Op::DseSweep && Sweep.isObject())
+    J["sweep"] = Sweep;
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared serializers
+//===----------------------------------------------------------------------===//
+
+Json dahlia::service::toJson(const Error &E) {
+  Json J = Json::object();
+  J["kind"] = errorKindName(E.kind());
+  J["message"] = E.message();
+  J["line"] = static_cast<int64_t>(E.loc().Line);
+  J["col"] = static_cast<int64_t>(E.loc().Col);
+  return J;
+}
+
+Json dahlia::service::toJson(const driver::DiagnosticEngine &D) {
+  Json Arr = Json::array();
+  for (const Error &E : D.errors())
+    Arr.push_back(toJson(E));
+  return Arr;
+}
+
+Json dahlia::service::toJson(const hlsim::Estimate &E) {
+  Json J = Json::object();
+  J["cycles"] = E.Cycles;
+  J["runtime_ms"] = E.RuntimeMs;
+  J["ii"] = E.II;
+  J["lut"] = E.Lut;
+  J["ff"] = E.Ff;
+  J["bram"] = E.Bram;
+  J["dsp"] = E.Dsp;
+  J["lutmem"] = E.LutMem;
+  J["incorrect"] = E.Incorrect;
+  J["predictable"] = E.Predictable;
+  return J;
+}
+
+Json dahlia::service::timingsToJson(const driver::CompileResult &R) {
+  Json J = Json::object();
+  for (const driver::StageTiming &T : R.Timings)
+    J[driver::stageName(T.S)] = T.Seconds * 1e3;
+  J["total"] = R.totalSeconds() * 1e3;
+  return J;
+}

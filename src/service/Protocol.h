@@ -1,0 +1,123 @@
+//===- Protocol.h - Compile service wire protocol ---------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-delimited JSON protocol of the compile service, plus the JSON
+/// serializers for diagnostics, estimates, and timings that the service
+/// shares with `dahliac --json`.
+///
+/// One request per line:
+///
+///   {"id":1,"op":"check","source":"decl A: float[4]; A[0] := 1.0;"}
+///   {"id":2,"op":"estimate","source":"..."}
+///   {"id":3,"op":"lower","source":"..."}
+///   {"id":4,"op":"dse-sweep","space":"gemm-blocked","limit":2000}
+///   {"id":5,"op":"check","session":"s1","source":"..."}       // parse+cache
+///   {"id":6,"op":"check","session":"s1",
+///    "rewrite":{"banks":{"A":[2,4]},"unrolls":{"i":4}}}       // re-check
+///
+/// One response per line, in request order:
+///
+///   {"id":1,"op":"check","ok":true,"cached":false,"latency_ms":0.4}
+///   {"id":1,"op":"check","ok":false,
+///    "errors":[{"kind":"affine","message":"...","line":1,"col":20}]}
+///
+/// A `session` names a server-side parse cache: a request carrying both
+/// `session` and `source` parses once and remembers the pristine AST; a
+/// later request carrying `session` and a `rewrite` (bank factors keyed by
+/// memory name, unroll factors keyed by iterator name) clones the cached
+/// AST, applies the rewrite, and re-runs only the type checker —
+/// incremental re-checking for DSE-style sweeps. Such responses report
+/// `"parse_reused":true`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SERVICE_PROTOCOL_H
+#define DAHLIA_SERVICE_PROTOCOL_H
+
+#include "driver/CompilerPipeline.h"
+#include "hlsim/Estimator.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dahlia::service {
+
+/// Operations the service answers.
+enum class Op { Check, Estimate, Lower, DseSweep };
+
+const char *opName(Op O);
+
+/// A bank/unroll rewrite applied to a session's cached parse.
+struct Rewrite {
+  /// Memory name -> per-dimension banking factors.
+  std::map<std::string, std::vector<int64_t>> Banks;
+  /// Loop iterator name -> unroll factor.
+  std::map<std::string, int64_t> Unrolls;
+
+  bool empty() const { return Banks.empty() && Unrolls.empty(); }
+};
+
+/// One parsed request.
+struct Request {
+  int64_t Id = 0;
+  Op Kind = Op::Check;
+  std::string Source;  ///< Dahlia source (check/estimate/lower).
+  std::string Session; ///< Optional session for parse reuse.
+  std::optional<Rewrite> Rw;
+  // dse-sweep parameters.
+  std::string Space;   ///< "gemm-blocked", "stencil2d", "md-knn", "md-grid".
+  size_t Limit = 0;    ///< Truncate the space (0 = full).
+  unsigned Threads = 0;
+
+  /// Parses one protocol line. Returns std::nullopt and sets \p Err on
+  /// malformed input (not valid JSON, unknown op, missing fields).
+  static std::optional<Request> fromJson(const std::string &Line,
+                                         std::string *Err = nullptr);
+  Json toJson() const;
+};
+
+/// One response. Only the fields of the request's op are populated.
+struct Response {
+  int64_t Id = 0;
+  Op Kind = Op::Check;
+  bool Ok = false;
+  bool Cached = false;      ///< Served from the memo cache.
+  bool ParseReused = false; ///< Session AST reuse (no parse ran).
+  double LatencyMs = 0;
+  std::vector<Error> Errors;
+  std::optional<hlsim::Estimate> Est; ///< estimate op.
+  std::string Lowered;                ///< lower op.
+  Json Sweep;                         ///< dse-sweep op summary (object).
+
+  Json toJson() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared serializers (service responses and `dahliac --json`)
+//===----------------------------------------------------------------------===//
+
+/// One diagnostic as {"kind","message","line","col"}.
+Json toJson(const Error &E);
+
+/// All diagnostics of \p D as an array.
+Json toJson(const driver::DiagnosticEngine &D);
+
+/// An estimate as {"cycles","ii","lut","ff","bram","dsp","lutmem",
+/// "runtime_ms","incorrect","predictable"}.
+Json toJson(const hlsim::Estimate &E);
+
+/// Per-stage timings as {"parse":ms,...,"total":ms}.
+Json timingsToJson(const driver::CompileResult &R);
+
+} // namespace dahlia::service
+
+#endif // DAHLIA_SERVICE_PROTOCOL_H

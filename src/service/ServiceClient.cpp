@@ -1,0 +1,173 @@
+//===- ServiceClient.cpp - Client helper for the compile service -*- C++ -*-=//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceClient.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+using namespace dahlia;
+using namespace dahlia::service;
+
+ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
+  ClientResponse C;
+  std::optional<Json> J = Json::parse(Line);
+  if (!J) {
+    C.R.Ok = false;
+    C.R.Errors.push_back(
+        Error(ErrorKind::Internal, "unparseable response line"));
+    return C;
+  }
+  C.Raw = *J;
+  C.R.Id = J->at("id").asInt();
+  const std::string &OpStr = J->at("op").asString();
+  C.R.Kind = OpStr == "estimate"   ? Op::Estimate
+             : OpStr == "lower"    ? Op::Lower
+             : OpStr == "dse-sweep" ? Op::DseSweep
+                                     : Op::Check;
+  C.R.Ok = J->at("ok").asBool();
+  C.R.Cached = J->at("cached").asBool();
+  C.R.ParseReused = J->at("parse_reused").asBool();
+  C.R.LatencyMs = J->at("latency_ms").asDouble();
+  for (const Json &E : J->at("errors").asArray()) {
+    ErrorKind Kind = ErrorKind::Internal;
+    const std::string &KindStr = E.at("kind").asString();
+    for (ErrorKind K :
+         {ErrorKind::Lex, ErrorKind::Parse, ErrorKind::Type,
+          ErrorKind::Affine, ErrorKind::Banking, ErrorKind::Unroll,
+          ErrorKind::View, ErrorKind::Semantics, ErrorKind::Internal})
+      if (KindStr == errorKindName(K))
+        Kind = K;
+    C.R.Errors.push_back(
+        Error(Kind, E.at("message").asString(),
+              SourceLoc(static_cast<uint32_t>(E.at("line").asInt()),
+                        static_cast<uint32_t>(E.at("col").asInt()))));
+  }
+  if (J->contains("estimate")) {
+    const Json &E = J->at("estimate");
+    hlsim::Estimate Est;
+    Est.Cycles = E.at("cycles").asDouble();
+    Est.RuntimeMs = E.at("runtime_ms").asDouble();
+    Est.II = E.at("ii").asDouble();
+    Est.Lut = E.at("lut").asInt();
+    Est.Ff = E.at("ff").asInt();
+    Est.Bram = E.at("bram").asInt();
+    Est.Dsp = E.at("dsp").asInt();
+    Est.LutMem = E.at("lutmem").asInt();
+    Est.Incorrect = E.at("incorrect").asBool();
+    Est.Predictable = E.at("predictable").asBool();
+    C.R.Est = Est;
+  }
+  C.R.Lowered = J->at("lowered").asString();
+  if (J->contains("sweep"))
+    C.R.Sweep = J->at("sweep");
+  return C;
+}
+
+ServiceClient::ServiceClient(CompileService &Svc) : Local(&Svc) {}
+ServiceClient::ServiceClient(std::istream &InS, std::ostream &OutS)
+    : In(&InS), Out(&OutS) {}
+ServiceClient::~ServiceClient() = default;
+
+std::vector<std::string>
+ServiceClient::exchange(const std::vector<std::string> &Lines) {
+  std::vector<std::string> Result;
+  if (Local) {
+    for (const Response &R : Local->processBatch(Lines))
+      Result.push_back(R.toJson().dump());
+    return Result;
+  }
+  for (const std::string &L : Lines)
+    *Out << L << '\n';
+  *Out << '\n'; // Blank line: flush the epoch.
+  Out->flush();
+  std::string Line;
+  while (Result.size() != Lines.size() && std::getline(*In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (!Line.empty())
+      Result.push_back(Line);
+  }
+  return Result;
+}
+
+ClientResponse ServiceClient::call(Request R) {
+  std::vector<ClientResponse> Rs = callBatch({std::move(R)});
+  if (Rs.empty()) {
+    ClientResponse C;
+    C.R.Ok = false;
+    C.R.Errors.push_back(Error(ErrorKind::Internal, "no response"));
+    return C;
+  }
+  return std::move(Rs.front());
+}
+
+std::vector<ClientResponse> ServiceClient::callBatch(std::vector<Request> Rs) {
+  std::vector<std::string> Lines;
+  std::map<int64_t, size_t> IdToIndex;
+  Lines.reserve(Rs.size());
+  for (size_t I = 0; I != Rs.size(); ++I) {
+    Rs[I].Id = NextId++;
+    IdToIndex[Rs[I].Id] = I;
+    Lines.push_back(Rs[I].toJson().dump());
+  }
+
+  std::vector<ClientResponse> Decoded(Rs.size());
+  size_t Cursor = 0;
+  for (const std::string &Line : exchange(Lines)) {
+    ClientResponse C = decodeResponse(Line);
+    auto It = IdToIndex.find(C.R.Id);
+    size_t Slot = It != IdToIndex.end() ? It->second : Cursor;
+    if (Slot < Decoded.size())
+      Decoded[Slot] = std::move(C);
+    ++Cursor;
+  }
+  return Decoded;
+}
+
+ClientResponse ServiceClient::check(const std::string &Source,
+                                    const std::string &Session) {
+  Request R;
+  R.Kind = Op::Check;
+  R.Source = Source;
+  R.Session = Session;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::recheck(const std::string &Session,
+                                      const Rewrite &Rw) {
+  Request R;
+  R.Kind = Op::Check;
+  R.Session = Session;
+  R.Rw = Rw;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::estimate(const std::string &Source) {
+  Request R;
+  R.Kind = Op::Estimate;
+  R.Source = Source;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::lower(const std::string &Source) {
+  Request R;
+  R.Kind = Op::Lower;
+  R.Source = Source;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::dseSweep(const std::string &Space, size_t Limit,
+                                       unsigned Threads) {
+  Request R;
+  R.Kind = Op::DseSweep;
+  R.Space = Space;
+  R.Limit = Limit;
+  R.Threads = Threads;
+  return call(std::move(R));
+}

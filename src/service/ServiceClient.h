@@ -1,0 +1,83 @@
+//===- ServiceClient.h - Client helper for the compile service --*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small client for the compile service's line protocol. Two transports:
+///
+///   * in-process: wraps a \c CompileService and still round-trips every
+///     request and response through the JSON wire format, so tests and the
+///     throughput bench exercise exactly what a remote client would see;
+///   * stream: speaks the protocol over any std::iostream pair (a TCP
+///     socket wrapped in a streambuf, a pipe to `dahlia-serve`, ...).
+///
+/// The client assigns request ids automatically and matches responses by
+/// id, so callers think in Requests and Responses, not lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SERVICE_SERVICECLIENT_H
+#define DAHLIA_SERVICE_SERVICECLIENT_H
+
+#include "service/CompileService.h"
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace dahlia::service {
+
+/// Decoded response line. \c Raw keeps the full JSON for fields the
+/// struct does not model.
+struct ClientResponse {
+  Response R;
+  Json Raw;
+};
+
+/// Decodes one response line into the typed struct (fields the protocol
+/// defines; unknown fields remain visible through \c Raw).
+ClientResponse decodeResponse(const std::string &Line);
+
+class ServiceClient {
+public:
+  /// In-process transport over \p Svc (not owned).
+  explicit ServiceClient(CompileService &Svc);
+  /// Stream transport: writes request lines to \p Out, reads response
+  /// lines from \p In (neither owned).
+  ServiceClient(std::istream &In, std::ostream &Out);
+  ~ServiceClient();
+
+  /// Sends one request and waits for its response. The request's id is
+  /// overwritten with a fresh one.
+  ClientResponse call(Request R);
+
+  /// Sends a whole batch as one epoch (in-process: one processBatch call;
+  /// stream: all lines then a blank-line flush) and returns the responses
+  /// in request order.
+  std::vector<ClientResponse> callBatch(std::vector<Request> Rs);
+
+  // Convenience wrappers --------------------------------------------------
+
+  ClientResponse check(const std::string &Source,
+                       const std::string &Session = {});
+  ClientResponse recheck(const std::string &Session, const Rewrite &Rw);
+  ClientResponse estimate(const std::string &Source);
+  ClientResponse lower(const std::string &Source);
+  ClientResponse dseSweep(const std::string &Space, size_t Limit = 0,
+                          unsigned Threads = 0);
+
+private:
+  std::vector<std::string> exchange(const std::vector<std::string> &Lines);
+
+  CompileService *Local = nullptr;
+  std::istream *In = nullptr;
+  std::ostream *Out = nullptr;
+  int64_t NextId = 1;
+};
+
+} // namespace dahlia::service
+
+#endif // DAHLIA_SERVICE_SERVICECLIENT_H

@@ -1,0 +1,263 @@
+//===- PersistentCacheTest.cpp - On-disk memo cache tests -------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// The robustness contract of service::PersistentCache: round-trips are
+// lossless, a version mismatch or truncated/corrupt file loads as empty
+// (clean rebuild, no crash), concurrent readers are safe, and the entry
+// cap evicts deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/PersistentCache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+using namespace dahlia;
+using namespace dahlia::dse;
+using namespace dahlia::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class PersistentCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = (fs::temp_directory_path() /
+           ("dahlia-pcache-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+              .string();
+    fs::remove_all(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  std::string Dir;
+};
+
+hlsim::Estimate estimateFor(uint64_t I) {
+  hlsim::Estimate E;
+  E.Cycles = static_cast<double>(I) * 3 + 1;
+  E.RuntimeMs = static_cast<double>(I) * 0.5;
+  E.Lut = static_cast<int64_t>(I * 7);
+  E.Ff = static_cast<int64_t>(I * 11);
+  E.Bram = static_cast<int64_t>(I % 5);
+  E.Dsp = static_cast<int64_t>(I % 3);
+  E.LutMem = static_cast<int64_t>(I % 17);
+  E.II = 1.0 + static_cast<double>(I % 4);
+  E.Incorrect = I % 7 == 0;
+  E.Predictable = I % 2 == 0;
+  return E;
+}
+
+/// Fills \p C with \p NumVerdicts verdicts and \p NumEstimates estimates.
+/// (DseCache is neither copyable nor movable — mutexes and atomics.)
+void fillCache(DseCache &C, size_t NumVerdicts, size_t NumEstimates) {
+  for (size_t I = 0; I != NumVerdicts; ++I)
+    C.insertVerdict(1000 + I, I % 3 == 0);
+  for (size_t I = 0; I != NumEstimates; ++I)
+    C.insertEstimate(9000 + I, estimateFor(I));
+}
+
+/// Builds a filled cache and saves it through \p P.
+bool saveCache(const PersistentCache &P, size_t NumVerdicts,
+               size_t NumEstimates) {
+  DseCache C;
+  fillCache(C, NumVerdicts, NumEstimates);
+  return P.save(C);
+}
+
+bool equalEstimates(const hlsim::Estimate &A, const hlsim::Estimate &B) {
+  return A.Cycles == B.Cycles && A.RuntimeMs == B.RuntimeMs &&
+         A.Lut == B.Lut && A.Ff == B.Ff && A.Bram == B.Bram &&
+         A.Dsp == B.Dsp && A.LutMem == B.LutMem && A.II == B.II &&
+         A.Incorrect == B.Incorrect && A.Predictable == B.Predictable;
+}
+
+TEST_F(PersistentCacheTest, RoundTripIsLossless) {
+  DseCache Original;
+  fillCache(Original, 100, 40);
+  PersistentCache P(Dir);
+  ASSERT_TRUE(P.save(Original));
+  ASSERT_TRUE(fs::exists(P.path()));
+  // The temp file never survives a completed save.
+  EXPECT_FALSE(fs::exists(P.path() + ".tmp"));
+
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 100u);
+  EXPECT_EQ(Stats.Estimates, 40u);
+
+  for (size_t I = 0; I != 100; ++I) {
+    bool Accepted = false;
+    ASSERT_TRUE(Loaded.lookupVerdict(1000 + I, Accepted)) << I;
+    EXPECT_EQ(Accepted, I % 3 == 0) << I;
+  }
+  for (size_t I = 0; I != 40; ++I) {
+    hlsim::Estimate E;
+    ASSERT_TRUE(Loaded.lookupEstimate(9000 + I, E)) << I;
+    EXPECT_TRUE(equalEstimates(E, estimateFor(I))) << I;
+  }
+}
+
+TEST_F(PersistentCacheTest, MissingFileLoadsAsEmpty) {
+  PersistentCache P(Dir);
+  DseCache Into;
+  EXPECT_FALSE(P.load(Into));
+  EXPECT_EQ(Into.verdictCount(), 0u);
+}
+
+TEST_F(PersistentCacheTest, VersionMismatchTriggersCleanRebuild) {
+  {
+    PersistentCacheOptions Old;
+    Old.Version = 1;
+    PersistentCache P(Dir, Old);
+    ASSERT_TRUE(saveCache(P, 10, 5));
+  }
+  // A reader expecting a newer format ignores the old file...
+  PersistentCacheOptions New;
+  New.Version = 2;
+  PersistentCache P2(Dir, New);
+  DseCache Into;
+  EXPECT_FALSE(P2.load(Into));
+  EXPECT_EQ(Into.verdictCount(), 0u);
+  EXPECT_EQ(Into.estimateCount(), 0u);
+
+  // ...and its next save rebuilds the file in the new format.
+  ASSERT_TRUE(saveCache(P2, 3, 2));
+  DseCache Fresh;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P2.load(Fresh, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 3u);
+  EXPECT_EQ(Stats.Estimates, 2u);
+}
+
+TEST_F(PersistentCacheTest, TruncatedFileIsIgnoredWithoutCrashing) {
+  PersistentCache P(Dir);
+  ASSERT_TRUE(saveCache(P, 50, 20));
+  auto FullSize = fs::file_size(P.path());
+
+  // Truncate at every interesting boundary plus a sweep of prefixes.
+  std::string Full;
+  {
+    std::ifstream In(P.path(), std::ios::binary);
+    Full.assign((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(Full.size(), FullSize);
+  for (size_t Keep :
+       {size_t(0), size_t(3), size_t(4), size_t(7), size_t(8), size_t(15),
+        size_t(16), Full.size() / 2, Full.size() - 1}) {
+    std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+    Out.write(Full.data(), static_cast<std::streamsize>(Keep));
+    Out.close();
+    DseCache Into;
+    EXPECT_FALSE(P.load(Into)) << "kept " << Keep << " bytes";
+    EXPECT_EQ(Into.verdictCount(), 0u) << Keep;
+  }
+}
+
+TEST_F(PersistentCacheTest, CorruptPayloadIsIgnoredWithoutCrashing) {
+  PersistentCache P(Dir);
+  ASSERT_TRUE(saveCache(P, 50, 20));
+  std::string Full;
+  {
+    std::ifstream In(P.path(), std::ios::binary);
+    Full.assign((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  }
+  // Flip one byte in the middle (a record), one in the counts, and one in
+  // the checksum itself.
+  for (size_t Victim : {Full.size() / 2, size_t(9), Full.size() - 4}) {
+    std::string Bad = Full;
+    Bad[Victim] = static_cast<char>(Bad[Victim] ^ 0x5a);
+    std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+    Out.write(Bad.data(), static_cast<std::streamsize>(Bad.size()));
+    Out.close();
+    DseCache Into;
+    EXPECT_FALSE(P.load(Into)) << "flipped byte " << Victim;
+    EXPECT_EQ(Into.verdictCount(), 0u) << Victim;
+  }
+
+  // Garbage that is not even the right magic.
+  std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+  Out << "this is not a cache file at all, but it is long enough to parse";
+  Out.close();
+  DseCache Into;
+  EXPECT_FALSE(P.load(Into));
+}
+
+TEST_F(PersistentCacheTest, ConcurrentReadersAgree) {
+  PersistentCache P(Dir);
+  ASSERT_TRUE(saveCache(P, 500, 200));
+
+  constexpr unsigned NumReaders = 8;
+  std::vector<DseCache> Caches(NumReaders);
+  std::vector<bool> LoadOk(NumReaders, false);
+  std::vector<std::thread> Readers;
+  for (unsigned T = 0; T != NumReaders; ++T)
+    Readers.emplace_back([&, T] { LoadOk[T] = P.load(Caches[T]); });
+  for (std::thread &T : Readers)
+    T.join();
+
+  for (unsigned T = 0; T != NumReaders; ++T) {
+    ASSERT_TRUE(LoadOk[T]) << T;
+    EXPECT_EQ(Caches[T].verdictCount(), 500u) << T;
+    EXPECT_EQ(Caches[T].estimateCount(), 200u) << T;
+  }
+}
+
+TEST_F(PersistentCacheTest, EvictionCapKeepsVerdictsOverEstimates) {
+  PersistentCacheOptions O;
+  O.MaxEntries = 60;
+  PersistentCache P(Dir, O);
+  ASSERT_TRUE(saveCache(P, 50, 30)); // 80 entries > cap 60.
+
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 50u); // All verdicts survive...
+  EXPECT_EQ(Stats.Estimates, 10u); // ...estimates absorb the eviction.
+
+  // Eviction is deterministic: the lowest-keyed estimates survive.
+  for (uint64_t I = 0; I != 10; ++I) {
+    hlsim::Estimate E;
+    EXPECT_TRUE(Loaded.lookupEstimate(9000 + I, E)) << I;
+  }
+  hlsim::Estimate E;
+  EXPECT_FALSE(Loaded.lookupEstimate(9000 + 10, E));
+
+  // A cap smaller than the verdict count truncates verdicts too.
+  PersistentCacheOptions Tiny;
+  Tiny.MaxEntries = 20;
+  PersistentCache P2(Dir, Tiny);
+  ASSERT_TRUE(saveCache(P2, 50, 30));
+  DseCache Small;
+  ASSERT_TRUE(P2.load(Small, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 20u);
+  EXPECT_EQ(Stats.Estimates, 0u);
+}
+
+TEST_F(PersistentCacheTest, SaveOverwritesAtomically) {
+  PersistentCache P(Dir);
+  ASSERT_TRUE(saveCache(P, 10, 0));
+  ASSERT_TRUE(saveCache(P, 25, 5)); // Larger snapshot over smaller.
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 25u);
+  EXPECT_EQ(Stats.Estimates, 5u);
+  EXPECT_FALSE(fs::exists(P.path() + ".tmp"));
+}
+
+} // namespace

@@ -1,0 +1,388 @@
+//===- ServiceTest.cpp - Compile service and protocol tests -----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// The service contract: the JSON wire format round-trips; batches answer
+// in request order with per-request latencies; the memo cache serves
+// repeats (including rejections, with their diagnostics); sessions reuse
+// the parse across bank/unroll rewrites and agree with full re-compiles;
+// dse-sweep requests match the engine run directly; and a service restart
+// over a cache directory starts warm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceClient.h"
+
+#include "driver/CompilerPipeline.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+using namespace dahlia;
+using namespace dahlia::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *AcceptedSrc = "decl A: float[8 bank 4];\n"
+                          "for (let i = 0..8) unroll 4 { A[i] := 1.0; }\n";
+const char *RejectedSrc = "decl A: float[10];\n"
+                          "let x = A[0]; A[1] := 1.0;\n";
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParseDumpRoundTrip) {
+  const char *Text =
+      R"({"a":[1,2.5,true,null,"x\n\"y\""],"b":{"c":-7},"d":""})";
+  std::string Err;
+  auto J = Json::parse(Text, &Err);
+  ASSERT_TRUE(J.has_value()) << Err;
+  EXPECT_EQ(J->at("a").size(), 5u);
+  EXPECT_EQ(J->at("a").asArray()[0].asInt(), 1);
+  EXPECT_DOUBLE_EQ(J->at("a").asArray()[1].asDouble(), 2.5);
+  EXPECT_TRUE(J->at("a").asArray()[2].asBool());
+  EXPECT_TRUE(J->at("a").asArray()[3].isNull());
+  EXPECT_EQ(J->at("a").asArray()[4].asString(), "x\n\"y\"");
+  EXPECT_EQ(J->at("b").at("c").asInt(), -7);
+
+  // dump -> parse -> dump is a fixed point (keys are sorted).
+  std::string Dumped = J->dump();
+  auto Again = Json::parse(Dumped, &Err);
+  ASSERT_TRUE(Again.has_value()) << Err;
+  EXPECT_EQ(Again->dump(), Dumped);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char *Bad : {"", "{", "[1,", "{\"a\":}", "tru", "\"unterm",
+                          "{\"a\":1}trailing", "nan", "01x"})
+    EXPECT_FALSE(Json::parse(Bad).has_value()) << Bad;
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  int64_t Big = 9007199254740993; // 2^53 + 1: not representable as double.
+  Json J = Json::object();
+  J["v"] = Big;
+  auto Back = Json::parse(J.dump());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->at("v").asInt(), Big);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestRoundTrip) {
+  Request R;
+  R.Id = 42;
+  R.Kind = Op::Check;
+  R.Session = "s1";
+  Rewrite Rw;
+  Rw.Banks["A"] = {2, 4};
+  Rw.Unrolls["i"] = 4;
+  R.Rw = Rw;
+
+  std::string Err;
+  auto Back = Request::fromJson(R.toJson().dump(), &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->Id, 42);
+  EXPECT_EQ(Back->Session, "s1");
+  ASSERT_TRUE(Back->Rw.has_value());
+  EXPECT_EQ(Back->Rw->Banks.at("A"), (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(Back->Rw->Unrolls.at("i"), 4);
+}
+
+TEST(Protocol, RejectsInvalidRequests) {
+  std::string Err;
+  EXPECT_FALSE(Request::fromJson("not json", &Err).has_value());
+  EXPECT_FALSE(Request::fromJson("[1,2]", &Err).has_value());
+  EXPECT_FALSE(
+      Request::fromJson(R"({"id":1,"op":"frobnicate","source":"x"})", &Err)
+          .has_value());
+  EXPECT_FALSE(Request::fromJson(R"({"id":1,"op":"check"})", &Err)
+                   .has_value()); // no source
+  EXPECT_FALSE(Request::fromJson(R"({"id":1,"op":"dse-sweep"})", &Err)
+                   .has_value()); // no space
+  // A thread/limit request outside sane bounds must not reach the worker
+  // pool (a negative value would otherwise wrap to a huge unsigned).
+  EXPECT_FALSE(
+      Request::fromJson(
+          R"({"id":1,"op":"dse-sweep","space":"gemm-blocked","threads":-1})",
+          &Err)
+          .has_value());
+  EXPECT_FALSE(
+      Request::fromJson(
+          R"({"id":1,"op":"dse-sweep","space":"gemm-blocked","limit":-5})",
+          &Err)
+          .has_value());
+  // source + rewrite is ambiguous; the client must pick one.
+  EXPECT_FALSE(
+      Request::fromJson(
+          R"({"id":1,"op":"check","session":"s","source":"x","rewrite":{}})",
+          &Err)
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+ServiceOptions testOptions() {
+  ServiceOptions O;
+  O.Threads = 2;
+  O.MaxBatch = 8;
+  return O; // No cache dir: persistence is tested separately.
+}
+
+TEST(Service, CheckEstimateLowerAnswer) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  ClientResponse Ok = C.check(AcceptedSrc);
+  EXPECT_TRUE(Ok.R.Ok);
+  EXPECT_TRUE(Ok.R.Errors.empty());
+  EXPECT_GE(Ok.R.LatencyMs, 0.0);
+
+  ClientResponse Bad = C.check(RejectedSrc);
+  EXPECT_FALSE(Bad.R.Ok);
+  ASSERT_FALSE(Bad.R.Errors.empty());
+  EXPECT_EQ(Bad.R.Errors[0].kind(), ErrorKind::Affine);
+  EXPECT_EQ(Bad.R.Errors[0].loc().Line, 2u);
+
+  ClientResponse Est = C.estimate(AcceptedSrc);
+  ASSERT_TRUE(Est.R.Ok);
+  ASSERT_TRUE(Est.R.Est.has_value());
+  EXPECT_GT(Est.R.Est->Cycles, 0.0);
+  EXPECT_GT(Est.R.Est->Lut, 0);
+
+  ClientResponse Low = C.lower("decl O: bit<32>[1];\nO[0] := 7;");
+  ASSERT_TRUE(Low.R.Ok);
+  EXPECT_NE(Low.R.Lowered.find(":="), std::string::npos);
+
+  ClientResponse ParseErr = C.check("let = garbage ;;;");
+  EXPECT_FALSE(ParseErr.R.Ok);
+  EXPECT_FALSE(ParseErr.R.Errors.empty());
+}
+
+TEST(Service, EstimateAgreesWithPipeline) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+  std::string Src = kernels::gemmBlockedDahlia(kernels::GemmBlockedConfig());
+
+  ClientResponse Est = C.estimate(Src);
+  ASSERT_TRUE(Est.R.Ok);
+  driver::CompileResult Ref = driver::CompilerPipeline().estimate(Src);
+  ASSERT_TRUE(Ref.ok());
+  EXPECT_DOUBLE_EQ(Est.R.Est->Cycles, Ref.Est->Cycles);
+  EXPECT_EQ(Est.R.Est->Lut, Ref.Est->Lut);
+}
+
+TEST(Service, MemoCacheServesRepeatsIncludingRejections) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  EXPECT_FALSE(C.check(AcceptedSrc).R.Cached);
+  ClientResponse Hit = C.check(AcceptedSrc);
+  EXPECT_TRUE(Hit.R.Ok);
+  EXPECT_TRUE(Hit.R.Cached);
+
+  ClientResponse Miss = C.check(RejectedSrc);
+  EXPECT_FALSE(Miss.R.Cached);
+  std::string FirstMsg = Miss.R.Errors.at(0).message();
+  ClientResponse RejHit = C.check(RejectedSrc);
+  EXPECT_FALSE(RejHit.R.Ok);
+  EXPECT_TRUE(RejHit.R.Cached);
+  ASSERT_FALSE(RejHit.R.Errors.empty());
+  EXPECT_EQ(RejHit.R.Errors.at(0).message(), FirstMsg);
+
+  EXPECT_FALSE(C.estimate(AcceptedSrc).R.Cached); // First estimate computes...
+  EXPECT_TRUE(C.estimate(AcceptedSrc).R.Cached);  // ...repeat is served.
+
+  EXPECT_EQ(Svc.stats().CacheHits, 3u);
+  EXPECT_GT(Svc.stats().cacheHitRate(), 0.0);
+}
+
+TEST(Service, BatchAnswersInRequestOrder) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  std::vector<Request> Batch;
+  for (int I = 0; I != 20; ++I) {
+    Request R;
+    R.Kind = Op::Check;
+    R.Source = I % 3 == 0 ? RejectedSrc : AcceptedSrc;
+    Batch.push_back(R);
+  }
+  std::vector<ClientResponse> Rs = C.callBatch(Batch);
+  ASSERT_EQ(Rs.size(), 20u);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Rs[I].R.Ok, I % 3 != 0) << I;
+  EXPECT_EQ(Svc.stats().Requests, 20u);
+  EXPECT_GE(Svc.stats().Epochs, 1u);
+}
+
+TEST(Service, MalformedLinesGetErrorResponsesNotTeardown) {
+  CompileService Svc(testOptions());
+  std::vector<Response> Rs = Svc.processBatch({
+      R"({"id":7,"op":"check","source":"decl A: float[4]; A[0] := 1.0;"})",
+      "garbage",
+      R"({"id":9,"op":"nope","source":"x"})",
+  });
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_TRUE(Rs[0].Ok);
+  EXPECT_EQ(Rs[0].Id, 7);
+  EXPECT_FALSE(Rs[1].Ok);
+  EXPECT_FALSE(Rs[2].Ok);
+  EXPECT_EQ(Rs[2].Id, 9); // Id salvaged from valid JSON with a bad op.
+  EXPECT_EQ(Svc.stats().Malformed, 2u);
+}
+
+TEST(Service, SessionRewritesAgreeWithFullRecompiles) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  // Establish the session with the U=4/B=4 variant.
+  ASSERT_TRUE(C.check(AcceptedSrc, "s").R.Ok);
+
+  // Sweep bank/unroll combinations through the session and compare each
+  // verdict against the pipeline on equivalent full source.
+  for (int64_t Bank : {1, 2, 4, 8}) {
+    for (int64_t Unroll : {1, 2, 4, 8}) {
+      Rewrite Rw;
+      Rw.Banks["A"] = {Bank};
+      Rw.Unrolls["i"] = Unroll;
+      ClientResponse Got = C.recheck("s", Rw);
+
+      std::ostringstream Src;
+      Src << "decl A: float[8 bank " << Bank << "];\n"
+          << "for (let i = 0..8) unroll " << Unroll
+          << " { A[i] := 1.0; }\n";
+      bool Want = driver::checksSource(Src.str());
+      EXPECT_EQ(Got.R.Ok, Want) << "bank " << Bank << " unroll " << Unroll;
+      EXPECT_TRUE(Got.R.ParseReused || Got.R.Cached)
+          << "bank " << Bank << " unroll " << Unroll;
+    }
+  }
+  EXPECT_GT(Svc.stats().ParseReuses, 0u);
+
+  // Unknown names surface as errors rather than silent no-ops.
+  Rewrite BadMem;
+  BadMem.Banks["Z"] = {2};
+  EXPECT_FALSE(C.recheck("s", BadMem).R.Ok);
+  Rewrite BadIter;
+  BadIter.Unrolls["nope"] = 2;
+  EXPECT_FALSE(C.recheck("s", BadIter).R.Ok);
+  Rewrite BadArity;
+  BadArity.Banks["A"] = {2, 2};
+  EXPECT_FALSE(C.recheck("s", BadArity).R.Ok);
+  EXPECT_FALSE(C.recheck("missing-session", BadMem).R.Ok);
+}
+
+TEST(Service, SessionRewriteEstimatesMatchFullSource) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+  ASSERT_TRUE(C.check(AcceptedSrc, "s").R.Ok);
+
+  Rewrite Rw;
+  Rw.Banks["A"] = {2};
+  Rw.Unrolls["i"] = 2;
+  Request R;
+  R.Kind = Op::Estimate;
+  R.Session = "s";
+  R.Rw = Rw;
+  ClientResponse Got = C.call(R);
+  ASSERT_TRUE(Got.R.Ok);
+  ASSERT_TRUE(Got.R.Est.has_value());
+
+  driver::CompileResult Ref = driver::CompilerPipeline().estimate(
+      "decl A: float[8 bank 2];\nfor (let i = 0..8) unroll 2 "
+      "{ A[i] := 1.0; }\n");
+  ASSERT_TRUE(Ref.ok()) << Ref.firstError();
+  EXPECT_DOUBLE_EQ(Got.R.Est->Cycles, Ref.Est->Cycles);
+  EXPECT_EQ(Got.R.Est->Lut, Ref.Est->Lut);
+}
+
+TEST(Service, DseSweepMatchesEngine) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  ClientResponse S = C.dseSweep("gemm-blocked", /*Limit=*/200, /*Threads=*/2);
+  ASSERT_TRUE(S.R.Ok);
+  EXPECT_EQ(S.R.Sweep.at("explored").asInt(), 200);
+
+  dse::DseProblem P = kernels::gemmBlockedProblem();
+  P.Size = 200;
+  dse::DseResult Ref = dse::DseEngine().explore(P);
+  EXPECT_EQ(S.R.Sweep.at("accepted").asInt(),
+            static_cast<int64_t>(Ref.Stats.Accepted));
+  EXPECT_EQ(S.R.Sweep.at("pareto_points").asInt(),
+            static_cast<int64_t>(Ref.Front.size()));
+
+  EXPECT_FALSE(C.dseSweep("no-such-space", 10).R.Ok);
+}
+
+TEST(Service, ServeStreamSpeaksTheLineProtocol) {
+  CompileService Svc(testOptions());
+  std::istringstream In(
+      R"({"id":1,"op":"check","source":"decl A: float[4]; A[0] := 1.0;"})"
+      "\n\n" // Blank line: epoch flush.
+      R"({"id":2,"op":"check","source":"decl A: float[4]; A[0] := 1.0;"})"
+      "\n");
+  std::ostringstream Out;
+  Svc.serveStream(In, Out);
+
+  std::istringstream Lines(Out.str());
+  std::string L1, L2;
+  ASSERT_TRUE(std::getline(Lines, L1));
+  ASSERT_TRUE(std::getline(Lines, L2));
+  ClientResponse R1 = decodeResponse(L1), R2 = decodeResponse(L2);
+  EXPECT_EQ(R1.R.Id, 1);
+  EXPECT_TRUE(R1.R.Ok);
+  EXPECT_EQ(R2.R.Id, 2);
+  EXPECT_TRUE(R2.R.Ok);
+  EXPECT_TRUE(R2.R.Cached); // Second epoch hits the first epoch's memo.
+  EXPECT_EQ(Svc.stats().Epochs, 2u);
+}
+
+TEST(Service, RestartOverCacheDirStartsWarm) {
+  std::string Dir =
+      (fs::temp_directory_path() / "dahlia-service-test-cache").string();
+  fs::remove_all(Dir);
+
+  ServiceOptions O = testOptions();
+  O.CacheDir = Dir;
+  {
+    CompileService Svc(O);
+    ServiceClient C(Svc);
+    EXPECT_FALSE(Svc.stats().WarmStart);
+    C.check(AcceptedSrc);
+    C.check(RejectedSrc);
+    C.estimate(AcceptedSrc);
+  } // Destructor persists the cache.
+
+  {
+    CompileService Svc(O);
+    ServiceClient C(Svc);
+    EXPECT_TRUE(Svc.stats().WarmStart);
+    EXPECT_GT(Svc.stats().WarmVerdicts, 0u);
+    // Accepted verdicts and estimates are served straight from disk.
+    EXPECT_TRUE(C.check(AcceptedSrc).R.Cached);
+    EXPECT_TRUE(C.estimate(AcceptedSrc).R.Cached);
+    // A rejection's diagnostics do not survive the restart; the first
+    // replay recomputes them, the second is served.
+    ClientResponse First = C.check(RejectedSrc);
+    EXPECT_FALSE(First.R.Ok);
+    ASSERT_FALSE(First.R.Errors.empty());
+    ClientResponse Second = C.check(RejectedSrc);
+    EXPECT_TRUE(Second.R.Cached);
+  }
+  fs::remove_all(Dir);
+}
+
+} // namespace
