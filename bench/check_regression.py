@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares fresh BENCH_*.json files against committed baselines under
+bench/baselines/. Each baseline may carry four rule sections:
+
+  "throughput": fresh >= (1 - tolerance) * baseline   (relative floor)
+  "exact":      fresh == baseline                     (membership, hashes)
+  "upper":      fresh <= baseline                     (absolute ceiling)
+  "lower":      fresh >= baseline                     (absolute floor)
+
+Throughput uses a tolerance (default 25%) because CI machines vary;
+front membership and hashes are compared exactly — any Pareto-front
+change must come with an intentional re-baseline (see README, "The CI
+bench-regression gate").
+
+Usage:
+  check_regression.py [--tolerance 0.25] --pair BASELINE FRESH \
+                      [--pair BASELINE FRESH ...]
+Exits non-zero listing every violated rule.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_pair(baseline_path, fresh_path, tolerance):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    failures = []
+    label = f"{fresh_path} vs {baseline_path}"
+
+    bench = base.get("bench")
+    if bench is not None and fresh.get("bench") != bench:
+        failures.append(
+            f"{label}: bench mismatch: {fresh.get('bench')!r} != {bench!r}")
+        return failures
+
+    for key, want in base.get("throughput", {}).items():
+        got = fresh.get(key)
+        floor = (1.0 - tolerance) * want
+        if got is None:
+            failures.append(f"{label}: missing throughput metric {key!r}")
+        elif got < floor:
+            failures.append(
+                f"{label}: {key} regressed: {got:.1f} < {floor:.1f} "
+                f"(baseline {want:.1f}, tolerance {tolerance:.0%})")
+        else:
+            print(f"  ok {key}: {got:.1f} (>= {floor:.1f})")
+
+    for key, want in base.get("exact", {}).items():
+        got = fresh.get(key)
+        if got != want:
+            failures.append(
+                f"{label}: {key} changed: {got!r} != baseline {want!r} "
+                f"(Pareto membership / exact metrics must be re-baselined "
+                f"intentionally)")
+        else:
+            print(f"  ok {key}: {got!r}")
+
+    for key, want in base.get("upper", {}).items():
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{label}: missing metric {key!r}")
+        elif got > want:
+            failures.append(f"{label}: {key} above ceiling: {got} > {want}")
+        else:
+            print(f"  ok {key}: {got} (<= {want})")
+
+    for key, want in base.get("lower", {}).items():
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{label}: missing metric {key!r}")
+        elif got < want:
+            failures.append(f"{label}: {key} below floor: {got} < {want}")
+        else:
+            print(f"  ok {key}: {got} (>= {want})")
+
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative throughput regression (0.25 = 25%%)")
+    ap.add_argument("--pair", nargs=2, action="append", required=True,
+                    metavar=("BASELINE", "FRESH"))
+    args = ap.parse_args()
+
+    failures = []
+    for baseline, fresh in args.pair:
+        print(f"checking {fresh} against {baseline}")
+        failures += check_pair(baseline, fresh, args.tolerance)
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print("\nbench-regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,26 @@
 // Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
-// Regenerates the exhaustive design-space exploration of Section 5.2
-// through the parallel DseEngine: all 32,000 gemm-blocked configurations
-// are estimated (standing in for the paper's 2,666 compute-hours of
-// Vivado HLS estimation) and every configuration's Dahlia port is run
-// through the real type checker. The paper reports: Dahlia accepts 354
-// configurations (~1.1%); the accepted points lie primarily on the
-// Pareto frontier; the optimal points Dahlia rejects trade many LUTs for
-// BRAMs.
+// Regenerates the design-space exploration of Section 5.2 through the
+// parallel DseEngine: all 32,000 gemm-blocked configurations are run
+// through the real type checker, and the configured search strategy
+// decides which of them receive a full-fidelity hlsim estimate (standing
+// in for the paper's 2,666 compute-hours of Vivado HLS estimation). The
+// paper reports: Dahlia accepts 354 configurations (~1.1%); the accepted
+// points lie primarily on the Pareto frontier; the optimal points Dahlia
+// rejects trade many LUTs for BRAMs.
 //
 // Flags:
 //   --threads N     worker threads (also: DAHLIA_DSE_THREADS; default: all
 //                   hardware threads) — CI runs deterministically at 1
-//   --json PATH     write throughput metrics (default: BENCH_fig7_dse.json)
+//   --strategy S    exhaustive (default) | halving | pareto-prune; the
+//                   pruned strategies reach the identical Pareto front
+//                   with a fraction of the full-fidelity estimates
+//   --eta N         successive-halving keep fraction 1/N (default 4)
+//   --shard i/N     explore only this hash-partition of the space; the
+//                   JSON then carries the partial front for
+//                   dahlia-dse-merge to union back together
+//   --json PATH     write metrics + front (default: BENCH_fig7_dse.json)
 //   --cache-dir D   persist the memo cache under D (e.g. .dahlia-cache);
 //                   a second run then starts warm and reports the hit rate
 //
@@ -23,7 +30,7 @@
 
 #include "BenchUtil.h"
 
-#include "dse/DseEngine.h"
+#include "dse/SearchStrategy.h"
 #include "kernels/Kernels.h"
 #include "service/PersistentCache.h"
 
@@ -51,6 +58,32 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Threads = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--strategy") && I + 1 < Argc) {
+      std::optional<dse::StrategyKind> K = dse::parseStrategy(Argv[++I]);
+      if (!K) {
+        std::fprintf(stderr,
+                     "fig7: unknown --strategy '%s' (exhaustive, halving, "
+                     "pareto-prune)\n",
+                     Argv[I]);
+        return 2;
+      }
+      Opts.Strategy = *K;
+    } else if (!std::strcmp(Argv[I], "--eta") && I + 1 < Argc) {
+      long N = std::atol(Argv[++I]);
+      if (N < 2) {
+        std::fprintf(stderr, "fig7: --eta must be >= 2\n");
+        return 2;
+      }
+      Opts.HalvingEta = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--shard") && I + 1 < Argc) {
+      std::optional<dse::ShardSpec> S = dse::parseShard(Argv[++I]);
+      if (!S) {
+        std::fprintf(stderr,
+                     "fig7: malformed --shard '%s' (expected \"i/N\")\n",
+                     Argv[I]);
+        return 2;
+      }
+      Opts.Shard = *S;
     } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
       JsonPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--cache-dir") && I + 1 < Argc) {
@@ -58,7 +91,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  banner("Figure 7: exhaustive DSE for gemm-blocked (32,000 configs)");
+  banner(std::string("Figure 7: DSE for gemm-blocked (32,000 configs, ") +
+         dse::strategyName(Opts.Strategy) + " strategy)");
 
   // With --cache-dir, the memo cache round-trips through the persistent
   // on-disk layer: this run starts warm from any previous run's snapshot
@@ -89,28 +123,24 @@ int main(int Argc, char **Argv) {
     if (R.Points[I].Accepted && IsFront[I])
       ++AcceptedOnFront;
 
-  // How close are accepted points to the frontier? Measure the fraction of
-  // accepted points dominated by nothing vs. dominated only by rejected
-  // Pareto points that spend many LUTs to save BRAM (the paper's
-  // characterization of the rejected optima).
-  size_t AcceptedDominatedOnlyByHighLut = 0;
-  for (size_t I = 0; I != Space.size(); ++I) {
-    if (!R.Points[I].Accepted || IsFront[I])
-      continue;
-    bool OnlyHighLut = true;
-    for (size_t F : R.Front)
-      if (dse::dominates(R.Points[F].Obj, R.Points[I].Obj) &&
-          R.Points[F].Obj.Lut <= R.Points[I].Obj.Lut)
-        OnlyHighLut = false;
-    AcceptedDominatedOnlyByHighLut += OnlyHighLut ? 1 : 0;
-  }
-
+  if (!Opts.Shard.isWhole())
+    std::printf("shard:                 %u/%u (%zu of %zu configs)\n",
+                Opts.Shard.Index, Opts.Shard.Count, St.Explored,
+                Space.size());
   std::printf("space size:            %zu\n", St.Explored);
   std::printf("Dahlia accepts:        %s   (paper: 354/32000 (1.1%%))\n",
               dse::fractionString(St.Accepted, St.Explored).c_str());
   std::printf("Pareto-optimal points: %zu\n", R.Front.size());
   std::printf("accepted on frontier:  %s of accepted\n",
               dse::fractionString(AcceptedOnFront, St.Accepted).c_str());
+  double FullFraction =
+      St.Explored ? static_cast<double>(St.Estimated) / St.Explored : 0;
+  std::printf("full estimates:        %s",
+              dse::fractionString(St.Estimated, St.Explored).c_str());
+  if (Opts.Strategy != dse::StrategyKind::Exhaustive)
+    std::printf("   [+%zu low-fidelity, %zu pruned, %zu rescued]",
+                St.LowFidelityEstimates, St.Pruned, St.Rescued);
+  std::printf("\n");
   std::printf("worker threads:        %u\n", St.Threads);
   std::printf("exploration time:      %.1f s at %.0f configs/sec "
               "(paper: 2,666 compute-hours of Vivado estimation)\n",
@@ -149,30 +179,64 @@ int main(int Argc, char **Argv) {
   }
   std::printf("(%zu accepted Pareto points total)\n", R.AcceptedFront.size());
 
-  std::printf("\naccepted dominated only by LUT-hungry optima: %zu "
-              "(the paper's rejected-but-optimal cluster)\n",
-              AcceptedDominatedOnlyByHighLut);
+  // How close are accepted points to the frontier? Only the exhaustive
+  // sweep estimates every point, so only it can attribute each dominated
+  // accepted config to the LUT-hungry rejected optima the paper
+  // describes.
+  if (Opts.Strategy == dse::StrategyKind::Exhaustive &&
+      Opts.Shard.isWhole()) {
+    size_t AcceptedDominatedOnlyByHighLut = 0;
+    for (size_t I = 0; I != Space.size(); ++I) {
+      if (!R.Points[I].Accepted || IsFront[I])
+        continue;
+      bool OnlyHighLut = true;
+      for (size_t F : R.Front)
+        if (dse::dominates(R.Points[F].Obj, R.Points[I].Obj) &&
+            R.Points[F].Obj.Lut <= R.Points[I].Obj.Lut)
+          OnlyHighLut = false;
+      AcceptedDominatedOnlyByHighLut += OnlyHighLut ? 1 : 0;
+    }
+    std::printf("\naccepted dominated only by LUT-hungry optima: %zu "
+                "(the paper's rejected-but-optimal cluster)\n",
+                AcceptedDominatedOnlyByHighLut);
+  }
 
   if (JsonPath && *JsonPath) {
-    std::ofstream Json(JsonPath);
-    Json << "{\n"
-         << "  \"bench\": \"fig7_dse_gemm_blocked\",\n"
-         << "  \"space_size\": " << St.Explored << ",\n"
-         << "  \"accepted\": " << St.Accepted << ",\n"
-         << "  \"pareto_points\": " << R.Front.size() << ",\n"
-         << "  \"accepted_pareto_points\": " << R.AcceptedFront.size()
-         << ",\n"
-         << "  \"threads\": " << St.Threads << ",\n"
-         << "  \"seconds\": " << St.Seconds << ",\n"
-         << "  \"configs_per_sec\": " << St.configsPerSecond() << ",\n"
-         << "  \"estimate_cache_hits\": " << St.EstimateCacheHits << ",\n"
-         << "  \"verdict_cache_hits\": " << St.VerdictCacheHits << ",\n"
-         << "  \"estimate_hit_rate\": " << EstimateHitRate << ",\n"
-         << "  \"verdict_hit_rate\": " << VerdictHitRate << ",\n"
-         << "  \"persistent_cache_warm\": " << (WarmStart ? "true" : "false")
-         << "\n"
-         << "}\n";
-    std::printf("throughput metrics written to %s\n", JsonPath);
+    auto ObjOf = [&](size_t I) -> const dse::Objectives & {
+      return R.Points[I].Obj;
+    };
+    Json J = Json::object();
+    J["bench"] = "fig7_dse_gemm_blocked";
+    J["strategy"] = dse::strategyName(Opts.Strategy);
+    J["shard_index"] = static_cast<int64_t>(Opts.Shard.Index);
+    J["shard_count"] = static_cast<int64_t>(Opts.Shard.Count);
+    J["space_size"] = St.Explored;
+    J["accepted"] = St.Accepted;
+    J["full_estimates"] = St.Estimated;
+    J["full_estimate_fraction"] = FullFraction;
+    J["low_fidelity_estimates"] = St.LowFidelityEstimates;
+    J["pruned"] = St.Pruned;
+    J["rescued"] = St.Rescued;
+    J["pareto_points"] = R.Front.size();
+    J["accepted_pareto_points"] = R.AcceptedFront.size();
+    J["threads"] = St.Threads;
+    J["seconds"] = St.Seconds;
+    J["configs_per_sec"] = St.configsPerSecond();
+    J["estimate_cache_hits"] = St.EstimateCacheHits;
+    J["verdict_cache_hits"] = St.VerdictCacheHits;
+    J["estimate_hit_rate"] = EstimateHitRate;
+    J["verdict_hit_rate"] = VerdictHitRate;
+    J["persistent_cache_warm"] = WarmStart;
+    J["front"] = dse::indicesToJson(R.Front);
+    J["front_hash"] = dse::hashString(dse::frontHash(R.Front, ObjOf));
+    J["accepted_front"] = dse::indicesToJson(R.AcceptedFront);
+    J["accepted_front_hash"] =
+        dse::hashString(dse::frontHash(R.AcceptedFront, ObjOf));
+    // The shard interchange payload dahlia-dse-merge consumes.
+    J["front_points"] = dse::frontPointsToJson(dse::collectFrontPoints(R));
+    std::ofstream Out(JsonPath);
+    Out << J.dump() << "\n";
+    std::printf("metrics written to %s\n", JsonPath);
   }
   return 0;
 }

@@ -1,0 +1,179 @@
+//===- dahlia_dse_merge.cpp - Merge sharded DSE partial fronts --*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Unions the partial Pareto fronts of a sharded sweep back into the
+// membership a single-process sweep produces:
+//
+//   fig7_dse_gemm_blocked --shard 0/3 --json s0.json
+//   fig7_dse_gemm_blocked --shard 1/3 --json s1.json
+//   fig7_dse_gemm_blocked --shard 2/3 --json s2.json
+//   dahlia-dse-merge --out merged.json s0.json s1.json s2.json
+//
+// The merged "front", "accepted_front", and their hashes are guaranteed
+// byte-identical to an unsharded run's: every true front member sits on
+// its own shard's partial front (nothing inside a subset can dominate
+// it), and locally-undominated extras are eliminated while merging.
+// Objectives travel bit-exactly — the JSON serializer emits
+// shortest-round-trip doubles.
+//
+// Inputs are the JSON files fig7-style harnesses write (--shard i/N) or
+// the "sweep" objects of sharded dse-sweep service responses; each must
+// carry "front_points" and agree on "shard_count", with distinct
+// "shard_index".
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/SearchStrategy.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace dahlia;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dahlia-dse-merge [--out PATH] SHARD.json...\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = nullptr;
+  std::vector<const char *> Inputs;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else if (Argv[I][0] == '-')
+      return usage();
+    else
+      Inputs.push_back(Argv[I]);
+  }
+  if (Inputs.empty())
+    return usage();
+
+  std::vector<dse::FrontPoint> Points;
+  std::map<int64_t, bool> SeenShard;
+  int64_t ShardCount = -1;
+  std::string Bench;
+  size_t Explored = 0, Accepted = 0, FullEstimates = 0;
+
+  for (const char *Path : Inputs) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "dahlia-dse-merge: cannot open %s\n", Path);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Err;
+    std::optional<Json> J = Json::parse(SS.str(), &Err);
+    if (!J || !J->isObject()) {
+      std::fprintf(stderr, "dahlia-dse-merge: %s: not a JSON object (%s)\n",
+                   Path, Err.c_str());
+      return 1;
+    }
+    if (!J->contains("front_points")) {
+      std::fprintf(stderr,
+                   "dahlia-dse-merge: %s carries no \"front_points\" — "
+                   "was it written by a sharded run?\n",
+                   Path);
+      return 1;
+    }
+
+    std::string B = J->at("bench").asString();
+    if (Bench.empty())
+      Bench = B;
+    else if (!B.empty() && B != Bench) {
+      std::fprintf(stderr,
+                   "dahlia-dse-merge: %s is from bench '%s'; expected '%s'\n",
+                   Path, B.c_str(), Bench.c_str());
+      return 1;
+    }
+    int64_t Count = J->at("shard_count").asInt(1);
+    int64_t Index = J->at("shard_index").asInt(0);
+    if (ShardCount < 0)
+      ShardCount = Count;
+    else if (Count != ShardCount) {
+      std::fprintf(stderr,
+                   "dahlia-dse-merge: %s has shard_count %lld; expected "
+                   "%lld\n",
+                   Path, static_cast<long long>(Count),
+                   static_cast<long long>(ShardCount));
+      return 1;
+    }
+    if (SeenShard[Index]) {
+      std::fprintf(stderr, "dahlia-dse-merge: duplicate shard %lld (%s)\n",
+                   static_cast<long long>(Index), Path);
+      return 1;
+    }
+    SeenShard[Index] = true;
+
+    std::optional<std::vector<dse::FrontPoint>> Part =
+        dse::frontPointsFromJson(J->at("front_points"), &Err);
+    if (!Part) {
+      std::fprintf(stderr, "dahlia-dse-merge: %s: %s\n", Path, Err.c_str());
+      return 1;
+    }
+    Points.insert(Points.end(), Part->begin(), Part->end());
+    Explored += static_cast<size_t>(J->at("space_size").asInt());
+    Accepted += static_cast<size_t>(J->at("accepted").asInt());
+    FullEstimates += static_cast<size_t>(J->at("full_estimates").asInt());
+  }
+
+  if (ShardCount >= 1 &&
+      static_cast<int64_t>(SeenShard.size()) != ShardCount)
+    std::fprintf(stderr,
+                 "dahlia-dse-merge: warning: merging %zu of %lld shards — "
+                 "the front is only exact over the shards provided\n",
+                 SeenShard.size(), static_cast<long long>(ShardCount));
+
+  dse::MergedFronts Merged = dse::mergeFrontPoints(Points);
+
+  // Objectives of every surviving member, for the hash.
+  std::map<size_t, dse::Objectives> ObjByIndex;
+  for (const dse::FrontPoint &P : Points)
+    ObjByIndex[P.Index] = P.Obj;
+  auto ObjOf = [&](size_t I) -> const dse::Objectives & {
+    return ObjByIndex.at(I);
+  };
+
+  Json J = Json::object();
+  J["bench"] = Bench;
+  J["merged_shards"] = SeenShard.size();
+  J["shard_count"] = ShardCount;
+  J["space_size"] = Explored;
+  J["accepted"] = Accepted;
+  J["full_estimates"] = FullEstimates;
+  J["pareto_points"] = Merged.Front.size();
+  J["accepted_pareto_points"] = Merged.AcceptedFront.size();
+  J["front"] = dse::indicesToJson(Merged.Front);
+  J["front_hash"] =
+      dse::hashString(dse::frontHash(Merged.Front, ObjOf));
+  J["accepted_front"] = dse::indicesToJson(Merged.AcceptedFront);
+  J["accepted_front_hash"] =
+      dse::hashString(dse::frontHash(Merged.AcceptedFront, ObjOf));
+
+  std::string Dump = J.dump();
+  if (OutPath) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "dahlia-dse-merge: cannot write %s\n", OutPath);
+      return 1;
+    }
+    Out << Dump << "\n";
+    std::printf("merged %zu shards: %zu Pareto points (%zu accepted) -> %s\n",
+                SeenShard.size(), Merged.Front.size(),
+                Merged.AcceptedFront.size(), OutPath);
+  } else {
+    std::printf("%s\n", Dump.c_str());
+  }
+  return 0;
+}

@@ -20,6 +20,10 @@
 // blank line arrives, or the stream ends; each batch is one parallel
 // epoch, answered in request order.
 //
+// dse-sweep requests may carry "strategy" (exhaustive | halving |
+// pareto-prune) and "shard" ("i/N"); sharded responses include the
+// partial front for dahlia-dse-merge-style unioning (see Protocol.h).
+//
 //===----------------------------------------------------------------------===//
 
 #include "service/CompileService.h"

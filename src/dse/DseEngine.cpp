@@ -7,14 +7,12 @@
 
 #include "dse/DseEngine.h"
 
-#include "driver/CompilerPipeline.h"
+#include "dse/SearchStrategy.h"
 #include "support/StableHash.h"
-#include "support/WorkStealingPool.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 using namespace dahlia;
@@ -46,6 +44,13 @@ void ParetoFront::insert(size_t Index, const Objectives &O) {
 void ParetoFront::merge(const ParetoFront &Other) {
   for (const Member &M : Other.Members)
     insert(M.Index, M.Obj);
+}
+
+bool ParetoFront::dominatesPoint(const Objectives &O) const {
+  for (const Member &M : Members)
+    if (dominates(M.Obj, O))
+      return true;
+  return false;
 }
 
 std::vector<size_t> ParetoFront::indices() const {
@@ -151,94 +156,41 @@ unsigned dahlia::dse::resolveThreadCount(unsigned Requested) {
   return HW != 0 ? HW : 1;
 }
 
-namespace {
-
-struct WorkerTally {
-  size_t Accepted = 0;
-  size_t Estimated = 0;
-  ParetoFront FrontAll;
-  ParetoFront FrontAccepted;
-};
-
-} // namespace
-
 DseResult DseEngine::explore(const DseProblem &P) const {
   auto Start = std::chrono::steady_clock::now();
 
   DseResult R;
   R.Points.assign(P.Size, DsePoint());
 
+  // This shard's slice of the configuration space (the whole space for
+  // single-process runs). The hash partition is a pure function of the
+  // index, so N shard processes cover the space exactly once.
+  SearchContext Ctx{P};
+  Ctx.Indices.reserve(P.Size / std::max(1u, Opts.Shard.Count) + 1);
+  for (size_t I = 0; I != P.Size; ++I)
+    if (Opts.Shard.isWhole() || Opts.Shard.shardOf(I) == Opts.Shard.Index)
+      Ctx.Indices.push_back(I);
+
   unsigned Threads = resolveThreadCount(Opts.Threads);
-  if (P.Size < Threads)
-    Threads = std::max<size_t>(P.Size, 1);
-  size_t Grain = std::max<size_t>(Opts.GrainSize, 1);
+  if (Ctx.Indices.size() < Threads)
+    Threads = static_cast<unsigned>(std::max<size_t>(Ctx.Indices.size(), 1));
+  Ctx.Threads = Threads;
+  Ctx.Grain = std::max<size_t>(Opts.GrainSize, 1);
+  Ctx.HalvingEta = Opts.HalvingEta;
 
-  std::shared_ptr<DseCache> Cache = Opts.Cache;
-  if (Opts.Memoize && !Cache)
-    Cache = std::make_shared<DseCache>();
-  size_t EstHits0 = Cache ? Cache->estimateHits() : 0;
-  size_t VerHits0 = Cache ? Cache->verdictHits() : 0;
+  Ctx.Cache = Opts.Cache;
+  if (Opts.Memoize && !Ctx.Cache)
+    Ctx.Cache = std::make_shared<DseCache>();
+  size_t EstHits0 = Ctx.Cache ? Ctx.Cache->estimateHits() : 0;
+  size_t VerHits0 = Ctx.Cache ? Ctx.Cache->verdictHits() : 0;
 
-  std::vector<WorkerTally> Tallies(Threads);
+  makeStrategy(Opts.Strategy)->run(Ctx, R);
 
-  driver::CompilerPipeline Pipeline;
-  auto EvalRange = [&](unsigned W, size_t B, size_t E) {
-    WorkerTally &T = Tallies[W];
-    for (size_t I = B; I != E; ++I) {
-      DsePoint &Pt = R.Points[I];
-
-      // Type-check verdict, memoized on the source hash.
-      std::string Src = P.Source(I);
-      uint64_t SrcKey = stableHash(Src);
-      if (!Cache || !Cache->lookupVerdict(SrcKey, Pt.Accepted)) {
-        Pt.Accepted = bool(Pipeline.check(Src));
-        if (Cache)
-          Cache->insertVerdict(SrcKey, Pt.Accepted);
-      }
-      T.Accepted += Pt.Accepted ? 1 : 0;
-
-      if (!Pt.Accepted && !P.EstimateRejected)
-        continue;
-
-      // Estimate, memoized on the structural spec hash.
-      hlsim::KernelSpec Spec = P.Spec(I);
-      uint64_t SpecKey = hlsim::specHash(Spec);
-      if (!Cache || !Cache->lookupEstimate(SpecKey, Pt.Est)) {
-        Pt.Est = hlsim::estimate(Spec);
-        if (Cache)
-          Cache->insertEstimate(SpecKey, Pt.Est);
-      }
-      Pt.Obj = Objectives::of(Pt.Est);
-      Pt.Estimated = true;
-      ++T.Estimated;
-
-      // Stream into the incremental per-worker fronts.
-      T.FrontAll.insert(I, Pt.Obj);
-      if (Pt.Accepted)
-        T.FrontAccepted.insert(I, Pt.Obj);
-    }
-  };
-
-  workStealingFor(P.Size, Threads, Grain, EvalRange);
-
-  // Deterministic reduction: the dominance-maximal set is unique and the
-  // equal-vector tie rule is order-independent, so any merge order yields
-  // the same membership.
-  ParetoFront All, Acc;
-  for (WorkerTally &T : Tallies) {
-    All.merge(T.FrontAll);
-    Acc.merge(T.FrontAccepted);
-    R.Stats.Accepted += T.Accepted;
-    R.Stats.Estimated += T.Estimated;
-  }
-  R.Front = All.indices();
-  R.AcceptedFront = Acc.indices();
-
-  R.Stats.Explored = P.Size;
+  R.Stats.Explored = Ctx.Indices.size();
   R.Stats.Threads = Threads;
-  if (Cache) {
-    R.Stats.EstimateCacheHits = Cache->estimateHits() - EstHits0;
-    R.Stats.VerdictCacheHits = Cache->verdictHits() - VerHits0;
+  if (Ctx.Cache) {
+    R.Stats.EstimateCacheHits = Ctx.Cache->estimateHits() - EstHits0;
+    R.Stats.VerdictCacheHits = Ctx.Cache->verdictHits() - VerHits0;
   }
   R.Stats.Seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - Start)

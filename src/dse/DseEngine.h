@@ -27,7 +27,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -60,6 +62,12 @@ public:
 
   /// Folds every member of \p Other in.
   void merge(const ParetoFront &Other);
+
+  /// True when some member strictly dominates \p O (equal vectors do
+  /// not count). The pruned search strategies use this with admissible
+  /// lower bounds: a config whose bound is strictly dominated by a
+  /// member's *actual* objectives can never reach the front.
+  bool dominatesPoint(const Objectives &O) const;
 
   /// Member indices in ascending order.
   std::vector<size_t> indices() const;
@@ -118,6 +126,41 @@ private:
   mutable std::atomic<size_t> EstimateHits{0}, VerdictHits{0};
 };
 
+/// How the engine walks a configuration space (see SearchStrategy.h for
+/// the implementations).
+enum class StrategyKind {
+  /// Type-check and fully estimate every configuration (the Figure 7
+  /// methodology; the engine's original behavior).
+  Exhaustive,
+  /// Successive halving: rank everything on cheap lower-bound estimates,
+  /// promote the top 1/eta per rung, fully estimate only the final
+  /// survivors, then rescue any config whose bound is not provably
+  /// dominated — the front is guaranteed identical to Exhaustive's.
+  Halving,
+  /// Skip full estimation of every config whose lower bound is strictly
+  /// dominated by an already-estimated point (exact under the monotone
+  /// fidelity ladder; same front guarantee).
+  ParetoPrune,
+};
+
+const char *strategyName(StrategyKind K);
+/// Parses "exhaustive" / "halving" / "pareto-prune".
+std::optional<StrategyKind> parseStrategy(std::string_view Name);
+
+/// One shard of a multi-process sweep: this process explores only the
+/// configurations \c StableHash assigns to \c Index of \c Count.
+struct ShardSpec {
+  unsigned Index = 0;
+  unsigned Count = 1;
+
+  bool isWhole() const { return Count <= 1; }
+  /// Deterministic hash-partition: which shard owns configuration \p I.
+  unsigned shardOf(size_t I) const;
+};
+
+/// Parses "i/N" (0 <= i < N).
+std::optional<ShardSpec> parseShard(std::string_view Spec);
+
 /// Engine configuration.
 struct DseOptions {
   /// Worker threads; 0 resolves via DAHLIA_DSE_THREADS, then
@@ -129,6 +172,12 @@ struct DseOptions {
   /// Optional cache shared across explorations; allocated fresh per run
   /// when null and \c Memoize is set.
   std::shared_ptr<DseCache> Cache;
+  /// Search strategy (see StrategyKind).
+  StrategyKind Strategy = StrategyKind::Exhaustive;
+  /// Halving keep fraction: each rung promotes ceil(n / Eta) survivors.
+  unsigned HalvingEta = 4;
+  /// Shard of the space this run explores (whole space by default).
+  ShardSpec Shard;
 };
 
 /// Resolves the effective worker count: \p Requested if nonzero, else the
@@ -147,7 +196,19 @@ struct DsePoint {
 struct DseStats {
   size_t Explored = 0;
   size_t Accepted = 0;
+  /// Configurations carrying FULL-fidelity objectives (pruned strategies
+  /// evaluate fewer than Explored; this is the number the halving
+  /// acceptance bound is measured on).
   size_t Estimated = 0;
+  /// Lower-fidelity (Coarse/Medium) estimator evaluations performed by
+  /// the rung ladder.
+  size_t LowFidelityEstimates = 0;
+  /// Configurations skipped as provably dominated (bound strictly
+  /// dominated by an estimated point's actual objectives).
+  size_t Pruned = 0;
+  /// Halving: configs outside the rung survivors promoted to full
+  /// fidelity by the admissible-bound safety net.
+  size_t Rescued = 0;
   size_t EstimateCacheHits = 0;
   size_t VerdictCacheHits = 0;
   unsigned Threads = 1;
@@ -172,6 +233,9 @@ struct DseResult {
 
 /// The exploration engine. Stateless across runs; one instance may be
 /// reused (a shared \c DseCache carries state between runs if desired).
+/// \c explore resolves the worker budget and cache, restricts the space
+/// to the configured shard, and dispatches to the configured
+/// \c SearchStrategy (SearchStrategy.h) — Exhaustive by default.
 class DseEngine {
 public:
   explicit DseEngine(DseOptions O = DseOptions()) : Opts(std::move(O)) {}

@@ -1,0 +1,531 @@
+//===- SearchStrategy.cpp - Pruned + sharded search strategies --*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dse/SearchStrategy.h"
+
+#include "driver/CompilerPipeline.h"
+#include "support/StableHash.h"
+#include "support/WorkStealingPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+using namespace dahlia;
+using namespace dahlia::dse;
+
+//===----------------------------------------------------------------------===//
+// Strategy / shard naming and parsing
+//===----------------------------------------------------------------------===//
+
+const char *dahlia::dse::strategyName(StrategyKind K) {
+  switch (K) {
+  case StrategyKind::Exhaustive:
+    return "exhaustive";
+  case StrategyKind::Halving:
+    return "halving";
+  case StrategyKind::ParetoPrune:
+    return "pareto-prune";
+  }
+  return "?";
+}
+
+std::optional<StrategyKind> dahlia::dse::parseStrategy(std::string_view Name) {
+  if (Name == "exhaustive" || Name.empty())
+    return StrategyKind::Exhaustive;
+  if (Name == "halving" || Name == "successive-halving")
+    return StrategyKind::Halving;
+  if (Name == "pareto-prune" || Name == "prune")
+    return StrategyKind::ParetoPrune;
+  return std::nullopt;
+}
+
+namespace {
+/// Seed separating the shard partition from every other StableHash use.
+constexpr uint64_t kShardSeed = stableHash("dahlia.dse.shard");
+} // namespace
+
+unsigned ShardSpec::shardOf(size_t I) const {
+  if (Count <= 1)
+    return 0;
+  return static_cast<unsigned>(stableHashCombine(kShardSeed, I) % Count);
+}
+
+std::optional<ShardSpec> dahlia::dse::parseShard(std::string_view Spec) {
+  size_t Slash = Spec.find('/');
+  if (Slash == std::string_view::npos)
+    return std::nullopt;
+  unsigned Index = 0, Count = 0;
+  std::string_view IdxS = Spec.substr(0, Slash);
+  std::string_view CntS = Spec.substr(Slash + 1);
+  auto P1 = std::from_chars(IdxS.data(), IdxS.data() + IdxS.size(), Index);
+  auto P2 = std::from_chars(CntS.data(), CntS.data() + CntS.size(), Count);
+  if (P1.ec != std::errc() || P1.ptr != IdxS.data() + IdxS.size() ||
+      P2.ec != std::errc() || P2.ptr != CntS.data() + CntS.size())
+    return std::nullopt;
+  if (Count < 1 || Count > 4096 || Index >= Count)
+    return std::nullopt;
+  return ShardSpec{Index, Count};
+}
+
+//===----------------------------------------------------------------------===//
+// Shared evaluation plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Body over [0, N) on the context's worker budget (clamped so no
+/// worker starts empty).
+template <typename BodyT>
+unsigned parallelOver(const SearchContext &Ctx, size_t N, BodyT &&Body) {
+  unsigned Threads = Ctx.Threads;
+  if (N < Threads)
+    Threads = static_cast<unsigned>(std::max<size_t>(N, 1));
+  workStealingFor(N, Threads, Ctx.Grain, Body);
+  return Threads;
+}
+
+/// Type-check verdict for configuration \p I, memoized on the source hash.
+bool checkOne(const SearchContext &Ctx, driver::CompilerPipeline &Pipeline,
+              size_t I) {
+  std::string Src = Ctx.Problem.Source(I);
+  uint64_t SrcKey = stableHash(Src);
+  bool Accepted = false;
+  if (!Ctx.Cache || !Ctx.Cache->lookupVerdict(SrcKey, Accepted)) {
+    Accepted = bool(Pipeline.check(Src));
+    if (Ctx.Cache)
+      Ctx.Cache->insertVerdict(SrcKey, Accepted);
+  }
+  return Accepted;
+}
+
+/// Estimate of configuration \p I at fidelity \p F, memoized on the
+/// fidelity-tagged spec hash (see hlsim::fidelityCacheKey — rungs never
+/// serve each other's entries).
+hlsim::Estimate estimateOne(const SearchContext &Ctx, size_t I,
+                            hlsim::Fidelity F) {
+  hlsim::KernelSpec Spec = Ctx.Problem.Spec(I);
+  uint64_t Key = hlsim::fidelityCacheKey(hlsim::specHash(Spec), F);
+  hlsim::Estimate Est;
+  if (!Ctx.Cache || !Ctx.Cache->lookupEstimate(Key, Est)) {
+    Est = hlsim::estimateAt(Spec, F);
+    if (Ctx.Cache)
+      Ctx.Cache->insertEstimate(Key, Est);
+  }
+  return Est;
+}
+
+/// Parallel type-check of every index in Ctx.Indices; fills verdicts and
+/// Stats.Accepted.
+void checkVerdicts(const SearchContext &Ctx, DseResult &R) {
+  driver::CompilerPipeline Pipeline;
+  std::atomic<size_t> Accepted{0};
+  parallelOver(Ctx, Ctx.Indices.size(), [&](unsigned, size_t B, size_t E) {
+    for (size_t K = B; K != E; ++K) {
+      size_t I = Ctx.Indices[K];
+      R.Points[I].Accepted = checkOne(Ctx, Pipeline, I);
+      if (R.Points[I].Accepted)
+        Accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  R.Stats.Accepted = Accepted.load();
+}
+
+/// Parallel lower-bound estimation of \p Cand at fidelity \p F; result is
+/// index-aligned with \p Cand.
+std::vector<Objectives> boundBatch(const SearchContext &Ctx,
+                                   const std::vector<size_t> &Cand,
+                                   hlsim::Fidelity F) {
+  std::vector<Objectives> Out(Cand.size());
+  parallelOver(Ctx, Cand.size(), [&](unsigned, size_t B, size_t E) {
+    for (size_t K = B; K != E; ++K)
+      Out[K] = Objectives::of(estimateOne(Ctx, Cand[K], F));
+  });
+  return Out;
+}
+
+/// Full-fidelity estimate of \p I recorded into the result point.
+void recordFull(const SearchContext &Ctx, DseResult &R, size_t I) {
+  DsePoint &Pt = R.Points[I];
+  Pt.Est = estimateOne(Ctx, I, hlsim::Fidelity::Full);
+  Pt.Obj = Objectives::of(Pt.Est);
+  Pt.Estimated = true;
+}
+
+/// Positions of \p Pos (into a candidate list) sorted by scalarized bound
+/// score, ascending; ties break toward the lower position (== lower
+/// configuration index, since candidates are ascending). The score is a
+/// max-normalized objective sum over the ranked population — only used to
+/// *order* work, never to decide membership, so any deterministic
+/// heuristic is sound here.
+std::vector<size_t> rankByBound(const std::vector<size_t> &Pos,
+                                const std::vector<Objectives> &Bound) {
+  Objectives Max;
+  for (size_t P : Pos) {
+    const Objectives &O = Bound[P];
+    Max.Latency = std::max(Max.Latency, O.Latency);
+    Max.Lut = std::max(Max.Lut, O.Lut);
+    Max.Ff = std::max(Max.Ff, O.Ff);
+    Max.Bram = std::max(Max.Bram, O.Bram);
+    Max.Dsp = std::max(Max.Dsp, O.Dsp);
+  }
+  auto Norm = [](double V, double M) { return M > 0 ? V / M : 0.0; };
+  std::vector<double> Score(Pos.size());
+  for (size_t K = 0; K != Pos.size(); ++K) {
+    const Objectives &O = Bound[Pos[K]];
+    Score[K] = Norm(O.Latency, Max.Latency) + Norm(O.Lut, Max.Lut) +
+               Norm(O.Ff, Max.Ff) + Norm(O.Bram, Max.Bram) +
+               Norm(O.Dsp, Max.Dsp);
+  }
+  std::vector<size_t> Order(Pos.size());
+  for (size_t K = 0; K != Order.size(); ++K)
+    Order[K] = K;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Score[A] != Score[B])
+      return Score[A] < Score[B];
+    return Pos[A] < Pos[B];
+  });
+  std::vector<size_t> Out(Order.size());
+  for (size_t K = 0; K != Order.size(); ++K)
+    Out[K] = Pos[Order[K]];
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ExhaustiveStrategy — the engine's original fused sweep
+//===----------------------------------------------------------------------===//
+
+class ExhaustiveStrategy final : public SearchStrategy {
+public:
+  StrategyKind kind() const override { return StrategyKind::Exhaustive; }
+
+  void run(const SearchContext &Ctx, DseResult &R) const override {
+    struct WorkerTally {
+      size_t Accepted = 0;
+      size_t Estimated = 0;
+      ParetoFront FrontAll;
+      ParetoFront FrontAccepted;
+    };
+    const DseProblem &P = Ctx.Problem;
+    driver::CompilerPipeline Pipeline;
+    std::vector<WorkerTally> Tallies(Ctx.Threads);
+
+    parallelOver(Ctx, Ctx.Indices.size(), [&](unsigned W, size_t B,
+                                              size_t E) {
+      WorkerTally &T = Tallies[W];
+      for (size_t K = B; K != E; ++K) {
+        size_t I = Ctx.Indices[K];
+        DsePoint &Pt = R.Points[I];
+        Pt.Accepted = checkOne(Ctx, Pipeline, I);
+        T.Accepted += Pt.Accepted ? 1 : 0;
+        if (!Pt.Accepted && !P.EstimateRejected)
+          continue;
+        recordFull(Ctx, R, I);
+        ++T.Estimated;
+        T.FrontAll.insert(I, Pt.Obj);
+        if (Pt.Accepted)
+          T.FrontAccepted.insert(I, Pt.Obj);
+      }
+    });
+
+    // Deterministic reduction: the dominance-maximal set is unique and
+    // the equal-vector tie rule is order-independent, so any merge order
+    // yields the same membership.
+    ParetoFront All, Acc;
+    for (WorkerTally &T : Tallies) {
+      All.merge(T.FrontAll);
+      Acc.merge(T.FrontAccepted);
+      R.Stats.Accepted += T.Accepted;
+      R.Stats.Estimated += T.Estimated;
+    }
+    R.Front = All.indices();
+    R.AcceptedFront = Acc.indices();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Pruned strategies (shared core)
+//===----------------------------------------------------------------------===//
+
+/// The shared pruned-search core. Both pruned strategies:
+///
+///   1. type-check everything (verdicts are needed for Stats.Accepted and
+///      to protect the accepted-only front);
+///   2. compute Coarse lower bounds for every estimation candidate;
+///   3. (halving only) promote the top 1/eta by bound score, tighten the
+///      survivors' bounds at Medium fidelity, promote the top 1/eta again,
+///      and fully estimate that final rung in parallel;
+///   4. walk the remaining candidates in bound-score order: skip a config
+///      iff its bound is strictly dominated by an estimated point's
+///      actual objectives *in every front it could join*; otherwise fully
+///      estimate it and fold it in.
+///
+/// Step 4's skip test is exact (never drops a front member) because the
+/// fidelity ladder makes every bound admissible; see SearchStrategy.h.
+void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
+  const DseProblem &P = Ctx.Problem;
+  checkVerdicts(Ctx, R);
+
+  // Estimation candidates, ascending. Figure-8-style problems
+  // (EstimateRejected=false) never estimate rejected configs.
+  std::vector<size_t> Cand;
+  Cand.reserve(Ctx.Indices.size());
+  for (size_t I : Ctx.Indices)
+    if (R.Points[I].Accepted || P.EstimateRejected)
+      Cand.push_back(I);
+
+  // Rung 0: Coarse bounds for the whole candidate set.
+  std::vector<Objectives> Bound =
+      boundBatch(Ctx, Cand, hlsim::Fidelity::Coarse);
+  std::vector<hlsim::Fidelity> BoundFid(Cand.size(),
+                                        hlsim::Fidelity::Coarse);
+  R.Stats.LowFidelityEstimates += Cand.size();
+
+  std::vector<size_t> AllPos(Cand.size());
+  for (size_t K = 0; K != AllPos.size(); ++K)
+    AllPos[K] = K;
+
+  std::vector<char> Survivor(Cand.size(), 0);
+  if (Rungs && !Cand.empty()) {
+    unsigned Eta = std::max(Ctx.HalvingEta, 2u);
+    // Rung 1: keep ceil(n/eta), tighten their bounds at Medium fidelity.
+    std::vector<size_t> Order = rankByBound(AllPos, Bound);
+    size_t Keep1 = (Cand.size() + Eta - 1) / Eta;
+    std::vector<size_t> Rung1(Order.begin(), Order.begin() + Keep1);
+    std::vector<size_t> Rung1Idx(Rung1.size());
+    for (size_t K = 0; K != Rung1.size(); ++K)
+      Rung1Idx[K] = Cand[Rung1[K]];
+    std::vector<Objectives> Med =
+        boundBatch(Ctx, Rung1Idx, hlsim::Fidelity::Medium);
+    R.Stats.LowFidelityEstimates += Rung1Idx.size();
+    for (size_t K = 0; K != Rung1.size(); ++K) {
+      Bound[Rung1[K]] = Med[K];
+      BoundFid[Rung1[K]] = hlsim::Fidelity::Medium;
+    }
+    // Rung 2: keep ceil(keep1/eta) of the survivors — the set promoted to
+    // full fidelity up front.
+    std::vector<size_t> Order2 = rankByBound(Rung1, Bound);
+    size_t Keep2 = (Keep1 + Eta - 1) / Eta;
+    for (size_t K = 0; K != std::min(Keep2, Order2.size()); ++K)
+      Survivor[Order2[K]] = 1;
+  }
+
+  // Full estimates for the promoted set (parallel), then seed the fronts.
+  std::vector<size_t> Promoted;
+  for (size_t K = 0; K != Cand.size(); ++K)
+    if (Survivor[K])
+      Promoted.push_back(Cand[K]);
+  parallelOver(Ctx, Promoted.size(), [&](unsigned, size_t B, size_t E) {
+    for (size_t K = B; K != E; ++K)
+      recordFull(Ctx, R, Promoted[K]);
+  });
+  R.Stats.Estimated += Promoted.size();
+
+  ParetoFront All, Acc;
+  for (size_t I : Promoted) {
+    All.insert(I, R.Points[I].Obj);
+    if (R.Points[I].Accepted)
+      Acc.insert(I, R.Points[I].Obj);
+  }
+
+  // Ordered prune/rescue pass over everything not promoted. Processing in
+  // bound-score order builds the front up fast, so most later configs are
+  // pruned by the skip test. Decisions stay valid as the fronts evolve:
+  // a member can only be displaced by a point that dominates it, which
+  // then strictly dominates the same bounds the member pruned.
+  std::vector<size_t> Rest;
+  for (size_t K = 0; K != Cand.size(); ++K)
+    if (!Survivor[K])
+      Rest.push_back(K);
+  auto ProvablyDominated = [&](size_t Pos, bool IsAccepted) {
+    return All.dominatesPoint(Bound[Pos]) &&
+           (!IsAccepted || Acc.dominatesPoint(Bound[Pos]));
+  };
+  for (size_t Pos : rankByBound(Rest, Bound)) {
+    size_t I = Cand[Pos];
+    bool IsAccepted = R.Points[I].Accepted;
+    if (ProvablyDominated(Pos, IsAccepted)) {
+      ++R.Stats.Pruned;
+      continue;
+    }
+    // Before paying full fidelity, tighten a Coarse bound one rung and
+    // re-test: Medium restores the mux model, which is what makes most
+    // rule-violating configs provably dominated.
+    if (BoundFid[Pos] == hlsim::Fidelity::Coarse) {
+      Bound[Pos] = Objectives::of(
+          estimateOne(Ctx, I, hlsim::Fidelity::Medium));
+      BoundFid[Pos] = hlsim::Fidelity::Medium;
+      ++R.Stats.LowFidelityEstimates;
+      if (ProvablyDominated(Pos, IsAccepted)) {
+        ++R.Stats.Pruned;
+        continue;
+      }
+    }
+    recordFull(Ctx, R, I);
+    ++R.Stats.Estimated;
+    if (Rungs)
+      ++R.Stats.Rescued;
+    All.insert(I, R.Points[I].Obj);
+    if (IsAccepted)
+      Acc.insert(I, R.Points[I].Obj);
+  }
+
+  R.Front = All.indices();
+  R.AcceptedFront = Acc.indices();
+}
+
+class SuccessiveHalvingStrategy final : public SearchStrategy {
+public:
+  StrategyKind kind() const override { return StrategyKind::Halving; }
+  void run(const SearchContext &Ctx, DseResult &R) const override {
+    runPruned(Ctx, R, /*Rungs=*/true);
+  }
+};
+
+class ParetoPruneStrategy final : public SearchStrategy {
+public:
+  StrategyKind kind() const override { return StrategyKind::ParetoPrune; }
+  void run(const SearchContext &Ctx, DseResult &R) const override {
+    runPruned(Ctx, R, /*Rungs=*/false);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SearchStrategy> dahlia::dse::makeStrategy(StrategyKind K) {
+  switch (K) {
+  case StrategyKind::Exhaustive:
+    return std::make_unique<ExhaustiveStrategy>();
+  case StrategyKind::Halving:
+    return std::make_unique<SuccessiveHalvingStrategy>();
+  case StrategyKind::ParetoPrune:
+    return std::make_unique<ParetoPruneStrategy>();
+  }
+  return std::make_unique<ExhaustiveStrategy>();
+}
+
+//===----------------------------------------------------------------------===//
+// Shard fronts
+//===----------------------------------------------------------------------===//
+
+std::vector<FrontPoint> dahlia::dse::collectFrontPoints(const DseResult &R) {
+  std::vector<size_t> Members = R.Front;
+  Members.insert(Members.end(), R.AcceptedFront.begin(),
+                 R.AcceptedFront.end());
+  std::sort(Members.begin(), Members.end());
+  Members.erase(std::unique(Members.begin(), Members.end()), Members.end());
+  std::vector<FrontPoint> Out;
+  Out.reserve(Members.size());
+  for (size_t I : Members) {
+    assert(R.Points[I].Estimated && "front member without full objectives");
+    Out.push_back({I, R.Points[I].Obj, R.Points[I].Accepted});
+  }
+  return Out;
+}
+
+MergedFronts
+dahlia::dse::mergeFrontPoints(const std::vector<FrontPoint> &Points) {
+  ParetoFront All, Acc;
+  for (const FrontPoint &P : Points) {
+    All.insert(P.Index, P.Obj);
+    if (P.Accepted)
+      Acc.insert(P.Index, P.Obj);
+  }
+  return {All.indices(), Acc.indices()};
+}
+
+uint64_t dahlia::dse::frontHash(
+    const std::vector<size_t> &Members,
+    const std::function<const Objectives &(size_t)> &ObjOf) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I : Members) {
+    H = stableHashCombine(H, I);
+    const Objectives &O = ObjOf(I);
+    for (double V : {O.Latency, O.Lut, O.Ff, O.Bram, O.Dsp})
+      H = stableHashCombine(H, std::bit_cast<uint64_t>(V));
+  }
+  return H;
+}
+
+std::string dahlia::dse::hashString(uint64_t H) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+Json dahlia::dse::frontPointsToJson(const std::vector<FrontPoint> &Points) {
+  Json Arr = Json::array();
+  for (const FrontPoint &P : Points) {
+    Json O = Json::object();
+    O["index"] = static_cast<int64_t>(P.Index);
+    O["accepted"] = P.Accepted;
+    O["latency"] = P.Obj.Latency;
+    O["lut"] = P.Obj.Lut;
+    O["ff"] = P.Obj.Ff;
+    O["bram"] = P.Obj.Bram;
+    O["dsp"] = P.Obj.Dsp;
+    Arr.push_back(std::move(O));
+  }
+  return Arr;
+}
+
+std::optional<std::vector<FrontPoint>>
+dahlia::dse::frontPointsFromJson(const Json &J, std::string *Err) {
+  if (!J.isArray()) {
+    if (Err)
+      *Err = "front_points must be an array";
+    return std::nullopt;
+  }
+  std::vector<FrontPoint> Out;
+  for (const Json &E : J.asArray()) {
+    // Every field is required: a point with a defaulted objective would
+    // silently dominate the whole merged front.
+    if (!E.isObject() || !E.contains("index") || !E.contains("accepted")) {
+      if (Err)
+        *Err = "front point must be an object with 'index' and 'accepted'";
+      return std::nullopt;
+    }
+    int64_t Index = E.at("index").asInt(-1);
+    if (Index < 0) {
+      if (Err)
+        *Err = "front point has a negative 'index'";
+      return std::nullopt;
+    }
+    FrontPoint P;
+    P.Index = static_cast<size_t>(Index);
+    P.Accepted = E.at("accepted").asBool();
+    struct {
+      const char *Key;
+      double &Slot;
+    } Fields[] = {{"latency", P.Obj.Latency},
+                  {"lut", P.Obj.Lut},
+                  {"ff", P.Obj.Ff},
+                  {"bram", P.Obj.Bram},
+                  {"dsp", P.Obj.Dsp}};
+    for (auto &[Key, Slot] : Fields) {
+      if (!E.contains(Key) || !E.at(Key).isNumber()) {
+        if (Err)
+          *Err = std::string("front point lacks numeric '") + Key + "'";
+        return std::nullopt;
+      }
+      Slot = E.at(Key).asDouble();
+    }
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+Json dahlia::dse::indicesToJson(const std::vector<size_t> &Indices) {
+  Json Arr = Json::array();
+  for (size_t I : Indices)
+    Arr.push_back(static_cast<int64_t>(I));
+  return Arr;
+}

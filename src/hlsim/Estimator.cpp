@@ -178,7 +178,13 @@ uint64_t configHash(const KernelSpec &K) {
 Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   Estimate E;
   const int64_t UTotal = K.totalUnroll();
-  const std::vector<PeOffsets> Pes = enumeratePes(K, 2048);
+  // The processing-element enumeration feeds only the mux sizing and the
+  // port-conflict scan; coarse-fidelity models disable both, and skipping
+  // the enumeration is what makes them cheap.
+  const bool ScanPorts = CM.ModelPortConflicts && CM.PortConflictSamples > 0;
+  const bool NeedInstances = CM.ModelMuxCost || ScanPorts;
+  const std::vector<PeOffsets> Pes =
+      NeedInstances ? enumeratePes(K, 2048) : std::vector<PeOffsets>();
 
   //===------------------------------------------------------------------===//
   // Bank reachability (mechanism 2): mux and arbitration sizing.
@@ -186,18 +192,20 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   double MuxLut = 0;
   std::map<std::string, std::map<int64_t, int64_t>> BankFanIn;
   std::map<const Access *, std::vector<InstanceKey>> Instances;
-  for (const Access &A : K.Body) {
-    const ArraySpec *Arr = K.findArray(A.Array);
-    assert(Arr && "access to unknown array");
-    assert(A.Idx.size() == Arr->DimSizes.size() && "access arity mismatch");
-    Instances[&A] = accessInstances(K, A, Pes);
-    for (const InstanceKey &Key : Instances[&A]) {
-      std::vector<int64_t> Reach = reachableBanks(K, A, *Arr, Key);
-      if (Reach.size() > 1)
-        MuxLut += CM.MuxLutPerInputBit * static_cast<double>(Reach.size()) *
-                  Arr->ElemBits;
-      for (int64_t B : Reach)
-        ++BankFanIn[Arr->Name][B];
+  if (NeedInstances) {
+    for (const Access &A : K.Body) {
+      const ArraySpec *Arr = K.findArray(A.Array);
+      assert(Arr && "access to unknown array");
+      assert(A.Idx.size() == Arr->DimSizes.size() && "access arity mismatch");
+      Instances[&A] = accessInstances(K, A, Pes);
+      for (const InstanceKey &Key : Instances[&A]) {
+        std::vector<int64_t> Reach = reachableBanks(K, A, *Arr, Key);
+        if (Reach.size() > 1)
+          MuxLut += CM.MuxLutPerInputBit * static_cast<double>(Reach.size()) *
+                    Arr->ElemBits;
+        for (int64_t B : Reach)
+          ++BankFanIn[Arr->Name][B];
+      }
     }
   }
   double ArbLut = 0;
@@ -214,8 +222,8 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   // Port-conflict scheduling (mechanism 1): sampled initiation interval.
   //===------------------------------------------------------------------===//
   double II = 1.0;
-  if (CM.ModelPortConflicts) {
-    for (int Sample = 0; Sample != 16; ++Sample) {
+  if (ScanPorts) {
+    for (int Sample = 0; Sample != CM.PortConflictSamples; ++Sample) {
       // A deterministic spread of sequential iteration points.
       std::map<std::string, int64_t> SeqIter;
       int Stride = 1;
@@ -363,4 +371,36 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   E.Cycles = Cycles;
   E.RuntimeMs = Cycles / (K.ClockMHz * 1e3);
   return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Fidelity ladder
+//===----------------------------------------------------------------------===//
+
+const char *dahlia::hlsim::fidelityName(Fidelity F) {
+  switch (F) {
+  case Fidelity::Coarse:
+    return "coarse";
+  case Fidelity::Medium:
+    return "medium";
+  case Fidelity::Full:
+    return "full";
+  }
+  return "?";
+}
+
+CostModel dahlia::hlsim::costModelFor(Fidelity F) {
+  CostModel CM;
+  switch (F) {
+  case Fidelity::Coarse:
+    CM.ModelMuxCost = false;
+    CM.ModelPortConflicts = false;
+    break;
+  case Fidelity::Medium:
+    CM.PortConflictSamples = 4;
+    break;
+  case Fidelity::Full:
+    break;
+  }
+  return CM;
 }

@@ -44,6 +44,11 @@ struct CostModel {
   bool ModelBoundaryCost = true;
   bool ModelHeuristicNoise = true;
   bool ModelPortConflicts = true;
+  /// Sampled sequential iteration points for the port-conflict II scan.
+  /// Lower values sample a prefix of the default schedule, so the sampled
+  /// II (a max over samples) is monotone in the sample count — the
+  /// property the fidelity ladder below relies on.
+  int PortConflictSamples = 16;
 
   // Base area.
   double BaseControlLut = 1400.0;  ///< FSM, AXI plumbing, counters.
@@ -110,6 +115,51 @@ struct Estimate {
 /// Estimates \p K under \p CM. Deterministic: the same kernel and model
 /// always produce the same estimate.
 Estimate estimate(const KernelSpec &K, const CostModel &CM = CostModel());
+
+//===----------------------------------------------------------------------===//
+// Estimation fidelity ladder
+//===----------------------------------------------------------------------===//
+//
+// Pruned search (successive halving, dominance pruning) evaluates most of
+// a design space at a cheap fidelity and promotes only survivors to the
+// full model. The ladder is constructed so that every objective the DSE
+// minimizes (cycles, LUT, FF, BRAM, DSP) is a component-wise LOWER BOUND
+// of the same objective one fidelity up:
+//
+//   * Coarse drops the bank-indirection mux/arbitration LUTs (>= 0) and
+//     the port-conflict II scan (II >= 1), skipping the expensive
+//     processing-element enumeration entirely;
+//   * Medium restores the mux model but samples the II scan at 4 of the
+//     16 schedule points (a prefix, so its max is <= the full scan's);
+//   * Full is the default CostModel.
+//
+// Heuristic noise stays ON at every fidelity: it is a deterministic
+// multiplier >= 1 derived from the config hash alone, so including it
+// keeps the bound admissible while making it far tighter for
+// rule-violating configurations. SearchStrategyTest pins the
+// monotonicity property across the gemm-blocked space.
+
+/// Estimator fidelities, cheapest first.
+enum class Fidelity : uint8_t { Coarse = 0, Medium = 1, Full = 2 };
+
+const char *fidelityName(Fidelity F);
+
+/// The cost model implementing \p F (Full is the default CostModel).
+CostModel costModelFor(Fidelity F);
+
+inline Estimate estimateAt(const KernelSpec &K, Fidelity F) {
+  return estimate(K, costModelFor(F));
+}
+
+/// Memo-cache key for an estimate of spec hash \p SpecHash at fidelity
+/// \p F. The fidelity is folded into the key so successive-halving rungs
+/// can never serve each other stale estimates — a Coarse entry is
+/// invisible to a Full lookup and vice versa (every fidelity, Full
+/// included, lives in its own keyspace).
+constexpr uint64_t fidelityCacheKey(uint64_t SpecHash, Fidelity F) {
+  return stableHashCombine(SpecHash,
+                           0xF1DE117F00000000ULL + static_cast<uint64_t>(F));
+}
 
 } // namespace dahlia::hlsim
 

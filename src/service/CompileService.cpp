@@ -8,6 +8,7 @@
 #include "service/CompileService.h"
 
 #include "driver/SpecExtractor.h"
+#include "dse/SearchStrategy.h"
 #include "filament/Syntax.h"
 #include "kernels/Kernels.h"
 #include "lower/Desugar.h"
@@ -361,7 +362,11 @@ Response CompileService::checkOrEstimate(const Request &R) {
       Out.Errors.push_back(Spec.error());
       return Out;
     }
-    uint64_t SpecKey = hlsim::specHash(*Spec);
+    // Spec-keyed entries are shared with the DSE engine's sweeps, whose
+    // keys carry the estimator fidelity; the service always estimates at
+    // full fidelity.
+    uint64_t SpecKey =
+        hlsim::fidelityCacheKey(hlsim::specHash(*Spec), hlsim::Fidelity::Full);
     hlsim::Estimate Est;
     bool SpecHit = Cache && Cache->lookupEstimate(SpecKey, Est);
     if (!SpecHit) {
@@ -415,6 +420,25 @@ Response CompileService::dseSweep(const Request &R) {
   if (R.Limit && R.Limit < P.Size)
     P.Size = R.Limit;
 
+  std::optional<dse::StrategyKind> Strategy = dse::parseStrategy(R.Strategy);
+  if (!Strategy) {
+    Out.Errors.push_back(Error(ErrorKind::Internal,
+                               "unknown sweep strategy '" + R.Strategy +
+                                   "' (exhaustive, halving, pareto-prune)"));
+    return Out;
+  }
+  dse::ShardSpec Shard;
+  if (!R.Shard.empty()) {
+    std::optional<dse::ShardSpec> S = dse::parseShard(R.Shard);
+    if (!S) {
+      Out.Errors.push_back(Error(
+          ErrorKind::Internal,
+          "malformed sweep shard '" + R.Shard + "' (expected \"i/N\")"));
+      return Out;
+    }
+    Shard = *S;
+  }
+
   dse::DseOptions EO;
   // Client-requested thread counts are capped at the machine: a sweep is
   // compute-bound, and an oversized request must not be able to exhaust
@@ -427,13 +451,21 @@ Response CompileService::dseSweep(const Request &R) {
                HW);
   EO.Memoize = Opts.Memoize;
   EO.Cache = Cache; // Sweeps share the service's (persistent) memo cache.
+  EO.Strategy = *Strategy;
+  EO.Shard = Shard;
   dse::DseResult DR = dse::DseEngine(EO).explore(P);
 
   Json Sweep = Json::object();
   Sweep["space"] = R.Space;
+  Sweep["strategy"] = dse::strategyName(*Strategy);
+  Sweep["shard_index"] = static_cast<int64_t>(Shard.Index);
+  Sweep["shard_count"] = static_cast<int64_t>(Shard.Count);
   Sweep["explored"] = DR.Stats.Explored;
   Sweep["accepted"] = DR.Stats.Accepted;
   Sweep["estimated"] = DR.Stats.Estimated;
+  Sweep["low_fidelity_estimates"] = DR.Stats.LowFidelityEstimates;
+  Sweep["pruned"] = DR.Stats.Pruned;
+  Sweep["rescued"] = DR.Stats.Rescued;
   Sweep["pareto_points"] = DR.Front.size();
   Sweep["accepted_pareto_points"] = DR.AcceptedFront.size();
   Sweep["threads"] = DR.Stats.Threads;
@@ -441,6 +473,17 @@ Response CompileService::dseSweep(const Request &R) {
   Sweep["configs_per_sec"] = DR.Stats.configsPerSecond();
   Sweep["verdict_cache_hits"] = DR.Stats.VerdictCacheHits;
   Sweep["estimate_cache_hits"] = DR.Stats.EstimateCacheHits;
+  Sweep["front"] = dse::indicesToJson(DR.Front);
+  Sweep["accepted_front"] = dse::indicesToJson(DR.AcceptedFront);
+  auto ObjOf = [&](size_t I) -> const dse::Objectives & {
+    return DR.Points[I].Obj;
+  };
+  Sweep["front_hash"] = dse::hashString(dse::frontHash(DR.Front, ObjOf));
+  // Sharded sweeps ship the partial front's points so a client can union
+  // shards into the single-process membership (see dahlia-dse-merge).
+  if (!Shard.isWhole())
+    Sweep["front_points"] =
+        dse::frontPointsToJson(dse::collectFrontPoints(DR));
   Out.Sweep = std::move(Sweep);
   Out.Ok = true;
   return Out;

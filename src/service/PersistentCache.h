@@ -56,9 +56,12 @@ struct PersistentCacheOptions {
   uint32_t Version = 0; ///< 0 = current kFormatVersion.
 };
 
-/// The current on-disk format version. Bump when the record layout
-/// changes; old files are then ignored and rebuilt.
-inline constexpr uint32_t kPersistentCacheFormatVersion = 1;
+/// The current on-disk format version. Bump when the record layout — or
+/// the key derivation — changes; old files are then ignored and rebuilt.
+/// Version 2: estimate keys carry the estimator fidelity
+/// (hlsim::fidelityCacheKey), so caches written before the fidelity
+/// ladder (whose keys were raw spec hashes) must not be served.
+inline constexpr uint32_t kPersistentCacheFormatVersion = 2;
 
 /// Counters describing one load.
 struct PersistentCacheLoadStats {

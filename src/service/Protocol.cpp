@@ -60,6 +60,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
   R.Source = J->at("source").asString();
   R.Session = J->at("session").asString();
   R.Space = J->at("space").asString();
+  R.Strategy = J->at("strategy").asString();
+  R.Shard = J->at("shard").asString();
   int64_t Limit = J->at("limit").asInt();
   int64_t Threads = J->at("threads").asInt();
   if (Limit < 0 || Threads < 0 || Threads > 4096) {
@@ -139,6 +141,10 @@ Json Request::toJson() const {
       J["limit"] = Limit;
     if (Threads)
       J["threads"] = Threads;
+    if (!Strategy.empty())
+      J["strategy"] = Strategy;
+    if (!Shard.empty())
+      J["shard"] = Shard;
   }
   return J;
 }

@@ -16,6 +16,8 @@
 ///   {"id":2,"op":"estimate","source":"..."}
 ///   {"id":3,"op":"lower","source":"..."}
 ///   {"id":4,"op":"dse-sweep","space":"gemm-blocked","limit":2000}
+///   {"id":7,"op":"dse-sweep","space":"gemm-blocked",
+///    "strategy":"halving","shard":"0/3"}                  // pruned shard
 ///   {"id":5,"op":"check","session":"s1","source":"..."}       // parse+cache
 ///   {"id":6,"op":"check","session":"s1",
 ///    "rewrite":{"banks":{"A":[2,4]},"unrolls":{"i":4}}}       // re-check
@@ -77,6 +79,12 @@ struct Request {
   std::string Space;   ///< "gemm-blocked", "stencil2d", "md-knn", "md-grid".
   size_t Limit = 0;    ///< Truncate the space (0 = full).
   unsigned Threads = 0;
+  /// Search strategy: "exhaustive" (default), "halving", "pareto-prune".
+  std::string Strategy;
+  /// Shard of the space as "i/N" (whole space when empty). Sharded sweep
+  /// responses carry the partial front's points so clients can merge
+  /// shards with dahlia-dse-merge semantics.
+  std::string Shard;
 
   /// Parses one protocol line. Returns std::nullopt and sets \p Err on
   /// malformed input (not valid JSON, unknown op, missing fields).

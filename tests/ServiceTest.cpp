@@ -15,6 +15,7 @@
 #include "service/ServiceClient.h"
 
 #include "driver/CompilerPipeline.h"
+#include "dse/SearchStrategy.h"
 #include "kernels/Kernels.h"
 
 #include <gtest/gtest.h>
@@ -325,6 +326,63 @@ TEST(Service, DseSweepMatchesEngine) {
             static_cast<int64_t>(Ref.Front.size()));
 
   EXPECT_FALSE(C.dseSweep("no-such-space", 10).R.Ok);
+}
+
+TEST(Service, DseSweepStrategiesAndShardsMergeExactly) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  auto Sweep = [&](const std::string &Strategy, const std::string &Shard) {
+    Request R;
+    R.Kind = Op::DseSweep;
+    R.Space = "gemm-blocked";
+    R.Limit = 400;
+    R.Threads = 2;
+    R.Strategy = Strategy;
+    R.Shard = Shard;
+    return C.call(R);
+  };
+
+  ClientResponse Whole = Sweep("exhaustive", "");
+  ASSERT_TRUE(Whole.R.Ok);
+  std::string WholeFront = Whole.R.Sweep.at("front").dump();
+  std::string WholeHash = Whole.R.Sweep.at("front_hash").asString();
+  EXPECT_FALSE(WholeHash.empty());
+  // Unsharded sweeps carry no merge payload.
+  EXPECT_FALSE(Whole.R.Sweep.contains("front_points"));
+
+  // A pruned sweep reports the identical front with fewer full estimates.
+  ClientResponse Halved = Sweep("halving", "");
+  ASSERT_TRUE(Halved.R.Ok);
+  EXPECT_EQ(Halved.R.Sweep.at("front").dump(), WholeFront);
+  EXPECT_EQ(Halved.R.Sweep.at("front_hash").asString(), WholeHash);
+  EXPECT_LT(Halved.R.Sweep.at("estimated").asInt(),
+            Whole.R.Sweep.at("estimated").asInt());
+  EXPECT_GT(Halved.R.Sweep.at("pruned").asInt(), 0);
+
+  // Three sharded sweeps union back into the whole-space membership.
+  std::vector<dse::FrontPoint> Points;
+  int64_t Explored = 0;
+  for (unsigned S = 0; S != 3; ++S) {
+    ClientResponse Part = Sweep("exhaustive", std::to_string(S) + "/3");
+    ASSERT_TRUE(Part.R.Ok);
+    EXPECT_EQ(Part.R.Sweep.at("shard_index").asInt(),
+              static_cast<int64_t>(S));
+    Explored += Part.R.Sweep.at("explored").asInt();
+    ASSERT_TRUE(Part.R.Sweep.contains("front_points"));
+    std::string Err;
+    std::optional<std::vector<dse::FrontPoint>> FP =
+        dse::frontPointsFromJson(Part.R.Sweep.at("front_points"), &Err);
+    ASSERT_TRUE(FP) << Err;
+    Points.insert(Points.end(), FP->begin(), FP->end());
+  }
+  EXPECT_EQ(Explored, 400);
+  dse::MergedFronts M = dse::mergeFrontPoints(Points);
+  EXPECT_EQ(dse::indicesToJson(M.Front).dump(), WholeFront);
+
+  // Malformed strategy/shard fields answer with structured errors.
+  EXPECT_FALSE(Sweep("bayesian", "").R.Ok);
+  EXPECT_FALSE(Sweep("", "3/3").R.Ok);
 }
 
 TEST(Service, ServeStreamSpeaksTheLineProtocol) {
