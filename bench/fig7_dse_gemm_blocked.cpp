@@ -19,6 +19,10 @@
 //                   pruned strategies reach the identical Pareto front
 //                   with a fraction of the full-fidelity estimates
 //   --eta N         successive-halving keep fraction 1/N (default 4)
+//   --exact-top-rung promote the front to cycle-level simulated (Exact)
+//                   estimates: membership is then ranked by exact cycles
+//                   while only a small fraction of the space is ever
+//                   simulated (the acceptance bound is <= 15%)
 //   --shard i/N     explore only this hash-partition of the space; the
 //                   JSON then carries the partial front for
 //                   dahlia-dse-merge to union back together
@@ -75,6 +79,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.HalvingEta = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--exact-top-rung")) {
+      Opts.ExactTopRung = true;
     } else if (!std::strcmp(Argv[I], "--shard") && I + 1 < Argc) {
       std::optional<dse::ShardSpec> S = dse::parseShard(Argv[++I]);
       if (!S) {
@@ -141,6 +147,10 @@ int main(int Argc, char **Argv) {
     std::printf("   [+%zu low-fidelity, %zu pruned, %zu rescued]",
                 St.LowFidelityEstimates, St.Pruned, St.Rescued);
   std::printf("\n");
+  if (Opts.ExactTopRung)
+    std::printf("exact (simulated):     %s of the space promoted to the "
+                "cycle-level rung\n",
+                dse::fractionString(St.ExactEstimates, St.Explored).c_str());
   std::printf("worker threads:        %u\n", St.Threads);
   std::printf("exploration time:      %.1f s at %.0f configs/sec "
               "(paper: 2,666 compute-hours of Vivado estimation)\n",
@@ -217,6 +227,11 @@ int main(int Argc, char **Argv) {
     J["low_fidelity_estimates"] = St.LowFidelityEstimates;
     J["pruned"] = St.Pruned;
     J["rescued"] = St.Rescued;
+    J["exact_top_rung"] = Opts.ExactTopRung;
+    J["exact_estimates"] = St.ExactEstimates;
+    J["exact_estimate_fraction"] =
+        St.Explored ? static_cast<double>(St.ExactEstimates) / St.Explored
+                    : 0.0;
     J["pareto_points"] = R.Front.size();
     J["accepted_pareto_points"] = R.AcceptedFront.size();
     J["threads"] = St.Threads;

@@ -1,0 +1,161 @@
+//===- sim_accuracy.cpp - Estimator-vs-simulator accuracy harness -*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+// Sweeps every hand-written kernel spec in src/kernels/ — the Figure 4
+// gemm512 families, the four DSE sweep kernels, and the 16 MachSuite
+// ports — through both ends of the estimation fidelity ladder: the Full
+// analytic model and the cycle-level banked-memory simulator (the Exact
+// rung). Reports per-kernel simulated and estimated cycles plus the
+// relative estimation error, and verifies the ladder's contract on every
+// spec: analytic cycles never exceed simulated cycles (the lower-bound
+// property the pruned DSE strategies rely on).
+//
+// Flags:
+//   --json PATH   write metrics (default: BENCH_sim_accuracy.json). The
+//                 CI bench-regression gate pins the simulated cycle
+//                 counts and bounds the accuracy error against
+//                 bench/baselines/sim_accuracy.json — re-baseline
+//                 deliberately when the cost model or the simulator's
+//                 schedule semantics change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "cyclesim/CycleSim.h"
+#include "hlsim/Estimator.h"
+#include "kernels/Kernels.h"
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace dahlia;
+using namespace dahlia::bench;
+using namespace dahlia::kernels;
+
+namespace {
+
+struct Entry {
+  std::string Name;
+  hlsim::KernelSpec Spec;
+};
+
+std::vector<Entry> corpus() {
+  std::vector<Entry> Out;
+  // Figure 4a: unrolling without partitioning.
+  for (int64_t U = 1; U <= 10; ++U)
+    Out.push_back({"fig4a_u" + std::to_string(U), gemm512(U, 1)});
+  // Figure 4b: unrolling over 8 banks.
+  for (int64_t U = 1; U <= 16; ++U)
+    Out.push_back({"fig4b_u" + std::to_string(U), gemm512(U, 8)});
+  // Figure 4c: banking and unrolling in lockstep.
+  for (int64_t K : {1, 2, 3, 4, 5, 6, 7, 8, 9, 16})
+    Out.push_back({"fig4c_k" + std::to_string(K), gemm512Lockstep(K)});
+
+  Out.push_back({"gemm-blocked", gemmBlockedSpec(GemmBlockedConfig())});
+  {
+    GemmBlockedConfig C;
+    C.Bank11 = C.Bank12 = C.Bank21 = C.Bank22 = 2;
+    C.Unroll1 = C.Unroll2 = C.Unroll3 = 2;
+    Out.push_back({"gemm-blocked-b2u2", gemmBlockedSpec(C)});
+  }
+  Out.push_back({"stencil2d", stencil2dSpec(Stencil2dConfig())});
+  {
+    Stencil2dConfig C;
+    C.FilterBank1 = C.FilterBank2 = 3;
+    C.Unroll1 = C.Unroll2 = 3;
+    Out.push_back({"stencil2d-f3u3", stencil2dSpec(C)});
+  }
+  Out.push_back({"md-knn", mdKnnSpec(MdKnnConfig())});
+  {
+    MdKnnConfig C;
+    C.BankPos = C.BankNlPos = C.BankForce = 4;
+    C.UnrollI = C.UnrollJ = 4;
+    Out.push_back({"md-knn-b4u4", mdKnnSpec(C)});
+  }
+  Out.push_back({"md-grid", mdGridSpec(MdGridConfig())});
+  {
+    MdGridConfig C;
+    C.Bank1 = C.Bank2 = C.Bank3 = 2;
+    C.Unroll1 = C.Unroll2 = C.Unroll3 = 2;
+    Out.push_back({"md-grid-b2u2", mdGridSpec(C)});
+  }
+
+  // MachSuite rewrites, prefixed so names never collide with the sweep
+  // kernels above (gemm-blocked, md-knn, ... appear in both families).
+  for (const MachSuiteBenchmark &B : machSuiteBenchmarks())
+    Out.push_back({"ms_" + B.Name, B.Rewrite});
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = "BENCH_sim_accuracy.json";
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+
+  std::vector<Entry> Specs = corpus();
+  banner("Estimator vs cycle-level simulator (" +
+         std::to_string(Specs.size()) + " kernel specs)");
+  row({"kernel", "est_cycles", "sim_cycles", "rel_err", "sim_II", "walked"},
+      14);
+
+  size_t Violations = 0;
+  size_t Truncated = 0;
+  double ErrSum = 0;
+  double ErrMax = 0;
+  Json SimCycles = Json::object();
+  Json EstCycles = Json::object();
+  for (const Entry &E : Specs) {
+    hlsim::Estimate Full =
+        hlsim::estimateAt(E.Spec, hlsim::Fidelity::Full);
+    cyclesim::SimResult Sim = cyclesim::simulate(E.Spec);
+    double RelErr =
+        Sim.Cycles > 0 ? (Sim.Cycles - Full.Cycles) / Sim.Cycles : 0.0;
+    ErrSum += std::abs(RelErr);
+    ErrMax = std::max(ErrMax, std::abs(RelErr));
+    if (Full.Cycles > Sim.Cycles) // The ladder contract.
+      ++Violations;
+    if (Sim.Truncated)
+      ++Truncated;
+    SimCycles[E.Name] = Sim.Cycles;
+    EstCycles[E.Name] = Full.Cycles;
+    row({E.Name, fmt(Full.Cycles, 0), fmt(Sim.Cycles, 0),
+         fmt(RelErr * 100, 2) + "%", fmt(Sim.II, 0),
+         fmtInt(static_cast<int64_t>(Sim.WalkedGroups))},
+        14);
+  }
+  double MeanErr = Specs.empty() ? 0 : ErrSum / Specs.size();
+
+  std::printf("\nlower-bound violations (est > sim): %zu of %zu  %s\n",
+              Violations, Specs.size(),
+              Violations == 0 ? "(ladder contract holds)"
+                              : "(LADDER CONTRACT BROKEN)");
+  std::printf("mean |rel err|: %.3f%%   max |rel err|: %.3f%%   "
+              "truncated walks: %zu\n",
+              MeanErr * 100, ErrMax * 100, Truncated);
+
+  if (JsonPath && *JsonPath) {
+    Json J = Json::object();
+    J["bench"] = "sim_accuracy";
+    J["specs"] = Specs.size();
+    J["lower_bound_violations"] = Violations;
+    J["truncated"] = Truncated;
+    J["mean_rel_error"] = MeanErr;
+    J["max_rel_error"] = ErrMax;
+    J["sim_cycles"] = std::move(SimCycles);
+    J["est_cycles"] = std::move(EstCycles);
+    std::ofstream Out(JsonPath);
+    Out << J.dump() << "\n";
+    std::printf("metrics written to %s\n", JsonPath);
+  }
+  return Violations == 0 ? 0 : 1;
+}

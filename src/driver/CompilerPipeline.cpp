@@ -31,6 +31,8 @@ const char *dahlia::driver::stageName(Stage S) {
     return "emit";
   case Stage::Estimate:
     return "estimate";
+  case Stage::Simulate:
+    return "simulate";
   }
   return "?";
 }
@@ -153,11 +155,18 @@ CompileResult CompilerPipeline::run(std::string_view Source,
 
   timedStage(R, Stage::Estimate, [&] {
     Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
-    if (Spec)
-      R.Est = hlsim::estimate(*Spec);
-    else
+    if (Spec) {
+      R.Spec = Spec.take();
+      R.Est = hlsim::estimate(*R.Spec);
+    } else {
       R.Diags.report(Spec.error());
+    }
   });
+  if (!R.ok() || Last == Stage::Estimate)
+    return R;
+
+  timedStage(R, Stage::Simulate,
+             [&] { R.Sim = cyclesim::simulate(*R.Spec); });
   return R;
 }
 

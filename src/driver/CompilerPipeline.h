@@ -20,7 +20,7 @@
 ///     hlsim estimate) plus per-stage wall-clock timings;
 ///   * \c CompilerPipeline runs a prefix of the stage graph
 ///
-///       Parse -> Check -> { Lower -> Interp, Emit, Estimate }
+///       Parse -> Check -> { Lower -> Interp, Emit, Estimate -> Simulate }
 ///
 ///     and stops at the first failing stage.
 ///
@@ -30,6 +30,7 @@
 #define DAHLIA_DRIVER_COMPILERPIPELINE_H
 
 #include "backend/EmitHLS.h"
+#include "cyclesim/CycleSim.h"
 #include "hlsim/Estimator.h"
 #include "lower/Desugar.h"
 #include "support/Error.h"
@@ -43,8 +44,9 @@
 namespace dahlia::driver {
 
 /// The stages of the compile flow. \c Lower, \c Emit and \c Estimate are
-/// alternative continuations after \c Check; \c Interp implies \c Lower.
-enum class Stage { Parse, Check, Lower, Interp, Emit, Estimate };
+/// alternative continuations after \c Check; \c Interp implies \c Lower
+/// and \c Simulate (the cycle-level simulator) implies \c Estimate.
+enum class Stage { Parse, Check, Lower, Interp, Emit, Estimate, Simulate };
 
 /// Short stage name ("parse", "check", ...).
 const char *stageName(Stage S);
@@ -97,7 +99,9 @@ struct CompileResult {
   std::optional<LoweredProgram> Lowered; ///< After Lower.
   std::optional<InterpOutcome> Run;      ///< After Interp.
   std::optional<std::string> HlsCpp;     ///< After Emit.
+  std::optional<hlsim::KernelSpec> Spec; ///< After Estimate (extraction).
   std::optional<hlsim::Estimate> Est;    ///< After Estimate.
+  std::optional<cyclesim::SimResult> Sim; ///< After Simulate.
   DiagnosticEngine Diags;
   std::vector<StageTiming> Timings; ///< One entry per executed stage.
 
@@ -151,6 +155,9 @@ public:
   }
   CompileResult estimate(std::string_view Src) const {
     return run(Src, Stage::Estimate);
+  }
+  CompileResult simulate(std::string_view Src) const {
+    return run(Src, Stage::Simulate);
   }
 
   const PipelineOptions &options() const { return Opts; }

@@ -8,6 +8,7 @@
 #include "driver/SpecExtractor.h"
 
 #include <map>
+#include <optional>
 
 using namespace dahlia;
 using namespace dahlia::driver;
@@ -32,16 +33,28 @@ unsigned elemBits(const Type &Elem) {
 
 /// Walks the program, accumulating the spec. Views are resolved to their
 /// root memory so accesses count against the real banks.
+///
+/// Every top-level loop starts its own nest (multi-phase kernels like
+/// md-knn's hoisted gather followed by its force computation record both
+/// phases), and `while` loops whose trip count has a derivable static
+/// bound (`let i = C; while (i < N) { ... i := i + s; }`) become serial
+/// nest levels with that bound — the kmp stream walk is a loop nest now,
+/// not dead weight. Within a nest the modelling stays best-effort: the
+/// first loop seen at each depth defines the nest's levels; sibling loops
+/// contribute their accesses and ops but no extra levels.
 class Extractor {
 public:
-  explicit Extractor(hlsim::KernelSpec &K) : K(K) {}
-
   void visitCmd(const Cmd &C) {
     switch (C.kind()) {
     case CmdKind::Let: {
       const auto &L = *C.as<LetCmd>();
-      if (L.init())
+      if (L.init()) {
         visitExpr(*L.init());
+        // Track constant integer bindings: they seed while-loop
+        // trip-count bounds ("let i = 0; while (i < N)").
+        if (const auto *Lit = L.init()->as<IntLitExpr>())
+          ConstInits[L.name()] = Lit->value();
+      }
       break;
     }
     case CmdKind::View: {
@@ -62,30 +75,52 @@ public:
     case CmdKind::While: {
       const auto &W = *C.as<WhileCmd>();
       visitExpr(W.cond());
-      visitCmd(W.body());
+      std::optional<WhileInfo> Bound = whileBound(W);
+      if (Bound) {
+        beginTopLevelNestIfNeeded();
+        if (Depth == cur().Loops.size())
+          cur().Loops.push_back(
+              {Bound->Var, Bound->Trips, /*Unroll=*/1, /*IsWhile=*/true});
+        ++Depth;
+        visitCmd(W.body());
+        --Depth;
+        // The body's write to the counter erased its entry; for the
+        // counted shape the exit value is known exactly, so sequential
+        // whiles over the same counter derive correct bounds.
+        ConstInits[Bound->Var] = Bound->ExitValue;
+      } else {
+        // No static bound: the body's accesses and ops still count, but
+        // the loop contributes no nest level (legacy best-effort).
+        visitCmd(W.body());
+      }
       break;
     }
     case CmdKind::For: {
       const auto &F = *C.as<ForCmd>();
-      // The first loop seen at each depth defines the modelled nest;
-      // sibling loops contribute their accesses and ops but not extra
-      // nest levels (best-effort).
-      if (Depth == K.Loops.size())
-        K.Loops.push_back({F.iter(), F.hi() - F.lo(), F.unroll()});
+      beginTopLevelNestIfNeeded();
+      if (Depth == cur().Loops.size())
+        cur().Loops.push_back({F.iter(), F.hi() - F.lo(), F.unroll()});
       ++Depth;
       visitCmd(F.body());
       if (F.combine()) {
-        K.HasAccumulator = true;
+        cur().HasAccumulator = true;
         visitCmd(*F.combine());
       }
       --Depth;
       break;
     }
-    case CmdKind::Assign:
-      visitExpr(C.as<AssignCmd>()->value());
+    case CmdKind::Assign: {
+      const auto &A = *C.as<AssignCmd>();
+      // Any write invalidates a tracked constant binding: a while bound
+      // must never be derived from a stale `let` init. (Writes are not
+      // re-tracked even for constant values — they may be conditional.)
+      ConstInits.erase(A.name());
+      visitExpr(A.value());
       break;
+    }
     case CmdKind::ReduceAssign: {
       const auto &R = *C.as<ReduceAssignCmd>();
+      ConstInits.erase(R.name());
       countOp(R.op());
       visitExpr(R.value());
       break;
@@ -133,26 +168,64 @@ public:
         visitExpr(*A);
       break;
     case ExprKind::FloatLit:
-      K.FloatingPoint = true;
+      FloatingPoint = true;
       break;
     default:
       break;
     }
     if (E.type() && (E.type()->isFloat() || E.type()->isDouble()))
-      K.FloatingPoint = true;
+      FloatingPoint = true;
   }
 
+  /// Moves the accumulated nests into \p K: the first nest fills the flat
+  /// legacy fields, the rest become ExtraNests.
+  void finish(hlsim::KernelSpec &K) {
+    if (FloatingPoint)
+      K.FloatingPoint = true;
+    if (Nests.empty())
+      return;
+    hlsim::LoopNest &First = Nests.front();
+    K.Loops = std::move(First.Loops);
+    K.Body = std::move(First.Body);
+    K.MulOps = First.MulOps;
+    K.AddOps = First.AddOps;
+    K.HasAccumulator = First.HasAccumulator;
+    K.IterationLatency = First.IterationLatency;
+    K.ExtraNests.assign(std::make_move_iterator(Nests.begin() + 1),
+                        std::make_move_iterator(Nests.end()));
+  }
+
+  /// Memory names the program declares; accesses to anything else (local
+  /// registers) are not memory traffic.
+  std::map<std::string, bool> KnownArrays;
+
 private:
+  /// The nest currently being extended (created on demand so straight-line
+  /// preamble code attaches to the first real nest).
+  hlsim::LoopNest &cur() {
+    if (Nests.empty())
+      Nests.emplace_back();
+    return Nests.back();
+  }
+
+  /// At the top level, each loop opens a fresh nest — unless the current
+  /// nest has no loops yet (then it is the preamble waiting for its first
+  /// loop).
+  void beginTopLevelNestIfNeeded() {
+    if (Depth == 0 && !cur().Loops.empty())
+      Nests.emplace_back();
+  }
+
   void countOp(BinOpKind Op) {
     switch (Op) {
     case BinOpKind::Add:
     case BinOpKind::Sub:
-      ++K.AddOps;
+      ++cur().AddOps;
       break;
     case BinOpKind::Mul:
     case BinOpKind::Div:
     case BinOpKind::Mod:
-      ++K.MulOps;
+      ++cur().MulOps;
       break;
     default:
       break;
@@ -175,8 +248,8 @@ private:
     auto It = ViewRoot.find(Mem);
     if (It != ViewRoot.end())
       Mem = It->second;
-    if (K.findArray(Mem))
-      K.Body.push_back({Mem, std::move(Idx), IsWrite});
+    if (KnownArrays.count(Mem))
+      cur().Body.push_back({Mem, std::move(Idx), IsWrite});
   }
 
   /// Converts an index expression to affine form; non-affine subterms
@@ -223,8 +296,127 @@ private:
     }
   }
 
-  hlsim::KernelSpec &K;
+  //===--------------------------------------------------------------------===//
+  // While-loop static trip-count bounds
+  //===--------------------------------------------------------------------===//
+
+  struct WhileInfo {
+    std::string Var;
+    int64_t Trips = 0;
+    int64_t ExitValue = 0; ///< Counter value after the last iteration.
+  };
+
+  /// Recognizes the counted-while shape. Supported: `while (v < C)` /
+  /// `while (v <= C)` where v is currently bound to a known constant
+  /// integer and the body's only write to v is an *unconditional,
+  /// top-level* `v := v + s` (either operand order, constant s > 0). A
+  /// write guarded by an `if` or repeated inside a nested loop makes the
+  /// trip count data-dependent (or multiplied), so no bound is recorded.
+  std::optional<WhileInfo> whileBound(const WhileCmd &W) {
+    const auto *Cond = W.cond().as<BinOpExpr>();
+    if (!Cond ||
+        (Cond->op() != BinOpKind::Lt && Cond->op() != BinOpKind::Le))
+      return std::nullopt;
+    const auto *V = Cond->lhs().as<VarExpr>();
+    const auto *Hi = Cond->rhs().as<IntLitExpr>();
+    if (!V || !Hi)
+      return std::nullopt;
+    auto InitIt = ConstInits.find(V->name());
+    if (InitIt == ConstInits.end())
+      return std::nullopt;
+
+    std::optional<int64_t> Step;
+    bool OpaqueWrite = false;
+    findStep(W.body(), V->name(), /*Guarded=*/false, Step, OpaqueWrite);
+    if (OpaqueWrite || !Step || *Step <= 0)
+      return std::nullopt;
+
+    int64_t Limit = Hi->value() + (Cond->op() == BinOpKind::Le ? 1 : 0);
+    int64_t Trips = (Limit - InitIt->second + *Step - 1) / *Step;
+    if (Trips <= 0)
+      return std::nullopt;
+    return WhileInfo{V->name(), Trips, InitIt->second + Trips * *Step};
+  }
+
+  /// Scans \p C for writes to \p Var: an unguarded `Var := Var + s` sets
+  /// \p Step; anything else writing \p Var — a different form, a second
+  /// conflicting step, or any write under a conditional or nested loop
+  /// (\p Guarded) — sets \p Opaque.
+  void findStep(const Cmd &C, const std::string &Var, bool Guarded,
+                std::optional<int64_t> &Step, bool &Opaque) {
+    switch (C.kind()) {
+    case CmdKind::Assign: {
+      const auto &A = *C.as<AssignCmd>();
+      if (A.name() != Var)
+        return;
+      if (const auto *B = A.value().as<BinOpExpr>();
+          B && B->op() == BinOpKind::Add && !Guarded) {
+        const auto *Lv = B->lhs().as<VarExpr>();
+        const auto *Ls = B->rhs().as<IntLitExpr>();
+        const auto *Rv = B->rhs().as<VarExpr>();
+        const auto *Rs = B->lhs().as<IntLitExpr>();
+        int64_t S = 0;
+        if (Lv && Lv->name() == Var && Ls)
+          S = Ls->value();
+        else if (Rv && Rv->name() == Var && Rs)
+          S = Rs->value();
+        // Exactly ONE unconditional increment: a second write — even an
+        // identical one — steps the counter more than once per
+        // iteration, so the bound arithmetic below would be wrong.
+        if (S > 0 && !Step) {
+          Step = S;
+          return;
+        }
+      }
+      Opaque = true;
+      return;
+    }
+    case CmdKind::ReduceAssign:
+      if (C.as<ReduceAssignCmd>()->name() == Var)
+        Opaque = true;
+      return;
+    case CmdKind::If: {
+      // A branch-guarded increment executes data-dependently: any write
+      // below is opaque, even in an if without an else.
+      const auto &I = *C.as<IfCmd>();
+      findStep(I.thenCmd(), Var, /*Guarded=*/true, Step, Opaque);
+      if (I.elseCmd())
+        findStep(*I.elseCmd(), Var, /*Guarded=*/true, Step, Opaque);
+      return;
+    }
+    case CmdKind::While:
+      // A write repeated by an inner loop steps more than once per outer
+      // iteration.
+      findStep(C.as<WhileCmd>()->body(), Var, /*Guarded=*/true, Step,
+               Opaque);
+      return;
+    case CmdKind::For: {
+      const auto &F = *C.as<ForCmd>();
+      findStep(F.body(), Var, /*Guarded=*/true, Step, Opaque);
+      if (F.combine())
+        findStep(*F.combine(), Var, /*Guarded=*/true, Step, Opaque);
+      return;
+    }
+    case CmdKind::Seq:
+      for (const CmdPtr &Sub : C.as<SeqCmd>()->cmds())
+        findStep(*Sub, Var, Guarded, Step, Opaque);
+      return;
+    case CmdKind::Par:
+      for (const CmdPtr &Sub : C.as<ParCmd>()->cmds())
+        findStep(*Sub, Var, Guarded, Step, Opaque);
+      return;
+    case CmdKind::Block:
+      findStep(C.as<BlockCmd>()->body(), Var, Guarded, Step, Opaque);
+      return;
+    default:
+      return;
+    }
+  }
+
+  std::vector<hlsim::LoopNest> Nests;
   std::map<std::string, std::string> ViewRoot;
+  std::map<std::string, int64_t> ConstInits;
+  bool FloatingPoint = false;
   size_t Depth = 0;
 };
 
@@ -236,6 +428,7 @@ dahlia::driver::extractKernelSpec(const Program &P, const std::string &Name) {
   K.Name = Name;
   K.FloatingPoint = false;
 
+  Extractor Ex;
   for (const ExternDecl &D : P.Decls) {
     if (!D.Ty || !D.Ty->isMem())
       continue;
@@ -249,12 +442,13 @@ dahlia::driver::extractKernelSpec(const Program &P, const std::string &Name) {
     A.ElemBits = elemBits(*D.Ty->memElem());
     if (D.Ty->memElem()->isFloat() || D.Ty->memElem()->isDouble())
       K.FloatingPoint = true;
+    Ex.KnownArrays[D.Name] = true;
     K.Arrays.push_back(std::move(A));
   }
 
-  Extractor Ex(K);
   if (P.Body)
     Ex.visitCmd(*P.Body);
+  Ex.finish(K);
 
   if (K.Arrays.empty() && K.Loops.empty())
     return Error(ErrorKind::Internal,

@@ -177,6 +177,7 @@ DseResult DseEngine::explore(const DseProblem &P) const {
   Ctx.Threads = Threads;
   Ctx.Grain = std::max<size_t>(Opts.GrainSize, 1);
   Ctx.HalvingEta = Opts.HalvingEta;
+  Ctx.ExactTopRung = Opts.ExactTopRung;
 
   Ctx.Cache = Opts.Cache;
   if (Opts.Memoize && !Ctx.Cache)

@@ -178,6 +178,15 @@ struct DseOptions {
   unsigned HalvingEta = 4;
   /// Shard of the space this run explores (whole space by default).
   ShardSpec Shard;
+  /// Re-rank the front on the cycle-level simulator (hlsim
+  /// Fidelity::Exact): after the configured strategy finishes, its
+  /// full-fidelity front members are promoted to Exact estimates, plus
+  /// every full-estimated config whose Full objectives (an admissible
+  /// lower bound of its Exact point) are not strictly dominated by a
+  /// promoted point — so over the full-estimated set the resulting
+  /// membership is exactly what an all-Exact sweep of that set computes,
+  /// at a tiny fraction of the simulations.
+  bool ExactTopRung = false;
 };
 
 /// Resolves the effective worker count: \p Requested if nonzero, else the
@@ -190,6 +199,9 @@ struct DsePoint {
   Objectives Obj;
   bool Accepted = false;  ///< Dahlia type checker verdict.
   bool Estimated = false; ///< False when estimation was skipped.
+  /// True when Est/Obj carry Exact-fidelity (simulated) values; only set
+  /// by the exact-top-rung pass.
+  bool ExactEvaluated = false;
 };
 
 /// Aggregate counters of one exploration.
@@ -209,6 +221,9 @@ struct DseStats {
   /// Halving: configs outside the rung survivors promoted to full
   /// fidelity by the admissible-bound safety net.
   size_t Rescued = 0;
+  /// Exact-top-rung: configurations promoted to a cycle-level simulation
+  /// (the acceptance bound measures this against the space size).
+  size_t ExactEstimates = 0;
   size_t EstimateCacheHits = 0;
   size_t VerdictCacheHits = 0;
   unsigned Threads = 1;

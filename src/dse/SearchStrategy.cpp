@@ -159,6 +159,16 @@ void recordFull(const SearchContext &Ctx, DseResult &R, size_t I) {
   Pt.Estimated = true;
 }
 
+/// Exact (cycle-level simulator) estimate of \p I recorded into the
+/// result point, replacing its Full-fidelity objectives.
+void recordExact(const SearchContext &Ctx, DseResult &R, size_t I) {
+  DsePoint &Pt = R.Points[I];
+  Pt.Est = estimateOne(Ctx, I, hlsim::Fidelity::Exact);
+  Pt.Obj = Objectives::of(Pt.Est);
+  Pt.Estimated = true;
+  Pt.ExactEvaluated = true;
+}
+
 /// Positions of \p Pos (into a candidate list) sorted by scalarized bound
 /// score, ascending; ties break toward the lower position (== lower
 /// configuration index, since candidates are ascending). The score is a
@@ -196,6 +206,86 @@ std::vector<size_t> rankByBound(const std::vector<size_t> &Pos,
   for (size_t K = 0; K != Order.size(); ++K)
     Out[K] = Pos[Order[K]];
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact top rung — promote the front to cycle-level simulation
+//===----------------------------------------------------------------------===//
+
+/// Re-ranks front membership on hlsim Fidelity::Exact (the cycle-level
+/// simulator). Every Full-estimated config's Full objectives are an
+/// admissible lower bound of its Exact point (the fidelity ladder's top
+/// step), so the pass mirrors the pruned strategies' rescue logic one
+/// rung up:
+///
+///   1. the strategy's Full-fidelity front members (overall + accepted)
+///      are simulated in parallel;
+///   2. the remaining Full-estimated configs are walked in bound-score
+///      order; one is simulated unless its Full objectives are strictly
+///      dominated by a simulated point's Exact objectives *in every front
+///      it could join* — an exclusion that provably cannot drop a member
+///      of the all-Exact front over the Full-estimated set.
+///
+/// With the Exhaustive strategy (everything Full-estimated) the result is
+/// therefore exactly the front an all-Exact sweep of the whole space
+/// computes. Under pruned strategies it is exact over their Full-rung
+/// survivor set, which already provably contains the Full-fidelity front.
+void exactTopRungPass(const SearchContext &Ctx, DseResult &R) {
+  std::vector<size_t> Cand;     ///< Full-estimated configs, ascending.
+  std::vector<Objectives> Bound; ///< Their Full objectives (the bounds).
+  for (size_t I : Ctx.Indices) {
+    if (R.Points[I].Estimated) {
+      Cand.push_back(I);
+      Bound.push_back(R.Points[I].Obj);
+    }
+  }
+  auto PosOf = [&](size_t I) {
+    return static_cast<size_t>(
+        std::lower_bound(Cand.begin(), Cand.end(), I) - Cand.begin());
+  };
+
+  // Seed: simulate the Full-fidelity front members in parallel.
+  std::vector<size_t> Seed = R.Front;
+  Seed.insert(Seed.end(), R.AcceptedFront.begin(), R.AcceptedFront.end());
+  std::sort(Seed.begin(), Seed.end());
+  Seed.erase(std::unique(Seed.begin(), Seed.end()), Seed.end());
+  parallelOver(Ctx, Seed.size(), [&](unsigned, size_t B, size_t E) {
+    for (size_t K = B; K != E; ++K)
+      recordExact(Ctx, R, Seed[K]);
+  });
+  R.Stats.ExactEstimates += Seed.size();
+
+  std::vector<char> Promoted(Cand.size(), 0);
+  ParetoFront All, Acc;
+  for (size_t I : Seed) {
+    Promoted[PosOf(I)] = 1;
+    All.insert(I, R.Points[I].Obj);
+    if (R.Points[I].Accepted)
+      Acc.insert(I, R.Points[I].Obj);
+  }
+
+  // Rescue walk in bound-score order (decisions stay valid as the fronts
+  // evolve — a member can only be displaced by a dominating point, which
+  // then dominates the same bounds).
+  std::vector<size_t> Rest;
+  for (size_t Pos = 0; Pos != Cand.size(); ++Pos)
+    if (!Promoted[Pos])
+      Rest.push_back(Pos);
+  for (size_t Pos : rankByBound(Rest, Bound)) {
+    size_t I = Cand[Pos];
+    bool IsAccepted = R.Points[I].Accepted;
+    if (All.dominatesPoint(Bound[Pos]) &&
+        (!IsAccepted || Acc.dominatesPoint(Bound[Pos])))
+      continue;
+    recordExact(Ctx, R, I);
+    ++R.Stats.ExactEstimates;
+    All.insert(I, R.Points[I].Obj);
+    if (IsAccepted)
+      Acc.insert(I, R.Points[I].Obj);
+  }
+
+  R.Front = All.indices();
+  R.AcceptedFront = Acc.indices();
 }
 
 //===----------------------------------------------------------------------===//
@@ -247,6 +337,9 @@ public:
     }
     R.Front = All.indices();
     R.AcceptedFront = Acc.indices();
+
+    if (Ctx.ExactTopRung)
+      exactTopRungPass(Ctx, R);
   }
 };
 
@@ -379,6 +472,9 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
 
   R.Front = All.indices();
   R.AcceptedFront = Acc.indices();
+
+  if (Ctx.ExactTopRung)
+    exactTopRungPass(Ctx, R);
 }
 
 class SuccessiveHalvingStrategy final : public SearchStrategy {

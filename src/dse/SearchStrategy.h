@@ -57,6 +57,9 @@ struct SearchContext {
   unsigned Threads = 1;
   size_t Grain = 32;
   unsigned HalvingEta = 4;
+  /// Promote the front to cycle-level (Exact) estimates; see
+  /// DseOptions::ExactTopRung.
+  bool ExactTopRung = false;
 };
 
 /// Strategy interface. Implementations fill \c R.Points for every index

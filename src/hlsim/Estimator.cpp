@@ -7,207 +7,115 @@
 
 #include "hlsim/Estimator.h"
 
+#include "cyclesim/CycleSim.h"
+#include "hlsim/KernelAnalysis.h"
 #include "support/StableHash.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numeric>
-#include <set>
-#include <sstream>
+#include <map>
 
 using namespace dahlia;
 using namespace dahlia::hlsim;
 
-namespace {
-
-int64_t floorMod(int64_t A, int64_t B) { return ((A % B) + B) % B; }
-
-/// A processing element: the vector of unrolled-offset values, one per
-/// loop (0 for non-unrolled loops).
-using PeOffsets = std::vector<int64_t>;
-
-/// Enumerates the unrolled copies of the loop nest (capped).
-std::vector<PeOffsets> enumeratePes(const KernelSpec &K, size_t Cap) {
-  std::vector<PeOffsets> Pes;
-  Pes.emplace_back(K.Loops.size(), 0);
-  for (size_t L = 0; L != K.Loops.size(); ++L) {
-    int64_t U = K.Loops[L].Unroll;
-    if (U <= 1)
-      continue;
-    std::vector<PeOffsets> Next;
-    Next.reserve(Pes.size() * static_cast<size_t>(U));
-    for (const PeOffsets &P : Pes) {
-      for (int64_t J = 0; J != U; ++J) {
-        if (Next.size() >= Cap)
-          break;
-        PeOffsets Q = P;
-        Q[L] = J;
-        Next.push_back(std::move(Q));
-      }
-    }
-    Pes = std::move(Next);
-  }
-  return Pes;
-}
-
-/// One hardware instance of an access: the per-dimension constant offsets
-/// after resolving the unrolled-copy offsets. Unrolled copies whose index
-/// expressions do not mention the unrolled iterator collapse into a single
-/// instance — HLS shares the fetch (read fan-out) or merges the update
-/// (reduction), exactly like Dahlia's read capabilities and combine
-/// registers.
-using InstanceKey = std::vector<int64_t>;
-
-std::vector<InstanceKey> accessInstances(const KernelSpec &K, const Access &A,
-                                         const std::vector<PeOffsets> &Pes) {
-  std::set<InstanceKey> Keys;
-  for (const PeOffsets &Pe : Pes) {
-    InstanceKey Key;
-    for (const AffineExpr &Idx : A.Idx) {
-      int64_t KConst = Idx.Const;
-      for (size_t L = 0; L != K.Loops.size(); ++L) {
-        auto It = Idx.Coeffs.find(K.Loops[L].Var);
-        if (It != Idx.Coeffs.end())
-          KConst += It->second * Pe[L];
-      }
-      Key.push_back(KConst);
-    }
-    Keys.insert(std::move(Key));
-  }
-  return std::vector<InstanceKey>(Keys.begin(), Keys.end());
-}
-
-/// The set of banks one dimension of one access instance can reach:
-/// residues (K + m*g) mod P, where g is the gcd of P with the strides the
-/// free (sequential) loop iteration contributes.
-std::vector<int64_t> reachableDimBanks(const KernelSpec &K,
-                                       const AffineExpr &Idx, int64_t P,
-                                       int64_t KConst) {
-  if (P <= 1)
-    return {0};
-  int64_t G = 0;
-  for (const Loop &Lp : K.Loops) {
-    auto It = Idx.Coeffs.find(Lp.Var);
-    if (It == Idx.Coeffs.end())
-      continue;
-    // The sequential part of this loop steps the index by Coeff * Unroll;
-    // if the loop iterates more than once per group it contributes stride
-    // variation.
-    if (Lp.Trip / std::max<int64_t>(Lp.Unroll, 1) > 1)
-      G = std::gcd(G, std::abs(It->second) * Lp.Unroll);
-  }
-  G = G == 0 ? P : std::gcd(G, P);
-  std::vector<int64_t> Banks;
-  for (int64_t M = 0; M != P / G; ++M)
-    Banks.push_back(floorMod(KConst + M * G, P));
-  std::sort(Banks.begin(), Banks.end());
-  Banks.erase(std::unique(Banks.begin(), Banks.end()), Banks.end());
-  return Banks;
-}
-
-/// Flattened reachable-bank set across dimensions.
-std::vector<int64_t> reachableBanks(const KernelSpec &K, const Access &A,
-                                    const ArraySpec &Arr,
-                                    const InstanceKey &Key) {
-  std::vector<int64_t> Flat = {0};
-  for (size_t D = 0; D != Arr.Partition.size(); ++D) {
-    std::vector<int64_t> DimBanks =
-        reachableDimBanks(K, A.Idx[D], Arr.Partition[D], Key[D]);
-    std::vector<int64_t> Next;
-    Next.reserve(Flat.size() * DimBanks.size());
-    for (int64_t F : Flat)
-      for (int64_t B : DimBanks)
-        Next.push_back(F * Arr.Partition[D] + B);
-    Flat = std::move(Next);
-  }
-  return Flat;
-}
-
-/// The paper's first unwritten rule: every unroll factor used to index a
-/// banked dimension must divide that dimension's banking factor.
-bool unrollDividesBanking(const KernelSpec &K) {
-  for (const Access &A : K.Body) {
-    const ArraySpec *Arr = K.findArray(A.Array);
-    if (!Arr)
-      continue;
-    for (size_t D = 0; D != A.Idx.size(); ++D) {
-      int64_t P = Arr->Partition[D];
-      for (const Loop &L : K.Loops) {
-        if (L.Unroll <= 1)
-          continue;
-        if (!A.Idx[D].Coeffs.count(L.Var))
-          continue;
-        if (P % L.Unroll != 0)
-          return false;
-      }
-    }
-  }
-  return true;
-}
-
-/// The paper's second unwritten rule: banking factors divide array sizes
-/// and unroll factors divide trip counts.
-bool bankingDividesSizes(const KernelSpec &K) {
-  for (const ArraySpec &Arr : K.Arrays)
-    for (size_t D = 0; D != Arr.DimSizes.size(); ++D)
-      if (Arr.DimSizes[D] % Arr.Partition[D] != 0)
-        return false;
-  for (const Loop &L : K.Loops)
-    if (L.Trip % L.Unroll != 0)
-      return false;
-  return true;
-}
-
-/// Deterministic per-configuration hash used for heuristic noise.
-uint64_t configHash(const KernelSpec &K) {
-  std::ostringstream OS;
-  OS << K.Name;
-  for (const Loop &L : K.Loops)
-    OS << '|' << L.Var << ':' << L.Trip << ':' << L.Unroll;
-  for (const ArraySpec &A : K.Arrays) {
-    OS << '|' << A.Name;
-    for (size_t D = 0; D != A.DimSizes.size(); ++D)
-      OS << ':' << A.DimSizes[D] << 'p' << A.Partition[D];
-  }
-  return stableHash(OS.str());
-}
-
-} // namespace
-
+// The estimator walks every nest of the spec (multi-phase kernels like
+// md-knn execute their nests serially): latency and PE area accumulate
+// across nests, the reported II is the max over nests, and the bank
+// fan-in / rule checks consider all of them. For single-nest specs the
+// arithmetic below is ordered exactly as the pre-multi-nest estimator's,
+// so those estimates are bit-identical (the Figure 7 front hashes in
+// bench/baselines/ depend on this).
 Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   Estimate E;
-  const int64_t UTotal = K.totalUnroll();
   // The processing-element enumeration feeds only the mux sizing and the
   // port-conflict scan; coarse-fidelity models disable both, and skipping
   // the enumeration is what makes them cheap.
   const bool ScanPorts = CM.ModelPortConflicts && CM.PortConflictSamples > 0;
   const bool NeedInstances = CM.ModelMuxCost || ScanPorts;
-  const std::vector<PeOffsets> Pes =
-      NeedInstances ? enumeratePes(K, 2048) : std::vector<PeOffsets>();
 
-  //===------------------------------------------------------------------===//
-  // Bank reachability (mechanism 2): mux and arbitration sizing.
-  //===------------------------------------------------------------------===//
   double MuxLut = 0;
   std::map<std::string, std::map<int64_t, int64_t>> BankFanIn;
-  std::map<const Access *, std::vector<InstanceKey>> Instances;
-  if (NeedInstances) {
-    for (const Access &A : K.Body) {
-      const ArraySpec *Arr = K.findArray(A.Array);
-      assert(Arr && "access to unknown array");
-      assert(A.Idx.size() == Arr->DimSizes.size() && "access arity mismatch");
-      Instances[&A] = accessInstances(K, A, Pes);
-      for (const InstanceKey &Key : Instances[&A]) {
-        std::vector<int64_t> Reach = reachableBanks(K, A, *Arr, Key);
-        if (Reach.size() > 1)
-          MuxLut += CM.MuxLutPerInputBit * static_cast<double>(Reach.size()) *
-                    Arr->ElemBits;
-        for (int64_t B : Reach)
-          ++BankFanIn[Arr->Name][B];
+  double II = 1.0;     ///< Max initiation interval across nests.
+  double Cycles = 0;   ///< Serial nest latencies, summed.
+  double PeLut = 0;    ///< Unrolled arithmetic LUTs, summed over nests.
+  double DspAcc = 0;   ///< DSP blocks, summed over nests.
+  double SumPe = 0;    ///< PE count across nests (registers scale on it).
+  size_t LoopLevels = 0;
+
+  // Per-nest PE counts, needed again by the epilogue-hardware pass that
+  // can only run after the rule checks.
+  std::vector<double> NestPe;
+  NestPe.reserve(K.nestCount());
+
+  for (size_t NI = 0; NI != K.nestCount(); ++NI) {
+    const KernelSpec::NestView N = K.nest(NI);
+    const double UNest = static_cast<double>(N.totalUnroll());
+    SumPe += UNest;
+    LoopLevels += N.Loops->size();
+
+    const std::vector<PeOffsets> Pes =
+        NeedInstances ? enumeratePes(N, 2048) : std::vector<PeOffsets>();
+
+    //===----------------------------------------------------------------===//
+    // Bank reachability (mechanism 2): mux and arbitration sizing.
+    //===----------------------------------------------------------------===//
+    std::vector<std::vector<InstanceKey>> Instances;
+    if (NeedInstances) {
+      Instances.reserve(N.Body->size());
+      for (const Access &A : *N.Body) {
+        const ArraySpec *Arr = K.findArray(A.Array);
+        assert(Arr && "access to unknown array");
+        assert(A.Idx.size() == Arr->DimSizes.size() &&
+               "access arity mismatch");
+        Instances.push_back(accessInstances(N, A, Pes));
+        for (const InstanceKey &Key : Instances.back()) {
+          std::vector<int64_t> Reach = reachableBanks(N, A, *Arr, Key);
+          if (Reach.size() > 1)
+            MuxLut += CM.MuxLutPerInputBit *
+                      static_cast<double>(Reach.size()) * Arr->ElemBits;
+          for (int64_t B : Reach)
+            ++BankFanIn[Arr->Name][B];
+        }
       }
     }
+
+    //===----------------------------------------------------------------===//
+    // Port-conflict scheduling (mechanism 1): sampled initiation
+    // interval, via the arbitration primitive shared with the simulator
+    // (KernelAnalysis.h) — the simulator's exhaustive walk maxes the
+    // same function over a superset of these points.
+    //===----------------------------------------------------------------===//
+    double NestII =
+        ScanPorts ? sampledConflictII(K, N, Instances, CM.PortConflictSamples)
+                  : 1.0;
+    if (N.HasAccumulator && K.FloatingPoint)
+      NestII = std::max(NestII, 1.0 + CM.AccumulatorII);
+    II = std::max(II, NestII);
+
+    //===----------------------------------------------------------------===//
+    // Latency of this nest (shape shared with the simulator).
+    //===----------------------------------------------------------------===//
+    NestShape Shape = nestShape(N, CM.LoopOverheadCycles);
+    Cycles += Shape.Groups * std::max(NestII, N.IterationLatency) +
+              Shape.OuterOverhead;
+    NestPe.push_back(UNest);
+
+    //===----------------------------------------------------------------===//
+    // Arithmetic area of this nest's PEs.
+    //===----------------------------------------------------------------===//
+    const double AddLut =
+        K.FloatingPoint ? CM.LutPerFloatAdd : CM.LutPerIntAdd;
+    const double MulLut =
+        K.FloatingPoint ? CM.LutPerFloatMul : CM.LutPerIntMul;
+    PeLut += UNest * (N.MulOps * MulLut + N.AddOps * AddLut);
+    const double DspMul =
+        K.FloatingPoint ? CM.DspPerFloatMul : CM.DspPerIntMul;
+    const double DspAdd = K.FloatingPoint ? CM.DspPerFloatAdd : 0.0;
+    DspAcc += UNest * (N.MulOps * DspMul + N.AddOps * DspAdd);
   }
+  E.II = II;
+
   double ArbLut = 0;
   for (const auto &[ArrName, Fans] : BankFanIn) {
     (void)ArrName;
@@ -217,54 +125,6 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
         ArbLut += CM.ArbLutPerRequester * static_cast<double>(FanIn);
     }
   }
-
-  //===------------------------------------------------------------------===//
-  // Port-conflict scheduling (mechanism 1): sampled initiation interval.
-  //===------------------------------------------------------------------===//
-  double II = 1.0;
-  if (ScanPorts) {
-    for (int Sample = 0; Sample != CM.PortConflictSamples; ++Sample) {
-      // A deterministic spread of sequential iteration points.
-      std::map<std::string, int64_t> SeqIter;
-      int Stride = 1;
-      for (const Loop &L : K.Loops) {
-        int64_t Groups = L.Trip / std::max<int64_t>(L.Unroll, 1);
-        SeqIter[L.Var] = Groups > 0 ? (Sample * Stride) % Groups : 0;
-        Stride += 2;
-      }
-      // Per-bank pressure this cycle.
-      std::map<std::string, std::map<int64_t, int64_t>> Pressure;
-      for (const Access &A : K.Body) {
-        const ArraySpec *Arr = K.findArray(A.Array);
-        for (const InstanceKey &Key : Instances[&A]) {
-          int64_t Flat = 0;
-          for (size_t D = 0; D != A.Idx.size(); ++D) {
-            // Sequential contribution shared by all instances this cycle.
-            int64_t Seq = 0;
-            for (const Loop &Lp : K.Loops) {
-              auto It = A.Idx[D].Coeffs.find(Lp.Var);
-              if (It != A.Idx[D].Coeffs.end())
-                Seq += It->second * Lp.Unroll * SeqIter[Lp.Var];
-            }
-            int64_t P = Arr->Partition[D];
-            Flat = Flat * P + floorMod(Key[D] + Seq, P);
-          }
-          ++Pressure[Arr->Name][Flat];
-        }
-      }
-      for (const auto &[ArrName, Banks] : Pressure) {
-        const ArraySpec *Arr = K.findArray(ArrName);
-        for (const auto &[Bank, Count] : Banks) {
-          (void)Bank;
-          double Needed = std::ceil(static_cast<double>(Count) / Arr->Ports);
-          II = std::max(II, Needed);
-        }
-      }
-    }
-  }
-  if (K.HasAccumulator && K.FloatingPoint)
-    II = std::max(II, 1.0 + CM.AccumulatorII);
-  E.II = II;
 
   //===------------------------------------------------------------------===//
   // Rule checks and heuristic noise (mechanism 4).
@@ -280,13 +140,9 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   for (const ArraySpec &A : K.Arrays)
     TotalBanks += A.totalBanks();
 
-  double Lut = CM.BaseControlLut + CM.LutPerLoop * K.Loops.size() +
+  double Lut = CM.BaseControlLut + CM.LutPerLoop * LoopLevels +
                CM.LutPerBank * static_cast<double>(TotalBanks);
-  const double AddLut =
-      K.FloatingPoint ? CM.LutPerFloatAdd : CM.LutPerIntAdd;
-  const double MulLut =
-      K.FloatingPoint ? CM.LutPerFloatMul : CM.LutPerIntMul;
-  Lut += static_cast<double>(UTotal) * (K.MulOps * MulLut + K.AddOps * AddLut);
+  Lut += PeLut;
   if (CM.ModelMuxCost)
     Lut += MuxLut + ArbLut;
 
@@ -297,9 +153,12 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
         if (A.DimSizes[D] % A.Partition[D] != 0)
           BoundaryLut +=
               CM.BoundaryLutPerBank * static_cast<double>(A.Partition[D]);
-    for (const Loop &L : K.Loops)
-      if (L.Trip % L.Unroll != 0)
-        BoundaryLut += CM.EpilogueLutPerPe * static_cast<double>(UTotal);
+    for (size_t NI = 0; NI != K.nestCount(); ++NI) {
+      const KernelSpec::NestView N = K.nest(NI);
+      for (const Loop &L : *N.Loops)
+        if (L.Trip % L.Unroll != 0)
+          BoundaryLut += CM.EpilogueLutPerPe * NestPe[NI];
+    }
   }
   if (CM.ModelBoundaryCost)
     Lut += BoundaryLut;
@@ -325,38 +184,26 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   //===------------------------------------------------------------------===//
   // Arithmetic resources.
   //===------------------------------------------------------------------===//
-  const double DspMul =
-      K.FloatingPoint ? CM.DspPerFloatMul : CM.DspPerIntMul;
-  const double DspAdd = K.FloatingPoint ? CM.DspPerFloatAdd : 0.0;
-  E.Dsp = static_cast<int64_t>(
-      std::llround(UTotal * (K.MulOps * DspMul + K.AddOps * DspAdd)));
+  E.Dsp = static_cast<int64_t>(std::llround(DspAcc));
 
   //===------------------------------------------------------------------===//
-  // Latency.
+  // Latency tail: the nest latencies accumulated above, one pipeline
+  // fill, and any serial phase the spec keeps outside its nests.
   //===------------------------------------------------------------------===//
-  double Groups = 1;
-  double OuterOverhead = 0;
-  double Prefix = 1;
-  for (const Loop &L : K.Loops) {
-    double G = std::ceil(static_cast<double>(L.Trip) /
-                         static_cast<double>(L.Unroll));
-    Groups *= G;
-    OuterOverhead += Prefix * CM.LoopOverheadCycles;
-    Prefix *= G;
-  }
-  double Cycles = Groups * std::max(II, K.IterationLatency) +
-                  OuterOverhead + CM.PipelineDepth + K.ExtraSerialCycles;
+  // Two statements, not one sum: addition order must match the
+  // pre-multi-nest estimator bit-for-bit (see the function comment).
+  Cycles += CM.PipelineDepth;
+  Cycles += K.ExtraSerialCycles;
 
   //===------------------------------------------------------------------===//
   // Heuristic noise and mis-synthesis for rule-violating points.
   //===------------------------------------------------------------------===//
   if (CM.ModelHeuristicNoise && !E.Predictable) {
-    uint64_t H = configHash(K);
+    uint64_t H = heuristicConfigHash(K);
     double U1 = stableHashUnit(H);
-    double U2 = stableHashUnit(stableHashCombine(H, 0x9e3779b97f4a7c15ULL));
     double U3 = stableHashUnit(stableHashCombine(H, 0xc2b2ae3d27d4eb4fULL));
     Lut *= 1.0 + CM.NoiseAmplitudeArea * U1;
-    Cycles *= 1.0 + CM.NoiseAmplitudeLatency * U2;
+    Cycles *= heuristicLatencyMultiplier(K, CM.NoiseAmplitudeLatency);
     // Severe violations (bank indirection from mismatched unrolling) can
     // mis-synthesize, as observed in Fig. 4b.
     if (!RuleUnroll && U3 < CM.MisSynthesisRate)
@@ -364,9 +211,8 @@ Estimate dahlia::hlsim::estimate(const KernelSpec &K, const CostModel &CM) {
   }
 
   E.Lut = static_cast<int64_t>(std::llround(Lut));
-  E.Ff = static_cast<int64_t>(
-      std::llround(0.8 * Lut + CM.FfPerPe * static_cast<double>(UTotal) +
-                   CM.PipelineDepth * 32.0));
+  E.Ff = static_cast<int64_t>(std::llround(
+      0.8 * Lut + CM.FfPerPe * SumPe + CM.PipelineDepth * 32.0));
   (void)CM.FfPerLut;
   E.Cycles = Cycles;
   E.RuntimeMs = Cycles / (K.ClockMHz * 1e3);
@@ -385,6 +231,8 @@ const char *dahlia::hlsim::fidelityName(Fidelity F) {
     return "medium";
   case Fidelity::Full:
     return "full";
+  case Fidelity::Exact:
+    return "exact";
   }
   return "?";
 }
@@ -400,7 +248,14 @@ CostModel dahlia::hlsim::costModelFor(Fidelity F) {
     CM.PortConflictSamples = 4;
     break;
   case Fidelity::Full:
+  case Fidelity::Exact: // Exact wraps the simulator around Full's model.
     break;
   }
   return CM;
+}
+
+Estimate dahlia::hlsim::estimateAt(const KernelSpec &K, Fidelity F) {
+  if (F == Fidelity::Exact)
+    return cyclesim::exactEstimate(K);
+  return estimate(K, costModelFor(F));
 }

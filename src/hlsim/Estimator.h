@@ -131,25 +131,35 @@ Estimate estimate(const KernelSpec &K, const CostModel &CM = CostModel());
 //     processing-element enumeration entirely;
 //   * Medium restores the mux model but samples the II scan at 4 of the
 //     16 schedule points (a prefix, so its max is <= the full scan's);
-//   * Full is the default CostModel.
+//   * Full is the default CostModel;
+//   * Exact dispatches to the cycle-level banked-memory simulator
+//     (src/cyclesim/): area is Full's, but cycles/II come from executing
+//     every iteration group with per-cycle port arbitration. The sampled
+//     schedule points of the Full scan are real groups of the exhaustive
+//     walk, so Full's II (a max over a subset) never exceeds Exact's —
+//     Full lower-bounds Exact just as Coarse/Medium lower-bound Full.
 //
 // Heuristic noise stays ON at every fidelity: it is a deterministic
 // multiplier >= 1 derived from the config hash alone, so including it
 // keeps the bound admissible while making it far tighter for
-// rule-violating configurations. SearchStrategyTest pins the
-// monotonicity property across the gemm-blocked space.
+// rule-violating configurations (the simulator applies the identical
+// multiplier — it simulates the same erratically-synthesized hardware).
+// SearchStrategyTest pins the monotonicity property across the
+// gemm-blocked space; CycleSimTest extends it to the Exact rung.
 
-/// Estimator fidelities, cheapest first.
-enum class Fidelity : uint8_t { Coarse = 0, Medium = 1, Full = 2 };
+/// Estimator fidelities, cheapest first. \c Exact is the simulator rung.
+enum class Fidelity : uint8_t { Coarse = 0, Medium = 1, Full = 2, Exact = 3 };
 
 const char *fidelityName(Fidelity F);
 
-/// The cost model implementing \p F (Full is the default CostModel).
+/// The cost model implementing \p F (Full is the default CostModel; Exact
+/// uses Full's cost constants around the simulated schedule).
 CostModel costModelFor(Fidelity F);
 
-inline Estimate estimateAt(const KernelSpec &K, Fidelity F) {
-  return estimate(K, costModelFor(F));
-}
+/// Estimates \p K at fidelity \p F. Coarse/Medium/Full run the analytic
+/// model; Exact runs the cycle-level simulator for cycles/II on top of
+/// Full's area model.
+Estimate estimateAt(const KernelSpec &K, Fidelity F);
 
 /// Memo-cache key for an estimate of spec hash \p SpecHash at fidelity
 /// \p F. The fidelity is folded into the key so successive-halving rungs

@@ -85,6 +85,11 @@ struct Loop {
   std::string Var;
   int64_t Trip = 1;
   int64_t Unroll = 1;
+  /// True for `while` loops: \c Trip is then a *static trip-count bound*
+  /// (derived from the condition by the spec extractor, or recorded by a
+  /// hand spec). While loops never unroll; the cycle-level simulator runs
+  /// them for their recorded trip count instead of ignoring them.
+  bool IsWhile = false;
 };
 
 /// One memory access in the loop body.
@@ -94,7 +99,31 @@ struct Access {
   bool IsWrite = false;
 };
 
-/// A kernel: loop nest + arrays + body accesses + arithmetic op counts.
+/// One loop nest of a kernel beyond the first: its loops (outermost
+/// first), body accesses, per-instance op counts, and pipelining
+/// constraints. Nests execute serially, one after the other (md-knn's
+/// hoisted gather followed by the force computation is the canonical
+/// example).
+struct LoopNest {
+  std::vector<Loop> Loops;
+  std::vector<Access> Body;
+  /// Arithmetic operations per body instance (before unrolling).
+  unsigned MulOps = 0;
+  unsigned AddOps = 0;
+  /// Loop-carried dependence distance-1 chain (e.g. an accumulator):
+  /// limits pipelining of this nest's innermost loop.
+  bool HasAccumulator = false;
+  /// Latency of one iteration group when the body is dependence-bound and
+  /// cannot pipeline (e.g. a floating-point force chain); the effective
+  /// initiation interval is max(II, IterationLatency).
+  double IterationLatency = 1.0;
+};
+
+/// A kernel: one or more serial loop nests + arrays. The first nest lives
+/// in the flat legacy fields (Loops/Body/MulOps/AddOps/HasAccumulator/
+/// IterationLatency); additional nests (multi-phase kernels like md-knn)
+/// follow in \c ExtraNests. Use \c nestCount / \c nest to walk all of
+/// them uniformly.
 struct KernelSpec {
   std::string Name;
   std::vector<ArraySpec> Arrays;
@@ -106,15 +135,15 @@ struct KernelSpec {
   bool FloatingPoint = true;
   double ClockMHz = 250.0;
   /// Loop-carried dependence distance-1 chain (e.g. an accumulator):
-  /// limits pipelining of the innermost loop.
+  /// limits pipelining of the innermost loop (first nest).
   bool HasAccumulator = false;
-  /// Cycles spent in serial phases outside the modelled nest (e.g. a
-  /// hoisted data-dependent gather loop).
+  /// Cycles spent in serial phases outside the modelled nests (phases the
+  /// spec does not describe as a nest at all).
   double ExtraSerialCycles = 0;
-  /// Latency of one iteration group when the body is dependence-bound and
-  /// cannot pipeline (e.g. a floating-point force chain); the effective
-  /// initiation interval is max(II, IterationLatency).
+  /// First nest's dependence-bound iteration latency (see LoopNest).
   double IterationLatency = 1.0;
+  /// Loop nests after the first, executed serially in order.
+  std::vector<LoopNest> ExtraNests;
 
   const ArraySpec *findArray(const std::string &Name) const {
     for (const ArraySpec &A : Arrays)
@@ -123,7 +152,60 @@ struct KernelSpec {
     return nullptr;
   }
 
-  /// Product of all unroll factors (the number of processing elements).
+  /// A borrowed, uniform view of one nest (nest 0 aliases the flat legacy
+  /// fields; nest I > 0 aliases ExtraNests[I - 1]).
+  struct NestView {
+    const std::vector<Loop> *Loops = nullptr;
+    const std::vector<Access> *Body = nullptr;
+    unsigned MulOps = 0;
+    unsigned AddOps = 0;
+    bool HasAccumulator = false;
+    double IterationLatency = 1.0;
+
+    /// Product of this nest's unroll factors (its PE count).
+    int64_t totalUnroll() const {
+      int64_t U = 1;
+      for (const Loop &L : *Loops)
+        U *= L.Unroll;
+      return U;
+    }
+  };
+
+  size_t nestCount() const { return 1 + ExtraNests.size(); }
+
+  NestView nest(size_t I) const {
+    NestView V;
+    if (I == 0) {
+      V.Loops = &Loops;
+      V.Body = &Body;
+      V.MulOps = MulOps;
+      V.AddOps = AddOps;
+      V.HasAccumulator = HasAccumulator;
+      V.IterationLatency = IterationLatency;
+    } else {
+      const LoopNest &N = ExtraNests[I - 1];
+      V.Loops = &N.Loops;
+      V.Body = &N.Body;
+      V.MulOps = N.MulOps;
+      V.AddOps = N.AddOps;
+      V.HasAccumulator = N.HasAccumulator;
+      V.IterationLatency = N.IterationLatency;
+    }
+    return V;
+  }
+
+  /// True when any nest carries an accumulation chain.
+  bool anyAccumulator() const {
+    if (HasAccumulator)
+      return true;
+    for (const LoopNest &N : ExtraNests)
+      if (N.HasAccumulator)
+        return true;
+    return false;
+  }
+
+  /// Product of the FIRST nest's unroll factors (the legacy notion of the
+  /// number of processing elements; per-nest counts via nest(I)).
   int64_t totalUnroll() const {
     int64_t U = 1;
     for (const Loop &L : Loops)
@@ -131,7 +213,7 @@ struct KernelSpec {
     return U;
   }
 
-  /// Product of all trip counts.
+  /// Product of the FIRST nest's trip counts.
   int64_t totalIters() const {
     int64_t N = 1;
     for (const Loop &L : Loops)
@@ -174,20 +256,27 @@ inline uint64_t specHash(const KernelSpec &K) {
     Num(A.Ports);
     Num(A.ElemBits);
   }
-  Num(K.Loops.size());
-  for (const Loop &L : K.Loops) {
-    Str(L.Var);
-    Num(static_cast<uint64_t>(L.Trip));
-    Num(static_cast<uint64_t>(L.Unroll));
-  }
-  Num(K.Body.size());
-  for (const Access &A : K.Body) {
-    Str(A.Array);
-    Num(A.Idx.size());
-    for (const AffineExpr &E : A.Idx)
-      Affine(E);
-    Num(A.IsWrite);
-  }
+  auto Loops = [&](const std::vector<Loop> &Ls) {
+    Num(Ls.size());
+    for (const Loop &L : Ls) {
+      Str(L.Var);
+      Num(static_cast<uint64_t>(L.Trip));
+      Num(static_cast<uint64_t>(L.Unroll));
+      Num(L.IsWhile);
+    }
+  };
+  auto Accesses = [&](const std::vector<Access> &As) {
+    Num(As.size());
+    for (const Access &A : As) {
+      Str(A.Array);
+      Num(A.Idx.size());
+      for (const AffineExpr &E : A.Idx)
+        Affine(E);
+      Num(A.IsWrite);
+    }
+  };
+  Loops(K.Loops);
+  Accesses(K.Body);
   Num(K.MulOps);
   Num(K.AddOps);
   Num(K.FloatingPoint);
@@ -195,6 +284,15 @@ inline uint64_t specHash(const KernelSpec &K) {
   Num(K.HasAccumulator);
   Dbl(K.ExtraSerialCycles);
   Dbl(K.IterationLatency);
+  Num(K.ExtraNests.size());
+  for (const LoopNest &N : K.ExtraNests) {
+    Loops(N.Loops);
+    Accesses(N.Body);
+    Num(N.MulOps);
+    Num(N.AddOps);
+    Num(N.HasAccumulator);
+    Dbl(N.IterationLatency);
+  }
   return H;
 }
 

@@ -1,0 +1,311 @@
+//===- KernelAnalysis.h - Shared kernel-spec analyses -----------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural analyses over \c KernelSpec shared by the analytic estimator
+/// (hlsim/Estimator.cpp) and the cycle-level simulator (cyclesim/): PE
+/// enumeration, access-instance collapsing, reachable-bank sets, the two
+/// unwritten rules, and the deterministic per-configuration hash behind
+/// the "black-box heuristic" noise. Keeping one implementation is what
+/// lets the simulator serve as the exact top rung of the fidelity ladder:
+/// both layers agree on what the hardware looks like and differ only in
+/// how the schedule is derived (sampled scan vs. exhaustive execution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_HLSIM_KERNELANALYSIS_H
+#define DAHLIA_HLSIM_KERNELANALYSIS_H
+
+#include "hlsim/Kernel.h"
+
+#include "support/StableHash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace dahlia::hlsim {
+
+inline int64_t floorMod(int64_t A, int64_t B) { return ((A % B) + B) % B; }
+
+/// A processing element: the vector of unrolled-offset values, one per
+/// loop of the nest (0 for non-unrolled loops).
+using PeOffsets = std::vector<int64_t>;
+
+/// Enumerates the unrolled copies of one loop nest (capped).
+inline std::vector<PeOffsets> enumeratePes(const KernelSpec::NestView &N,
+                                           size_t Cap) {
+  std::vector<PeOffsets> Pes;
+  Pes.emplace_back(N.Loops->size(), 0);
+  for (size_t L = 0; L != N.Loops->size(); ++L) {
+    int64_t U = (*N.Loops)[L].Unroll;
+    if (U <= 1)
+      continue;
+    std::vector<PeOffsets> Next;
+    Next.reserve(Pes.size() * static_cast<size_t>(U));
+    for (const PeOffsets &P : Pes) {
+      for (int64_t J = 0; J != U; ++J) {
+        if (Next.size() >= Cap)
+          break;
+        PeOffsets Q = P;
+        Q[L] = J;
+        Next.push_back(std::move(Q));
+      }
+    }
+    Pes = std::move(Next);
+  }
+  return Pes;
+}
+
+/// One hardware instance of an access: the per-dimension constant offsets
+/// after resolving the unrolled-copy offsets. Unrolled copies whose index
+/// expressions do not mention the unrolled iterator collapse into a single
+/// instance — HLS shares the fetch (read fan-out) or merges the update
+/// (reduction), exactly like Dahlia's read capabilities and combine
+/// registers.
+using InstanceKey = std::vector<int64_t>;
+
+inline std::vector<InstanceKey>
+accessInstances(const KernelSpec::NestView &N, const Access &A,
+                const std::vector<PeOffsets> &Pes) {
+  std::set<InstanceKey> Keys;
+  for (const PeOffsets &Pe : Pes) {
+    InstanceKey Key;
+    for (const AffineExpr &Idx : A.Idx) {
+      int64_t KConst = Idx.Const;
+      for (size_t L = 0; L != N.Loops->size(); ++L) {
+        auto It = Idx.Coeffs.find((*N.Loops)[L].Var);
+        if (It != Idx.Coeffs.end())
+          KConst += It->second * Pe[L];
+      }
+      Key.push_back(KConst);
+    }
+    Keys.insert(std::move(Key));
+  }
+  return std::vector<InstanceKey>(Keys.begin(), Keys.end());
+}
+
+/// The set of banks one dimension of one access instance can reach:
+/// residues (K + m*g) mod P, where g is the gcd of P with the strides the
+/// free (sequential) loop iteration contributes.
+inline std::vector<int64_t> reachableDimBanks(const KernelSpec::NestView &N,
+                                              const AffineExpr &Idx,
+                                              int64_t P, int64_t KConst) {
+  if (P <= 1)
+    return {0};
+  int64_t G = 0;
+  for (const Loop &Lp : *N.Loops) {
+    auto It = Idx.Coeffs.find(Lp.Var);
+    if (It == Idx.Coeffs.end())
+      continue;
+    // The sequential part of this loop steps the index by Coeff * Unroll;
+    // if the loop iterates more than once per group it contributes stride
+    // variation.
+    if (Lp.Trip / std::max<int64_t>(Lp.Unroll, 1) > 1)
+      G = std::gcd(G, std::abs(It->second) * Lp.Unroll);
+  }
+  G = G == 0 ? P : std::gcd(G, P);
+  std::vector<int64_t> Banks;
+  for (int64_t M = 0; M != P / G; ++M)
+    Banks.push_back(floorMod(KConst + M * G, P));
+  std::sort(Banks.begin(), Banks.end());
+  Banks.erase(std::unique(Banks.begin(), Banks.end()), Banks.end());
+  return Banks;
+}
+
+/// Flattened reachable-bank set across dimensions.
+inline std::vector<int64_t> reachableBanks(const KernelSpec::NestView &N,
+                                           const Access &A,
+                                           const ArraySpec &Arr,
+                                           const InstanceKey &Key) {
+  std::vector<int64_t> Flat = {0};
+  for (size_t D = 0; D != Arr.Partition.size(); ++D) {
+    std::vector<int64_t> DimBanks =
+        reachableDimBanks(N, A.Idx[D], Arr.Partition[D], Key[D]);
+    std::vector<int64_t> Next;
+    Next.reserve(Flat.size() * DimBanks.size());
+    for (int64_t F : Flat)
+      for (int64_t B : DimBanks)
+        Next.push_back(F * Arr.Partition[D] + B);
+    Flat = std::move(Next);
+  }
+  return Flat;
+}
+
+/// Per-bank arbitration of one lockstep-issued group of nest \p N at the
+/// sequential iteration point \p SeqIter (one entry per nest loop
+/// variable): returns the cycles the worst bank needs to serve the
+/// group's requests (>= 1) and reports the worst raw request count
+/// through \p MaxPressure. \p Instances is index-aligned with *N.Body.
+///
+/// This is THE schedule primitive of the fidelity ladder: the analytic
+/// estimator evaluates it at a sampled spread of points, the cycle-level
+/// simulator at every group of the conflict period — sharing one
+/// implementation is what makes "sampled max <= exhaustive max" (and so
+/// Full <= Exact) a structural property rather than a testing hope.
+inline double
+arbitrateGroup(const KernelSpec &K, const KernelSpec::NestView &N,
+               const std::vector<std::vector<InstanceKey>> &Instances,
+               const std::map<std::string, int64_t> &SeqIter,
+               int64_t &MaxPressure) {
+  std::map<std::string, std::map<int64_t, int64_t>> Pressure;
+  for (size_t AI = 0; AI != N.Body->size(); ++AI) {
+    const Access &A = (*N.Body)[AI];
+    const ArraySpec *Arr = K.findArray(A.Array);
+    for (const InstanceKey &Key : Instances[AI]) {
+      int64_t Flat = 0;
+      for (size_t D = 0; D != A.Idx.size(); ++D) {
+        // Sequential contribution shared by all instances this cycle.
+        int64_t Seq = 0;
+        for (const Loop &Lp : *N.Loops) {
+          auto It = A.Idx[D].Coeffs.find(Lp.Var);
+          if (It != A.Idx[D].Coeffs.end())
+            Seq += It->second * Lp.Unroll * SeqIter.at(Lp.Var);
+        }
+        int64_t P = Arr->Partition[D];
+        Flat = Flat * P + floorMod(Key[D] + Seq, P);
+      }
+      ++Pressure[Arr->Name][Flat];
+    }
+  }
+  double Needed = 1.0;
+  for (const auto &[ArrName, Banks] : Pressure) {
+    const ArraySpec *Arr = K.findArray(ArrName);
+    for (const auto &[Bank, Count] : Banks) {
+      (void)Bank;
+      MaxPressure = std::max(MaxPressure, Count);
+      Needed = std::max(Needed,
+                        std::ceil(static_cast<double>(Count) / Arr->Ports));
+    }
+  }
+  return Needed;
+}
+
+/// The sampled port-conflict initiation interval of nest \p N: a
+/// deterministic spread of \p Samples real schedule points (a prefix in
+/// the sample count, so the result is monotone in \p Samples — the
+/// ladder's Coarse/Medium/Full ordering relies on this).
+inline double
+sampledConflictII(const KernelSpec &K, const KernelSpec::NestView &N,
+                  const std::vector<std::vector<InstanceKey>> &Instances,
+                  int Samples) {
+  double II = 1.0;
+  int64_t Ignored = 1;
+  for (int Sample = 0; Sample != Samples; ++Sample) {
+    std::map<std::string, int64_t> SeqIter;
+    int Stride = 1;
+    for (const Loop &L : *N.Loops) {
+      int64_t Groups = L.Trip / std::max<int64_t>(L.Unroll, 1);
+      SeqIter[L.Var] = Groups > 0 ? (Sample * Stride) % Groups : 0;
+      Stride += 2;
+    }
+    II = std::max(II, arbitrateGroup(K, N, Instances, SeqIter, Ignored));
+  }
+  return II;
+}
+
+/// One nest's loop-control structure: the sequential group count and the
+/// per-level control overhead. Shared by the analytic estimator and the
+/// cycle-level simulator — both compute nest latency as
+/// Groups * effective-II + OuterOverhead, and the Full <= Exact ladder
+/// bound needs the two to agree bit-for-bit.
+struct NestShape {
+  double Groups = 1;
+  double OuterOverhead = 0;
+};
+
+inline NestShape nestShape(const KernelSpec::NestView &N,
+                           double LoopOverheadCycles) {
+  NestShape S;
+  double Prefix = 1;
+  for (const Loop &L : *N.Loops) {
+    double G = std::ceil(static_cast<double>(L.Trip) /
+                         static_cast<double>(L.Unroll));
+    S.Groups *= G;
+    S.OuterOverhead += Prefix * LoopOverheadCycles;
+    Prefix *= G;
+  }
+  return S;
+}
+
+/// The paper's first unwritten rule: every unroll factor used to index a
+/// banked dimension must divide that dimension's banking factor.
+inline bool unrollDividesBanking(const KernelSpec &K) {
+  for (size_t NI = 0; NI != K.nestCount(); ++NI) {
+    KernelSpec::NestView N = K.nest(NI);
+    for (const Access &A : *N.Body) {
+      const ArraySpec *Arr = K.findArray(A.Array);
+      if (!Arr)
+        continue;
+      for (size_t D = 0; D != A.Idx.size(); ++D) {
+        int64_t P = Arr->Partition[D];
+        for (const Loop &L : *N.Loops) {
+          if (L.Unroll <= 1)
+            continue;
+          if (!A.Idx[D].Coeffs.count(L.Var))
+            continue;
+          if (P % L.Unroll != 0)
+            return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// The paper's second unwritten rule: banking factors divide array sizes
+/// and unroll factors divide trip counts.
+inline bool bankingDividesSizes(const KernelSpec &K) {
+  for (const ArraySpec &Arr : K.Arrays)
+    for (size_t D = 0; D != Arr.DimSizes.size(); ++D)
+      if (Arr.DimSizes[D] % Arr.Partition[D] != 0)
+        return false;
+  for (size_t NI = 0; NI != K.nestCount(); ++NI)
+    for (const Loop &L : *K.nest(NI).Loops)
+      if (L.Trip % L.Unroll != 0)
+        return false;
+  return true;
+}
+
+/// Deterministic per-configuration hash used for heuristic noise. The
+/// stream is unchanged for single-nest, for-only specs, so pre-multi-nest
+/// noise draws (and the Figure 7 baselines built on them) are preserved.
+inline uint64_t heuristicConfigHash(const KernelSpec &K) {
+  std::ostringstream OS;
+  OS << K.Name;
+  for (size_t NI = 0; NI != K.nestCount(); ++NI)
+    for (const Loop &L : *K.nest(NI).Loops) {
+      OS << '|' << L.Var << ':' << L.Trip << ':' << L.Unroll;
+      if (L.IsWhile)
+        OS << 'w';
+    }
+  for (const ArraySpec &A : K.Arrays) {
+    OS << '|' << A.Name;
+    for (size_t D = 0; D != A.DimSizes.size(); ++D)
+      OS << ':' << A.DimSizes[D] << 'p' << A.Partition[D];
+  }
+  return stableHash(OS.str());
+}
+
+/// The deterministic latency perturbation (>= 1) applied to
+/// rule-violating configurations — the same draw at every fidelity,
+/// simulator included, so noise never inverts the ladder.
+inline double heuristicLatencyMultiplier(const KernelSpec &K,
+                                         double NoiseAmplitudeLatency) {
+  uint64_t H = heuristicConfigHash(K);
+  double U2 = stableHashUnit(stableHashCombine(H, 0x9e3779b97f4a7c15ULL));
+  return 1.0 + NoiseAmplitudeLatency * U2;
+}
+
+} // namespace dahlia::hlsim
+
+#endif // DAHLIA_HLSIM_KERNELANALYSIS_H

@@ -267,28 +267,46 @@ KernelSpec dahlia::kernels::mdKnnSpec(const MdKnnConfig &C) {
   KernelSpec K;
   K.Name = "md-knn";
   K.FloatingPoint = true; // LJ potential in FP.
-  K.MulOps = 3;
-  K.AddOps = 2;
-  K.HasAccumulator = true;
-  // The hoisted gather phase: 256*16 pipelined serial iterations.
-  K.ExtraSerialCycles = 256.0 * 16.0;
-  // The Lennard-Jones force chain is a long dependence-bound FP pipeline.
-  K.IterationLatency = 30.0;
+  // Two serial phases, both modelled as real nests (matching the port's
+  // source order): the hoisted data-dependent gather, then the
+  // parallelizable force computation.
+  //
+  // Nest 0 — the gather: 256*16 serial iterations streaming neighbour
+  // positions into the staging layout.
+  K.Loops = {
+      {"i0", 256, 1},
+      {"j0", 16, 1},
+  };
+  K.Body = {
+      {"nl", {AffineExpr::var("i0"), AffineExpr::var("j0")}, false},
+      {"nlpos", {AffineExpr::var("i0"), AffineExpr::var("j0")}, true},
+  };
+  // Filling the pos_stage staging copy is the serial phase the
+  // restructure adds; it stays outside the nests.
+  K.ExtraSerialCycles = 256.0;
   K.Arrays = {
       {"position", {256}, {C.BankPos}, 1, 32},
       {"nlpos", {256, 16}, {C.UnrollI, C.BankNlPos}, 1, 32},
       {"nl", {256, 16}, {C.BankNl, 1}, 1, 32},
       {"force", {256}, {C.BankForce}, 1, 32},
   };
-  K.Loops = {
+  // Nest 1 — the force computation. The Lennard-Jones force chain is a
+  // long dependence-bound FP pipeline.
+  LoopNest Force;
+  Force.Loops = {
       {"i", 256, C.UnrollI},
       {"j", 16, C.UnrollJ},
   };
-  K.Body = {
+  Force.Body = {
       {"position", {AffineExpr::var("i")}, false},
       {"nlpos", {AffineExpr::var("i"), AffineExpr::var("j")}, false},
       {"force", {AffineExpr::var("i")}, true},
   };
+  Force.MulOps = 3;
+  Force.AddOps = 2;
+  Force.HasAccumulator = true;
+  Force.IterationLatency = 30.0;
+  K.ExtraNests.push_back(std::move(Force));
   return K;
 }
 

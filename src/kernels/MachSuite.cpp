@@ -225,6 +225,9 @@ std::vector<MachSuiteBenchmark> dahlia::kernels::machSuiteBenchmarks() {
                                  {"kmp_next", {4}, {1}, 1, 8},
                                  {"matches", {1}, {1}, 1, 32}},
                                 0, 2);
+    // The stream walk is a counted `while` in the port; its trip count is
+    // a static bound, which the extractor now recovers (SpecValidation).
+    K.Loops[0].IsWhile = true;
     // Port fidelity: the precomputed failure table is part of the
     // interface even though this simplified matcher resets q directly.
     Out.push_back(make(

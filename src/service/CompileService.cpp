@@ -7,6 +7,7 @@
 
 #include "service/CompileService.h"
 
+#include "cyclesim/CycleSim.h"
 #include "driver/SpecExtractor.h"
 #include "dse/SearchStrategy.h"
 #include "filament/Syntax.h"
@@ -208,7 +209,8 @@ Response CompileService::handle(const Request &R) {
   {
     std::lock_guard<std::mutex> Lock(StatsM);
     ++Stats.Requests;
-    if (R.Kind == Op::Check || R.Kind == Op::Estimate) {
+    if (R.Kind == Op::Check || R.Kind == Op::Estimate ||
+        R.Kind == Op::Simulate) {
       ++Stats.CacheableRequests;
       if (Out.Cached)
         ++Stats.CacheHits;
@@ -381,6 +383,37 @@ Response CompileService::checkOrEstimate(const Request &R) {
     return Out;
   }
 
+  case Op::Simulate: {
+    Result<hlsim::KernelSpec> Spec = driver::extractKernelSpec(Prog);
+    if (!Spec) {
+      Out.Errors.push_back(Spec.error());
+      return Out;
+    }
+    // The simulated (Exact-fidelity) estimate shares the DSE engine's
+    // fidelity-tagged keyspace, so a sweep's exact-top-rung promotions
+    // and service simulate requests serve each other — including through
+    // the persistent cache.
+    uint64_t SpecKey = hlsim::fidelityCacheKey(hlsim::specHash(*Spec),
+                                               hlsim::Fidelity::Exact);
+    // The per-nest schedule breakdown is the op's real payload, so the
+    // simulator runs exactly once; the cache (which stores only the
+    // aggregate estimate) spares the analytic area model on hits and
+    // seeds exact-top-rung sweeps.
+    cyclesim::SimResult Sim = cyclesim::simulate(*Spec);
+    hlsim::Estimate Est;
+    bool SpecHit = Cache && Cache->lookupEstimate(SpecKey, Est);
+    if (!SpecHit) {
+      Est = cyclesim::exactEstimate(*Spec, Sim);
+      if (Cache)
+        Cache->insertEstimate(SpecKey, Est);
+    }
+    Out.Ok = true;
+    Out.Cached = SpecHit;
+    Out.Est = Est;
+    Out.Sim = std::move(Sim);
+    return Out;
+  }
+
   case Op::Lower: {
     Result<LoweredProgram> L = lowerProgram(Prog);
     if (!L) {
@@ -453,6 +486,7 @@ Response CompileService::dseSweep(const Request &R) {
   EO.Cache = Cache; // Sweeps share the service's (persistent) memo cache.
   EO.Strategy = *Strategy;
   EO.Shard = Shard;
+  EO.ExactTopRung = R.ExactTopRung;
   dse::DseResult DR = dse::DseEngine(EO).explore(P);
 
   Json Sweep = Json::object();
@@ -466,6 +500,8 @@ Response CompileService::dseSweep(const Request &R) {
   Sweep["low_fidelity_estimates"] = DR.Stats.LowFidelityEstimates;
   Sweep["pruned"] = DR.Stats.Pruned;
   Sweep["rescued"] = DR.Stats.Rescued;
+  Sweep["exact_top_rung"] = R.ExactTopRung;
+  Sweep["exact_estimates"] = DR.Stats.ExactEstimates;
   Sweep["pareto_points"] = DR.Front.size();
   Sweep["accepted_pareto_points"] = DR.AcceptedFront.size();
   Sweep["threads"] = DR.Stats.Threads;

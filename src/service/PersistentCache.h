@@ -61,7 +61,11 @@ struct PersistentCacheOptions {
 /// Version 2: estimate keys carry the estimator fidelity
 /// (hlsim::fidelityCacheKey), so caches written before the fidelity
 /// ladder (whose keys were raw spec hashes) must not be served.
-inline constexpr uint32_t kPersistentCacheFormatVersion = 2;
+/// Version 3: hlsim::specHash covers multi-nest kernel specs and
+/// while-loop markers (and the Exact simulator rung joined the fidelity
+/// keyspace), so pre-multi-nest caches hold entries under stale keys and
+/// are rebuilt rather than carried along.
+inline constexpr uint32_t kPersistentCacheFormatVersion = 3;
 
 /// Counters describing one load.
 struct PersistentCacheLoadStats {

@@ -18,6 +18,8 @@ const char *dahlia::service::opName(Op O) {
     return "estimate";
   case Op::Lower:
     return "lower";
+  case Op::Simulate:
+    return "simulate";
   case Op::DseSweep:
     return "dse-sweep";
   }
@@ -49,6 +51,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     R.Kind = Op::Estimate;
   } else if (OpStr == "lower") {
     R.Kind = Op::Lower;
+  } else if (OpStr == "simulate") {
+    R.Kind = Op::Simulate;
   } else if (OpStr == "dse-sweep") {
     R.Kind = Op::DseSweep;
   } else {
@@ -62,6 +66,7 @@ std::optional<Request> Request::fromJson(const std::string &Line,
   R.Space = J->at("space").asString();
   R.Strategy = J->at("strategy").asString();
   R.Shard = J->at("shard").asString();
+  R.ExactTopRung = J->at("exact").asBool();
   int64_t Limit = J->at("limit").asInt();
   int64_t Threads = J->at("threads").asInt();
   if (Limit < 0 || Threads < 0 || Threads > 4096) {
@@ -145,6 +150,8 @@ Json Request::toJson() const {
       J["strategy"] = Strategy;
     if (!Shard.empty())
       J["shard"] = Shard;
+    if (ExactTopRung)
+      J["exact"] = true;
   }
   return J;
 }
@@ -171,6 +178,8 @@ Json Response::toJson() const {
   }
   if (Est)
     J["estimate"] = service::toJson(*Est);
+  if (Sim)
+    J["sim"] = service::toJson(*Sim);
   if (!Lowered.empty())
     J["lowered"] = Lowered;
   if (Kind == Op::DseSweep && Sweep.isObject())
@@ -210,6 +219,30 @@ Json dahlia::service::toJson(const hlsim::Estimate &E) {
   J["lutmem"] = E.LutMem;
   J["incorrect"] = E.Incorrect;
   J["predictable"] = E.Predictable;
+  return J;
+}
+
+Json dahlia::service::toJson(const cyclesim::SimResult &S) {
+  Json J = Json::object();
+  J["cycles"] = S.Cycles;
+  J["ii"] = S.II;
+  J["truncated"] = S.Truncated;
+  J["walked_groups"] = S.WalkedGroups;
+  Json Nests = Json::array();
+  for (const cyclesim::NestSim &N : S.Nests) {
+    Json NJ = Json::object();
+    NJ["ii"] = N.II;
+    NJ["effective_ii"] = N.EffectiveII;
+    NJ["groups"] = N.Groups;
+    NJ["cycles"] = N.Cycles;
+    NJ["walked_groups"] = N.WalkedGroups;
+    NJ["conflict_groups"] = N.ConflictGroups;
+    NJ["stall_cycles"] = N.StallCycles;
+    NJ["max_port_pressure"] = N.MaxPortPressure;
+    NJ["period_complete"] = N.PeriodComplete;
+    Nests.push_back(std::move(NJ));
+  }
+  J["nests"] = std::move(Nests);
   return J;
 }
 

@@ -41,6 +41,7 @@
 #ifndef DAHLIA_SERVICE_PROTOCOL_H
 #define DAHLIA_SERVICE_PROTOCOL_H
 
+#include "cyclesim/CycleSim.h"
 #include "driver/CompilerPipeline.h"
 #include "hlsim/Estimator.h"
 #include "support/Json.h"
@@ -53,8 +54,10 @@
 
 namespace dahlia::service {
 
-/// Operations the service answers.
-enum class Op { Check, Estimate, Lower, DseSweep };
+/// Operations the service answers. \c Simulate runs the cycle-level
+/// banked-memory simulator (the Exact estimation rung) and additionally
+/// ships the per-nest schedule breakdown.
+enum class Op { Check, Estimate, Lower, Simulate, DseSweep };
 
 const char *opName(Op O);
 
@@ -85,6 +88,9 @@ struct Request {
   /// responses carry the partial front's points so clients can merge
   /// shards with dahlia-dse-merge semantics.
   std::string Shard;
+  /// dse-sweep "exact": promote the front to cycle-level simulated
+  /// estimates (DseOptions::ExactTopRung).
+  bool ExactTopRung = false;
 
   /// Parses one protocol line. Returns std::nullopt and sets \p Err on
   /// malformed input (not valid JSON, unknown op, missing fields).
@@ -102,7 +108,8 @@ struct Response {
   bool ParseReused = false; ///< Session AST reuse (no parse ran).
   double LatencyMs = 0;
   std::vector<Error> Errors;
-  std::optional<hlsim::Estimate> Est; ///< estimate op.
+  std::optional<hlsim::Estimate> Est; ///< estimate op (Exact for simulate).
+  std::optional<cyclesim::SimResult> Sim; ///< simulate op breakdown.
   std::string Lowered;                ///< lower op.
   Json Sweep;                         ///< dse-sweep op summary (object).
 
@@ -122,6 +129,12 @@ Json toJson(const driver::DiagnosticEngine &D);
 /// An estimate as {"cycles","ii","lut","ff","bram","dsp","lutmem",
 /// "runtime_ms","incorrect","predictable"}.
 Json toJson(const hlsim::Estimate &E);
+
+/// A simulation as {"cycles","ii","truncated","walked_groups","nests":
+/// [{"ii","effective_ii","groups","cycles","walked_groups",
+///   "conflict_groups","stall_cycles","max_port_pressure",
+///   "period_complete"}]}.
+Json toJson(const cyclesim::SimResult &S);
 
 /// Per-stage timings as {"parse":ms,...,"total":ms}.
 Json timingsToJson(const driver::CompileResult &R);

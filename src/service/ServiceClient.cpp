@@ -28,6 +28,7 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
   const std::string &OpStr = J->at("op").asString();
   C.R.Kind = OpStr == "estimate"   ? Op::Estimate
              : OpStr == "lower"    ? Op::Lower
+             : OpStr == "simulate" ? Op::Simulate
              : OpStr == "dse-sweep" ? Op::DseSweep
                                      : Op::Check;
   C.R.Ok = J->at("ok").asBool();
@@ -62,6 +63,29 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
     Est.Incorrect = E.at("incorrect").asBool();
     Est.Predictable = E.at("predictable").asBool();
     C.R.Est = Est;
+  }
+  if (J->contains("sim")) {
+    const Json &S = J->at("sim");
+    cyclesim::SimResult Sim;
+    Sim.Cycles = S.at("cycles").asDouble();
+    Sim.II = S.at("ii").asDouble();
+    Sim.Truncated = S.at("truncated").asBool();
+    Sim.WalkedGroups = static_cast<uint64_t>(S.at("walked_groups").asInt());
+    for (const Json &N : S.at("nests").asArray()) {
+      cyclesim::NestSim NS;
+      NS.II = N.at("ii").asDouble();
+      NS.EffectiveII = N.at("effective_ii").asDouble();
+      NS.Groups = N.at("groups").asDouble();
+      NS.Cycles = N.at("cycles").asDouble();
+      NS.WalkedGroups = static_cast<uint64_t>(N.at("walked_groups").asInt());
+      NS.ConflictGroups =
+          static_cast<uint64_t>(N.at("conflict_groups").asInt());
+      NS.StallCycles = static_cast<uint64_t>(N.at("stall_cycles").asInt());
+      NS.MaxPortPressure = N.at("max_port_pressure").asInt();
+      NS.PeriodComplete = N.at("period_complete").asBool();
+      Sim.Nests.push_back(NS);
+    }
+    C.R.Sim = std::move(Sim);
   }
   C.R.Lowered = J->at("lowered").asString();
   if (J->contains("sweep"))

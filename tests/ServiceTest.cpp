@@ -309,6 +309,41 @@ TEST(Service, SessionRewriteEstimatesMatchFullSource) {
   EXPECT_EQ(Got.R.Est->Lut, Ref.Est->Lut);
 }
 
+TEST(Service, SimulateOpReturnsExactEstimateAndBreakdown) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  Request R;
+  R.Kind = Op::Simulate;
+  R.Source = AcceptedSrc;
+  ClientResponse Got = C.call(R);
+  ASSERT_TRUE(Got.R.Ok);
+  ASSERT_TRUE(Got.R.Est.has_value());
+  ASSERT_TRUE(Got.R.Sim.has_value());
+  // The op returns the Exact-rung estimate: its cycles are the simulated
+  // schedule's, and the per-nest breakdown ships alongside.
+  EXPECT_EQ(Got.R.Est->Cycles, Got.R.Sim->Cycles);
+  ASSERT_FALSE(Got.R.Sim->Nests.empty());
+  EXPECT_GE(Got.R.Sim->Nests[0].Groups, 1.0);
+
+  // Matches the pipeline's Simulate stage on the same source.
+  driver::CompileResult Ref = driver::CompilerPipeline().simulate(AcceptedSrc);
+  ASSERT_TRUE(Ref.ok()) << Ref.firstError();
+  EXPECT_EQ(Got.R.Sim->Cycles, Ref.Sim->Cycles);
+  EXPECT_EQ(Got.R.Sim->II, Ref.Sim->II);
+
+  // A repeat serves the Exact estimate from the shared spec-keyed cache.
+  ClientResponse Again = C.call(R);
+  ASSERT_TRUE(Again.R.Ok);
+  EXPECT_TRUE(Again.R.Cached);
+  EXPECT_EQ(Again.R.Est->Cycles, Got.R.Est->Cycles);
+
+  // The wire form carries the breakdown.
+  Json J = Got.R.toJson();
+  ASSERT_TRUE(J.at("sim").isObject());
+  EXPECT_EQ(J.at("sim").at("cycles").asDouble(), Got.R.Sim->Cycles);
+}
+
 TEST(Service, DseSweepMatchesEngine) {
   CompileService Svc(testOptions());
   ServiceClient C(Svc);

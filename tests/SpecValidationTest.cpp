@@ -12,10 +12,11 @@
 // floating-point and accumulator flags; and, where the port is written
 // op-for-op against the spec, the arithmetic op counts.
 //
-// Divergences extraction cannot close are encoded per-entry and documented
-// here rather than silently skipped:
-//   * kmp walks its input with a data-dependent `while`, which the
-//     extractor does not model as a nest (no static trip count);
+// Extraction records *every* loop nest (multi-phase kernels like md-knn
+// validate both the hoisted gather and the force nest) and recovers a
+// static trip-count bound for counted `while` loops (kmp's stream walk is
+// a modelled nest now). Divergences extraction cannot close are encoded
+// per-entry and documented here rather than silently skipped:
 //   * sort-merge / sort-radix hand specs flatten the pass loop into one
 //     serial trip count, so only the iteration product is comparable;
 //   * several hand specs count abstract kernel ops (e.g. aes's 4 adds per
@@ -71,11 +72,21 @@ void validate(const std::string &Name, const std::string &Source,
   }
 
   if (E.CompareLoops) {
-    ASSERT_EQ(Got.Loops.size(), Expected.Loops.size());
-    for (size_t I = 0; I != Expected.Loops.size(); ++I) {
-      EXPECT_EQ(Got.Loops[I].Trip, Expected.Loops[I].Trip) << "loop " << I;
-      EXPECT_EQ(Got.Loops[I].Unroll, Expected.Loops[I].Unroll)
-          << "loop " << I;
+    // Every nest, in source order: trip/unroll sequence plus the
+    // while-bound marker.
+    ASSERT_EQ(Got.nestCount(), Expected.nestCount());
+    for (size_t N = 0; N != Expected.nestCount(); ++N) {
+      const auto GotN = Got.nest(N);
+      const auto ExpN = Expected.nest(N);
+      ASSERT_EQ(GotN.Loops->size(), ExpN.Loops->size()) << "nest " << N;
+      for (size_t I = 0; I != ExpN.Loops->size(); ++I) {
+        EXPECT_EQ((*GotN.Loops)[I].Trip, (*ExpN.Loops)[I].Trip)
+            << "nest " << N << " loop " << I;
+        EXPECT_EQ((*GotN.Loops)[I].Unroll, (*ExpN.Loops)[I].Unroll)
+            << "nest " << N << " loop " << I;
+        EXPECT_EQ((*GotN.Loops)[I].IsWhile, (*ExpN.Loops)[I].IsWhile)
+            << "nest " << N << " loop " << I;
+      }
     }
   } else if (E.CompareTotalIters) {
     EXPECT_EQ(Got.totalIters(), Expected.totalIters());
@@ -83,7 +94,7 @@ void validate(const std::string &Name, const std::string &Source,
   }
 
   EXPECT_EQ(Got.FloatingPoint, Expected.FloatingPoint);
-  EXPECT_EQ(Got.HasAccumulator, Expected.HasAccumulator);
+  EXPECT_EQ(Got.anyAccumulator(), Expected.anyAccumulator());
 
   if (E.CompareOps) {
     EXPECT_EQ(Got.MulOps, Expected.MulOps);
@@ -118,9 +129,21 @@ TEST(SpecValidation, Stencil2d) {
 
 TEST(SpecValidation, MdKnnDefault) {
   Expectation E;
-  E.Note = "extractor models the first (gather) nest; trips coincide with "
-           "the compute nest at the default config";
+  E.Note = "both phases modelled: the hoisted gather nest and the force "
+           "nest validate structurally";
   validate("md-knn", mdKnnDahlia(MdKnnConfig()), mdKnnSpec(MdKnnConfig()), E);
+}
+
+TEST(SpecValidation, MdKnnBankedAndUnrolled) {
+  // An accepted non-trivial configuration: the force nest's unroll and
+  // the coupled bankings must survive extraction unchanged while the
+  // gather nest stays serial.
+  MdKnnConfig C;
+  C.UnrollI = 2;
+  C.BankPos = C.BankNlPos = C.BankForce = 2;
+  ASSERT_TRUE(checksSource(mdKnnDahlia(C)));
+  Expectation E;
+  validate("md-knn-b2u2", mdKnnDahlia(C), mdKnnSpec(C), E);
 }
 
 TEST(SpecValidation, MdGridDefault) {
@@ -143,8 +166,8 @@ TEST(SpecValidation, MachSuitePortsMatchHandSpecs) {
                           "spec counts butterfly adds beyond the port's"};
   Table["gemm-blocked"] = {true, false, true, ""};
   Table["gemm-ncubed"] = {true, false, true, ""};
-  Table["kmp"] = {false, false, false,
-                  "data-dependent while loop is not a modelled nest"};
+  Table["kmp"] = {true, false, false,
+                  "counted while loop modelled with its static bound"};
   Table["md-grid"] = {true, false, false, ""};
   Table["md-knn"] = {true, false, false, ""};
   Table["nw"] = {true, false, false, ""};
@@ -171,9 +194,10 @@ TEST(SpecValidation, MachSuitePortsMatchHandSpecs) {
 // The extractor facts the comparisons above rely on
 //===----------------------------------------------------------------------===//
 
-TEST(SpecValidation, KmpWhileNestIsUnmodelled) {
-  // Pin the documented divergence: the kmp port's while loop contributes
-  // accesses and ops but no loop nest.
+TEST(SpecValidation, KmpWhileNestHasStaticBound) {
+  // Pin the while-bound derivation: the kmp port's counted `while`
+  // (`let i = 0; while (i < 32411) { ... i := i + 1; }`) is a modelled
+  // serial nest with the static trip bound, flagged as a while loop.
   for (const MachSuiteBenchmark &B : machSuiteBenchmarks()) {
     if (B.Name != "kmp")
       continue;
@@ -181,10 +205,118 @@ TEST(SpecValidation, KmpWhileNestIsUnmodelled) {
     ASSERT_TRUE(R.ok()) << R.firstError();
     Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
     ASSERT_TRUE(bool(Spec));
-    EXPECT_TRUE(Spec->Loops.empty());
-    // The hand spec flattens the stream walk into one serial loop.
-    EXPECT_EQ(B.Rewrite.totalIters(), 32411);
+    ASSERT_EQ(Spec->Loops.size(), 1u);
+    EXPECT_EQ(Spec->Loops[0].Trip, 32411);
+    EXPECT_EQ(Spec->Loops[0].Unroll, 1);
+    EXPECT_TRUE(Spec->Loops[0].IsWhile);
+    EXPECT_TRUE(Spec->ExtraNests.empty());
+    EXPECT_EQ(Spec->totalIters(), B.Rewrite.totalIters());
   }
+}
+
+TEST(SpecValidation, GuardedIncrementHasNoStaticBound) {
+  // An increment hidden behind an `if` with no else executes
+  // data-dependently — deriving a bound from it would make the "Exact"
+  // simulator rung silently wrong on a potentially unbounded loop.
+  const char *Src = "decl A: bit<32>[16];\n"
+                    "let i = 0;\n"
+                    "while (i < 16) {\n"
+                    "  let v = A[i]\n"
+                    "  ---\n"
+                    "  if (v == 0) { i := i + 1; }\n"
+                    "}\n";
+  CompileResult R = CompilerPipeline().check(Src);
+  ASSERT_TRUE(R.ok()) << R.firstError();
+  Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
+  ASSERT_TRUE(bool(Spec));
+  EXPECT_TRUE(Spec->Loops.empty());
+}
+
+TEST(SpecValidation, SequentialWhilesTrackTheCounterValue) {
+  // The first while consumes i = 0..9; the second starts at the first
+  // one's exit value (10), not at the stale `let` init — 10 trips each,
+  // as two serial nests.
+  const char *Src = "decl A: bit<32>[32];\n"
+                    "let i = 0;\n"
+                    "{\n"
+                    "while (i < 10) {\n"
+                    "  let v = A[i]\n"
+                    "  ---\n"
+                    "  i := i + 1;\n"
+                    "}\n"
+                    "---\n"
+                    "while (i < 20) {\n"
+                    "  let w = A[i]\n"
+                    "  ---\n"
+                    "  i := i + 1;\n"
+                    "}\n"
+                    "}\n";
+  CompileResult R = CompilerPipeline().check(Src);
+  ASSERT_TRUE(R.ok()) << R.firstError();
+  Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
+  ASSERT_TRUE(bool(Spec));
+  ASSERT_EQ(Spec->Loops.size(), 1u);
+  EXPECT_EQ(Spec->Loops[0].Trip, 10);
+  ASSERT_EQ(Spec->ExtraNests.size(), 1u);
+  ASSERT_EQ(Spec->ExtraNests[0].Loops.size(), 1u);
+  EXPECT_EQ(Spec->ExtraNests[0].Loops[0].Trip, 10);
+}
+
+TEST(SpecValidation, DoubleIncrementHasNoStaticBound) {
+  // Two increments per iteration step the counter twice: deriving a
+  // bound from either one would double-count the trips.
+  const char *Src = "decl A: bit<32>[16];\n"
+                    "let i = 0;\n"
+                    "while (i < 10) {\n"
+                    "  let v = A[i]\n"
+                    "  ---\n"
+                    "  i := i + 1;\n"
+                    "  ---\n"
+                    "  i := i + 1;\n"
+                    "}\n";
+  CompileResult R = CompilerPipeline().check(Src);
+  ASSERT_TRUE(R.ok()) << R.firstError();
+  Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
+  ASSERT_TRUE(bool(Spec));
+  EXPECT_TRUE(Spec->Loops.empty());
+}
+
+TEST(SpecValidation, ReassignedCounterLosesItsBound) {
+  // A write between the `let` and the while invalidates the tracked
+  // init, so no (wrong) bound is derived.
+  const char *Src = "decl A: bit<32>[16];\n"
+                    "let i = 0;\n"
+                    "let x = A[0]\n"
+                    "---\n"
+                    "i := x;\n"
+                    "---\n"
+                    "while (i < 16) {\n"
+                    "  let v = A[i]\n"
+                    "  ---\n"
+                    "  i := i + 1;\n"
+                    "}\n";
+  CompileResult R = CompilerPipeline().check(Src);
+  ASSERT_TRUE(R.ok()) << R.firstError();
+  Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
+  ASSERT_TRUE(bool(Spec));
+  EXPECT_TRUE(Spec->Loops.empty());
+}
+
+TEST(SpecValidation, DataDependentWhileStaysUnmodelled) {
+  // A while whose counter is rewritten data-dependently has no static
+  // bound: its accesses still count, but it contributes no nest level.
+  const char *Src = "decl A: bit<32>[16];\n"
+                    "let i = 0;\n"
+                    "while (i < 16) {\n"
+                    "  let v = A[i]\n"
+                    "  ---\n"
+                    "  if (v == 0) { i := i + 1; } else { i := 0; }\n"
+                    "}\n";
+  CompileResult R = CompilerPipeline().check(Src);
+  ASSERT_TRUE(R.ok()) << R.firstError();
+  Result<hlsim::KernelSpec> Spec = extractKernelSpec(*R.Prog);
+  ASSERT_TRUE(bool(Spec));
+  EXPECT_TRUE(Spec->Loops.empty());
 }
 
 } // namespace
