@@ -11,10 +11,21 @@
 // stencil slice, then a re-play of the same variants — the epoch where the
 // memo cache should answer nearly everything.
 //
+// With --clients N the bench additionally measures the concurrent TCP
+// front end (service::TcpServer): the warm check workload is replayed over
+// real loopback connections first by one client, then by N clients in
+// parallel (same total requests), and the multi/single throughput ratio is
+// reported — the epoch-coalescing win the concurrent server exists for.
+// A streamed sharded dse-sweep is then pushed through a deliberately tiny
+// write buffer and verified byte-identical to the batch response while the
+// peak per-connection buffered bytes stay under the cap; a violation of
+// either property fails the bench (exit 1), not just the numbers.
+//
 // Flags:
 //   --requests N   total first-pass check requests (default 2000)
 //   --batch N      epoch size (default 64)
 //   --threads N    epoch worker threads (default: all hardware threads)
+//   --clients N    TCP clients for the concurrent phase (default 0 = skip)
 //   --cache-dir D  persistent cache directory (default: fresh temp dir)
 //   --json PATH    output metrics (default BENCH_service.json)
 //
@@ -24,12 +35,16 @@
 
 #include "kernels/Kernels.h"
 #include "service/ServiceClient.h"
+#include "service/TcpServer.h"
+#include "support/Socket.h"
 
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <thread>
 
 using namespace dahlia;
 using namespace dahlia::bench;
@@ -88,12 +103,195 @@ Request estimateReq(std::string Src) {
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// TCP phase: single vs N concurrent clients, plus streamed back-pressure
+//===----------------------------------------------------------------------===//
+
+/// One TCP client replaying \p Reqs one round trip at a time, thinking
+/// for \p ThinkMicros between round trips — the interactive pattern of a
+/// remote DSE orchestrator that ranks each answer before asking the next
+/// question. Returns how many requests were *answered* — an accepted
+/// verdict or a rejection with its diagnostics both count (most sweep
+/// variants are legitimately rejected); a dropped or unmatched response
+/// does not.
+size_t tcpReplay(int Port, const std::vector<Request> &Reqs, size_t Batch,
+                 unsigned ThinkMicros) {
+  int Fd = connectLoopback(Port);
+  if (Fd < 0)
+    return 0;
+  size_t Answered = 0;
+  {
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient Client(In, Out);
+    for (size_t I = 0; I < Reqs.size(); I += Batch) {
+      size_t E = std::min(I + Batch, Reqs.size());
+      std::vector<Request> Epoch(Reqs.begin() + I, Reqs.begin() + E);
+      for (ClientResponse &C : Client.callBatch(std::move(Epoch)))
+        Answered += (C.R.Ok || !C.R.Errors.empty()) ? 1 : 0;
+      if (ThinkMicros)
+        std::this_thread::sleep_for(std::chrono::microseconds(ThinkMicros));
+    }
+  }
+  closeFd(Fd);
+  return Answered;
+}
+
+struct TcpPhaseResult {
+  size_t Requests = 0;
+  size_t Answered = 0;
+  double Seconds = 0;
+  double rps() const { return Seconds > 0 ? Requests / Seconds : 0; }
+};
+
+/// Replays the warm workload over TCP with \p Clients parallel
+/// connections (the workload is split evenly; total request count stays
+/// comparable across client counts).
+TcpPhaseResult tcpPhase(int Port, const std::vector<Request> &Warm,
+                        size_t Clients, size_t FlushBatch,
+                        unsigned ThinkMicros) {
+  TcpPhaseResult R;
+  size_t PerClient = Warm.size() / Clients;
+  std::vector<std::vector<Request>> Slices(Clients);
+  for (size_t C = 0; C != Clients; ++C)
+    Slices[C].assign(Warm.begin() + C * PerClient,
+                     Warm.begin() + (C + 1) * PerClient);
+  std::vector<size_t> Answers(Clients, 0);
+
+  double T0 = now();
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C != Clients; ++C)
+    Threads.emplace_back([&, C] {
+      Answers[C] = tcpReplay(Port, Slices[C], FlushBatch, ThinkMicros);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  R.Seconds = now() - T0;
+  for (size_t C = 0; C != Clients; ++C) {
+    R.Requests += Slices[C].size();
+    R.Answered += Answers[C];
+  }
+  return R;
+}
+
+/// The streamed back-pressure proof: pipelines streamed copies of a
+/// sharded sweep through a tiny write buffer without reading, then drains
+/// and checks the reassembled fronts against the batch response.
+/// Returns false (and explains on stderr) when the front is not
+/// byte-identical or the peak buffered bytes escaped the cap.
+bool streamedSweepCheck(CompileService &Svc, size_t &PeakOut, size_t &CapOut) {
+  TcpServerOptions TO;
+  TO.MaxWriteBuffer = 4096;
+  TO.SendBufferBytes = 4096;
+  CapOut = TO.MaxWriteBuffer;
+  TcpServer Srv(Svc, TO);
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "stream check: %s\n", Err.c_str());
+    return false;
+  }
+  std::thread Loop([&] { Srv.run(); });
+
+  auto SweepReq = [](int64_t Id, bool Stream) {
+    Request R;
+    R.Id = Id;
+    R.Kind = Op::DseSweep;
+    R.Space = "gemm-blocked";
+    R.Limit = 600;
+    R.Threads = 1;
+    R.Shard = "0/2";
+    R.Stream = Stream;
+    return R;
+  };
+
+  bool AllGood = true;
+  std::string RefPoints, RefFront;
+  {
+    int Fd = connectLoopback(Srv.port());
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient C(In, Out);
+    ClientResponse Ref = C.call(SweepReq(0, false));
+    if (!Ref.R.Ok) {
+      std::fprintf(stderr, "stream check: reference sweep failed\n");
+      AllGood = false;
+    } else {
+      RefPoints = Ref.Raw.at("sweep").at("front_points").dump();
+      RefFront = Ref.Raw.at("sweep").at("front").dump();
+    }
+    closeFd(Fd);
+  }
+
+  constexpr int NumStreams = 16;
+  if (AllGood) {
+    int Fd = connectLoopback(Srv.port());
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    for (int I = 0; I != NumStreams; ++I)
+      Out << SweepReq(I + 1, true).toJson().dump() << '\n';
+    Out << '\n';
+    Out.flush();
+    // Let the responses pile up against the cap before reading a byte.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    std::map<int64_t, Json> Points;
+    std::map<int64_t, std::string> Fronts;
+    size_t Terminals = 0;
+    std::string L;
+    while (Terminals != NumStreams && std::getline(In, L)) {
+      if (L.empty())
+        continue;
+      std::optional<Json> J = Json::parse(L);
+      if (!J)
+        break;
+      int64_t Id = J->at("id").asInt();
+      if (J->contains("front_point")) {
+        Points[Id].push_back(J->at("front_point"));
+      } else if (J->contains("stream_end")) {
+        Fronts[Id] = J->at("sweep").at("front").dump();
+        ++Terminals;
+      }
+    }
+    if (Terminals != NumStreams) {
+      std::fprintf(stderr, "stream check: %zu/%d streams arrived\n",
+                   Terminals, NumStreams);
+      AllGood = false;
+    }
+    for (int I = 1; AllGood && I <= NumStreams; ++I) {
+      if (Points[I].dump() != RefPoints || Fronts[I] != RefFront) {
+        std::fprintf(stderr,
+                     "stream check: stream %d diverged from the batch "
+                     "response\n",
+                     I);
+        AllGood = false;
+      }
+    }
+    closeFd(Fd);
+  }
+
+  Srv.stop();
+  Loop.join();
+  PeakOut = Srv.stats().PeakConnectionBufferedBytes;
+  if (PeakOut > TO.MaxWriteBuffer + 4096) {
+    std::fprintf(stderr,
+                 "stream check: peak buffered bytes %zu escaped the cap "
+                 "%zu\n",
+                 PeakOut, TO.MaxWriteBuffer);
+    AllGood = false;
+  }
+  return AllGood;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   size_t NumRequests = 2000;
   size_t Batch = 64;
   unsigned Threads = 0;
+  size_t Clients = 0;
   const char *JsonPath = "BENCH_service.json";
   std::string CacheDir;
 
@@ -104,6 +302,8 @@ int main(int Argc, char **Argv) {
       Batch = static_cast<size_t>(std::atoll(Argv[++I]));
     } else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
       Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--clients") && I + 1 < Argc) {
+      Clients = static_cast<size_t>(std::atoll(Argv[++I]));
     } else if (!std::strcmp(Argv[I], "--cache-dir") && I + 1 < Argc) {
       CacheDir = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
@@ -111,9 +311,14 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: service_throughput [--requests N] [--batch N] "
-                   "[--threads N] [--cache-dir D] [--json PATH]\n");
+                   "[--threads N] [--clients N] [--cache-dir D] "
+                   "[--json PATH]\n");
       return 2;
     }
+  }
+  if (Clients && !haveSockets()) {
+    std::fprintf(stderr, "--clients needs sockets; skipping TCP phase\n");
+    Clients = 0;
   }
   Batch = std::max<size_t>(Batch, 1);
   bool OwnCacheDir = CacheDir.empty();
@@ -153,6 +358,10 @@ int main(int Argc, char **Argv) {
   Opts.CacheDir = CacheDir;
 
   PassResult Cold, Estimates, Warm;
+  TcpPhaseResult TcpSingle, TcpMulti;
+  TcpServerStats TcpStats;
+  size_t StreamPeak = 0, StreamCap = 0;
+  bool StreamIdentical = true;
   ServiceStats Stats;
   {
     CompileService Svc(Opts);
@@ -161,7 +370,50 @@ int main(int Argc, char **Argv) {
     Cold = replay(Client, CheckPass, Batch);
     Estimates = replay(Client, EstimatePass, Batch);
     Warm = replay(Client, CheckPass, Batch); // Same variants again.
+    // Snapshot before the TCP phase: the gated lifetime req/s measures
+    // the batched in-process passes, not the deliberately interactive
+    // (think-time-paced, singleton-epoch) TCP workload below.
     Stats = Svc.stats();
+
+    if (Clients) {
+      // The concurrent TCP phase rides the now-warm memo cache, so the
+      // measured quantity is the serving machinery (framing, epochs,
+      // socket round trips), not the type checker: exactly where the
+      // event loop's cross-client coalescing shows up.
+      TcpServerOptions TO;
+      TcpServer Srv(Svc, TO);
+      std::string TcpErr;
+      if (!Srv.start(&TcpErr)) {
+        std::fprintf(stderr, "tcp phase: %s\n", TcpErr.c_str());
+        return 1;
+      }
+      std::thread Loop([&] { Srv.run(); });
+      // One request per round trip with think time in between: the
+      // interactive pattern of a DSE orchestrator that ranks each answer
+      // before asking the next question. A serial (or single-connection)
+      // server is idle for every think interval; the concurrent server
+      // fills one client's think time with the other clients' requests —
+      // that overlap, plus cross-client epoch coalescing, is the
+      // multi-client win being measured.
+      constexpr size_t FlushBatch = 1;
+      constexpr unsigned ThinkMicros = 200;
+      TcpSingle = tcpPhase(Srv.port(), CheckPass, 1, FlushBatch, ThinkMicros);
+      TcpMulti =
+          tcpPhase(Srv.port(), CheckPass, Clients, FlushBatch, ThinkMicros);
+      Srv.stop();
+      Loop.join();
+      TcpStats = Srv.stats();
+      if (TcpSingle.Answered != TcpSingle.Requests ||
+          TcpMulti.Answered != TcpMulti.Requests) {
+        std::fprintf(stderr,
+                     "tcp phase: %zu/%zu and %zu/%zu requests answered\n",
+                     TcpSingle.Answered, TcpSingle.Requests,
+                     TcpMulti.Answered, TcpMulti.Requests);
+        return 1;
+      }
+
+      StreamIdentical = streamedSweepCheck(Svc, StreamPeak, StreamCap);
+    }
   } // Saves the persistent cache.
 
   std::printf("worker threads:        %u\n",
@@ -187,6 +439,26 @@ int main(int Argc, char **Argv) {
   std::printf("lifetime throughput:   %.0f req/s over %zu epochs\n",
               Stats.requestsPerSecond(), Stats.Epochs);
 
+  double TcpSpeedup = 0;
+  if (Clients) {
+    TcpSpeedup = TcpSingle.rps() > 0 ? TcpMulti.rps() / TcpSingle.rps() : 0;
+    banner("Concurrent TCP (warm workload over loopback)");
+    row({"clients", "requests", "sec", "req/s"}, 10);
+    row({"1", fmtInt(TcpSingle.Requests), fmt(TcpSingle.Seconds, 2),
+         fmt(TcpSingle.rps(), 0)},
+        10);
+    row({fmtInt(Clients), fmtInt(TcpMulti.Requests),
+         fmt(TcpMulti.Seconds, 2), fmt(TcpMulti.rps(), 0)},
+        10);
+    std::printf("\n%zu-client speedup:     %.2fx over one client\n", Clients,
+                TcpSpeedup);
+    std::printf("coalesced epochs:      %zu of %zu mixed >1 client\n",
+                TcpStats.CoalescedEpochs, TcpStats.Epochs);
+    std::printf("streamed sweep:        %s (peak %zu B buffered, cap %zu B)\n",
+                StreamIdentical ? "byte-identical under the cap" : "FAILED",
+                StreamPeak, StreamCap);
+  }
+
   if (JsonPath && *JsonPath) {
     Json J = Json::object();
     J["bench"] = "service_throughput";
@@ -200,6 +472,16 @@ int main(int Argc, char **Argv) {
     J["warm_hit_rate"] = Warm.hitRate();
     J["estimate_requests_per_sec"] = Estimates.rps();
     J["epochs"] = Stats.Epochs;
+    if (Clients) {
+      J["tcp_clients"] = Clients;
+      J["tcp_single_client_requests_per_sec"] = TcpSingle.rps();
+      J["tcp_multi_client_requests_per_sec"] = TcpMulti.rps();
+      J["tcp_speedup"] = TcpSpeedup;
+      J["tcp_coalesced_epochs"] = TcpStats.CoalescedEpochs;
+      J["stream_buffer_cap"] = StreamCap;
+      J["stream_peak_buffered_bytes"] = StreamPeak;
+      J["stream_front_identical"] = StreamIdentical;
+    }
     std::ofstream OutFile(JsonPath);
     OutFile << J.dump() << "\n";
     std::printf("\nthroughput metrics written to %s\n", JsonPath);
@@ -218,5 +500,7 @@ int main(int Argc, char **Argv) {
     std::error_code EC;
     std::filesystem::remove_all(CacheDir, EC);
   }
-  return 0;
+  // Streamed-response integrity is exact, not a timing: a divergence or a
+  // cap escape is a bug, so the bench itself fails.
+  return StreamIdentical ? 0 : 1;
 }

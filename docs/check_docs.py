@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI gate: the docs/ tree may not drift from the code.
+
+Checks two machine-verifiable contracts:
+
+  * every service op the server knows (the string literals handled in
+    src/service/Protocol.cpp) appears in docs/protocol.md;
+  * every flag `dahliac` and `dahlia-serve` accept (their --help
+    output, or the usage strings in their sources when --bin-dir is not
+    given) appears in docs/cli.md.
+
+Usage:
+  docs/check_docs.py [--bin-dir build] [--repo .] [--self-test]
+
+--self-test additionally verifies the gate has teeth: it replays the
+checks against doc text with one op and one flag removed and fails if
+that tampering is NOT detected. CI runs both.
+
+Exits non-zero listing every violation.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def protocol_ops(repo):
+    """The op names Request::fromJson accepts / opName prints."""
+    src = read(os.path.join(repo, "src", "service", "Protocol.cpp"))
+    ops = set()
+    # opName's switch: return "check"; etc. (skip the "?" fallback).
+    for m in re.finditer(r'return "([a-z][a-z0-9-]*)";', src):
+        ops.add(m.group(1))
+    # Request::fromJson's dispatch: OpStr == "estimate" etc.
+    for m in re.finditer(r'OpStr == "([a-z][a-z0-9-]*)"', src):
+        ops.add(m.group(1))
+    if not ops:
+        sys.exit("check_docs: found no ops in Protocol.cpp — "
+                 "did the parser move?")
+    return ops
+
+
+FLAG_RE = re.compile(r"(?<![-\w])(--[a-z][a-z-]*|-o)(?![\w-])")
+
+
+def binary_flags(repo, bin_dir, name, source):
+    """Flags from `NAME --help` (preferred) or the source's usage text."""
+    if bin_dir:
+        exe = os.path.join(bin_dir, name)
+        if not os.path.exists(exe):
+            sys.exit(f"check_docs: {exe} not found (build first, or drop "
+                     f"--bin-dir to scrape sources)")
+        out = subprocess.run([exe, "--help"], capture_output=True, text=True)
+        if out.returncode != 0:
+            sys.exit(f"check_docs: `{name} --help` exited "
+                     f"{out.returncode}: {out.stderr.strip()}")
+        text = out.stdout + out.stderr
+    else:
+        # The usage string in the source; it is what --help prints.
+        src = read(os.path.join(repo, source))
+        m = re.search(r'"usage: .*?;', src, re.S)
+        if not m:
+            sys.exit(f"check_docs: no usage string in {source}")
+        text = m.group(0)
+    flags = set(FLAG_RE.findall(text))
+    if not flags:
+        sys.exit(f"check_docs: extracted no flags for {name}")
+    return flags
+
+
+def check(ops, flags_by_bin, protocol_md, cli_md):
+    """Returns a list of violations ([] = docs cover everything)."""
+    failures = []
+    documented_ops = set(re.findall(r"`([a-z][a-z0-9-]*)`", protocol_md))
+    for op in sorted(ops):
+        if op not in documented_ops:
+            failures.append(
+                f"docs/protocol.md: op '{op}' is handled by Protocol.cpp "
+                f"but not documented")
+    documented_flags = set(FLAG_RE.findall(cli_md))
+    for name, flags in sorted(flags_by_bin.items()):
+        for flag in sorted(flags):
+            if flag not in documented_flags:
+                failures.append(
+                    f"docs/cli.md: flag '{flag}' of {name} is missing")
+    return failures
+
+
+def self_test(ops, flags_by_bin, protocol_md, cli_md):
+    """The gate must detect a removed op and a removed flag."""
+    problems = []
+    victim_op = sorted(ops)[-1]
+    tampered = protocol_md.replace(f"`{victim_op}`", "`redacted`")
+    if not check(ops, {}, tampered, cli_md):
+        problems.append(
+            f"self-test: removing op '{victim_op}' from protocol.md was "
+            f"not detected")
+    name, flags = sorted(flags_by_bin.items())[0]
+    victim_flag = sorted(flags)[-1]
+    tampered = cli_md.replace(victim_flag, "--redacted")
+    if not check(set(), flags_by_bin, protocol_md, tampered):
+        problems.append(
+            f"self-test: removing flag '{victim_flag}' from cli.md was "
+            f"not detected")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--bin-dir", default=None,
+                    help="directory with built binaries; omit to scrape "
+                         "the usage strings from the sources instead")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    ops = protocol_ops(args.repo)
+    flags_by_bin = {
+        "dahliac": binary_flags(args.repo, args.bin_dir, "dahliac",
+                                "examples/dahliac.cpp"),
+        "dahlia-serve": binary_flags(args.repo, args.bin_dir,
+                                     "dahlia-serve",
+                                     "examples/dahlia_serve.cpp"),
+    }
+    protocol_md = read(os.path.join(args.repo, "docs", "protocol.md"))
+    cli_md = read(os.path.join(args.repo, "docs", "cli.md"))
+
+    failures = check(ops, flags_by_bin, protocol_md, cli_md)
+    if args.self_test:
+        failures += self_test(ops, flags_by_bin, protocol_md, cli_md)
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    nflags = sum(len(f) for f in flags_by_bin.values())
+    mode = "binaries" if args.bin_dir else "sources"
+    print(f"docs gate OK: {len(ops)} ops and {nflags} flags documented "
+          f"(checked against {mode}"
+          f"{', self-test passed' if args.self_test else ''})")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,170 +4,82 @@
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
 // A long-lived front end over CompileService speaking the line-delimited
-// JSON protocol of src/service/Protocol.h:
+// JSON protocol of src/service/Protocol.h (see docs/protocol.md):
 //
 //   dahlia-serve                      serve stdin -> stdout
-//   dahlia-serve --port 9000          serve TCP connections on 127.0.0.1
+//   dahlia-serve --port 9000          concurrent TCP server on 127.0.0.1
+//                                     (--port 0 picks an ephemeral port;
+//                                     the bound port is announced on
+//                                     stderr either way)
 //   ... --threads N                   epoch worker threads
 //   ... --batch N                     epoch size cap (default 64)
 //   ... --cache-dir DIR               persistent memo cache (default
 //                                     .dahlia-cache; "" disables)
 //   ... --no-memoize                  disable the in-memory memo cache too
+//   ... --write-buffer BYTES          per-connection write-buffer cap, the
+//                                     TCP back-pressure threshold
+//                                     (default 1 MiB)
+//   ... --max-connections N           concurrent TCP connection cap
+//                                     (default 256)
 //   ... --stats                       print lifetime stats JSON to stderr
 //                                     at exit
+//   ... --help                        this summary
 //
-// Batch semantics: requests accumulate until the batch cap is reached, a
-// blank line arrives, or the stream ends; each batch is one parallel
-// epoch, answered in request order.
-//
-// dse-sweep requests may carry "strategy" (exhaustive | halving |
-// pareto-prune) and "shard" ("i/N"); sharded responses include the
-// partial front for dahlia-dse-merge-style unioning (see Protocol.h).
+// TCP mode multiplexes every connection on one event loop
+// (service::TcpServer): request lines from different clients coalesce
+// into the same parallel epoch, and large dse-sweep/simulate responses
+// stream back as chunked line-JSON under the bounded write buffer.
+// stdin/stdout mode serves a single stream with the same epoch batching.
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/CompileService.h"
+#include "service/TcpServer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
-
-#if defined(__unix__) || defined(__APPLE__)
-#define DAHLIA_HAVE_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <streambuf>
-#endif
 
 using namespace dahlia;
 using namespace dahlia::service;
 
 namespace {
 
+const char *kUsage =
+    "usage: dahlia-serve [--port P] [--threads N] [--batch N] "
+    "[--cache-dir DIR] [--no-memoize] [--write-buffer BYTES] "
+    "[--max-connections N] [--stats] [--help]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dahlia-serve [--port P] [--threads N] [--batch N] "
-               "[--cache-dir DIR] [--no-memoize] [--stats]\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
-
-#ifdef DAHLIA_HAVE_SOCKETS
-
-/// Minimal bidirectional streambuf over a connected socket, enough for
-/// the line protocol (getline in, operator<< out).
-class FdStreamBuf final : public std::streambuf {
-public:
-  explicit FdStreamBuf(int Fd) : Fd(Fd) {
-    setg(InBuf, InBuf, InBuf);
-    setp(OutBuf, OutBuf + sizeof(OutBuf));
-  }
-  ~FdStreamBuf() override { sync(); }
-
-protected:
-  int underflow() override {
-    ssize_t N = ::read(Fd, InBuf, sizeof(InBuf));
-    if (N <= 0)
-      return traits_type::eof();
-    setg(InBuf, InBuf, InBuf + N);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int overflow(int C) override {
-    if (flushOut() != 0)
-      return traits_type::eof();
-    if (C != traits_type::eof()) {
-      *pptr() = traits_type::to_char_type(C);
-      pbump(1);
-    }
-    return traits_type::not_eof(C);
-  }
-
-  int sync() override { return flushOut(); }
-
-private:
-  int flushOut() {
-    char *P = pbase();
-    while (P != pptr()) {
-      ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
-      if (N <= 0)
-        return -1;
-      P += N;
-    }
-    setp(OutBuf, OutBuf + sizeof(OutBuf));
-    return 0;
-  }
-
-  int Fd;
-  char InBuf[1 << 14];
-  char OutBuf[1 << 14];
-};
-
-int serveTcp(CompileService &Svc, int Port) {
-  int Listen = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Listen < 0) {
-    std::perror("dahlia-serve: socket");
-    return 1;
-  }
-  int One = 1;
-  ::setsockopt(Listen, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-
-  sockaddr_in Addr{};
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(static_cast<uint16_t>(Port));
-  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    std::perror("dahlia-serve: bind");
-    ::close(Listen);
-    return 1;
-  }
-  if (::listen(Listen, 8) < 0) {
-    std::perror("dahlia-serve: listen");
-    ::close(Listen);
-    return 1;
-  }
-  std::fprintf(stderr, "dahlia-serve: listening on 127.0.0.1:%d\n", Port);
-
-  // Connections are served one at a time; each connection is its own
-  // request stream with the usual epoch batching. Parallelism lives
-  // inside epochs, not across connections.
-  while (true) {
-    int Conn = ::accept(Listen, nullptr, nullptr);
-    if (Conn < 0)
-      break;
-    {
-      FdStreamBuf Buf(Conn);
-      std::istream In(&Buf);
-      std::ostream Out(&Buf);
-      Svc.serveStream(In, Out);
-    }
-    ::close(Conn);
-    Svc.savePersistentCache(); // Durable across abrupt server exits.
-  }
-  ::close(Listen);
-  return 0;
-}
-
-#endif // DAHLIA_HAVE_SOCKETS
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   ServiceOptions Opts;
   Opts.CacheDir = ".dahlia-cache";
-  int Port = 0;
+  TcpServerOptions TcpOpts;
+  int Port = -1; // -1 = stdio mode; 0 is a valid (ephemeral) TCP port.
   bool PrintStats = false;
 
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--port") && I + 1 < Argc) {
-      Port = std::atoi(Argv[++I]);
-      if (Port <= 0 || Port > 65535) {
+    if (!std::strcmp(Argv[I], "--help")) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (!std::strcmp(Argv[I], "--port") && I + 1 < Argc) {
+      // Strict parse: atoi would turn a typo like "9O00" into 0, which
+      // is the (valid) ephemeral-port request — only a literal number
+      // may select it.
+      char *End = nullptr;
+      long P = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || P < 0 || P > 65535) {
         std::fprintf(stderr, "dahlia-serve: invalid --port\n");
         return 2;
       }
+      Port = static_cast<int>(P);
     } else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
       Opts.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (!std::strcmp(Argv[I], "--batch") && I + 1 < Argc) {
@@ -182,6 +94,20 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--no-memoize")) {
       Opts.Memoize = false;
       Opts.CacheDir.clear();
+    } else if (!std::strcmp(Argv[I], "--write-buffer") && I + 1 < Argc) {
+      long long N = std::atoll(Argv[++I]);
+      if (N <= 0) {
+        std::fprintf(stderr, "dahlia-serve: invalid --write-buffer\n");
+        return 2;
+      }
+      TcpOpts.MaxWriteBuffer = static_cast<size_t>(N);
+    } else if (!std::strcmp(Argv[I], "--max-connections") && I + 1 < Argc) {
+      int N = std::atoi(Argv[++I]);
+      if (N <= 0) {
+        std::fprintf(stderr, "dahlia-serve: invalid --max-connections\n");
+        return 2;
+      }
+      TcpOpts.MaxConnections = static_cast<size_t>(N);
     } else if (!std::strcmp(Argv[I], "--stats")) {
       PrintStats = true;
     } else {
@@ -192,15 +118,18 @@ int main(int Argc, char **Argv) {
   int Rc = 0;
   {
     CompileService Svc(Opts);
-    if (Port != 0) {
-#ifdef DAHLIA_HAVE_SOCKETS
-      Rc = serveTcp(Svc, Port);
-#else
-      std::fprintf(stderr,
-                   "dahlia-serve: --port is unavailable on this platform; "
-                   "use stdin/stdout mode\n");
-      Rc = 1;
-#endif
+    if (Port >= 0) {
+      TcpOpts.Port = Port;
+      TcpServer Server(Svc, TcpOpts);
+      std::string Err;
+      if (!Server.start(&Err)) {
+        std::fprintf(stderr, "dahlia-serve: %s\n", Err.c_str());
+        Rc = 1;
+      } else {
+        std::fprintf(stderr, "dahlia-serve: listening on 127.0.0.1:%d\n",
+                     Server.port());
+        Server.run();
+      }
     } else {
       Svc.serveStream(std::cin, std::cout);
     }

@@ -46,11 +46,13 @@ namespace fil = dahlia::filament;
 
 namespace {
 
+const char *kUsage =
+    "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
+    "[--json] [--check | --lower | --run | --estimate | "
+    "--simulate]\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
-               "[--json] [--check | --lower | --run | --estimate | "
-               "--simulate]\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
 
@@ -100,7 +102,10 @@ int main(int Argc, char **Argv) {
   enum { EmitCpp, CheckOnly, Lower, Run, Estimate, Simulate } Mode = EmitCpp;
 
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--check")) {
+    if (!std::strcmp(Argv[I], "--help")) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (!std::strcmp(Argv[I], "--check")) {
       Mode = CheckOnly;
     } else if (!std::strcmp(Argv[I], "--lower")) {
       Mode = Lower;

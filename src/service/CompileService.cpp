@@ -517,7 +517,10 @@ Response CompileService::dseSweep(const Request &R) {
   Sweep["front_hash"] = dse::hashString(dse::frontHash(DR.Front, ObjOf));
   // Sharded sweeps ship the partial front's points so a client can union
   // shards into the single-process membership (see dahlia-dse-merge).
-  if (!Shard.isWhole())
+  // Streamed sweeps always ship them: they are the incremental
+  // front_point records of the chunked response (ResponseStream splits
+  // them back out of the summary).
+  if (!Shard.isWhole() || R.Stream)
     Sweep["front_points"] =
         dse::frontPointsToJson(dse::collectFrontPoints(DR));
   Out.Sweep = std::move(Sweep);
@@ -529,20 +532,19 @@ Response CompileService::dseSweep(const Request &R) {
 // Batching
 //===----------------------------------------------------------------------===//
 
-std::vector<Response>
-CompileService::processBatch(const std::vector<std::string> &Lines) {
+std::vector<CompileService::BatchEntry>
+CompileService::processBatchEx(const std::vector<std::string> &Lines) {
   auto Start = std::chrono::steady_clock::now();
-  std::vector<Response> Responses(Lines.size());
-  std::vector<std::optional<Request>> Requests(Lines.size());
+  std::vector<BatchEntry> Entries(Lines.size());
 
   // Decode serially (cheap), producing malformed-line responses inline.
   size_t MalformedHere = 0;
   for (size_t I = 0; I != Lines.size(); ++I) {
     std::string Err;
-    Requests[I] = Request::fromJson(Lines[I], &Err);
-    if (!Requests[I]) {
+    Entries[I].Req = Request::fromJson(Lines[I], &Err);
+    if (!Entries[I].Req) {
       ++MalformedHere;
-      Response &Bad = Responses[I];
+      Response &Bad = Entries[I].Resp;
       // Salvage the id when the line was at least valid JSON.
       if (std::optional<Json> J = Json::parse(Lines[I]))
         Bad.Id = J->at("id").asInt();
@@ -559,11 +561,11 @@ CompileService::processBatch(const std::vector<std::string> &Lines) {
   // oversubscribe threads quadratically.
   std::vector<size_t> ParallelIdx;
   for (size_t I = 0; I != Lines.size(); ++I) {
-    if (!Requests[I])
+    if (!Entries[I].Req)
       continue;
-    const Request &R = *Requests[I];
+    const Request &R = *Entries[I].Req;
     if ((!R.Session.empty() && !R.Source.empty()) || R.Kind == Op::DseSweep)
-      Responses[I] = handle(R);
+      Entries[I].Resp = handle(R);
     else
       ParallelIdx.push_back(I);
   }
@@ -572,8 +574,8 @@ CompileService::processBatch(const std::vector<std::string> &Lines) {
   workStealingFor(ParallelIdx.size(), Threads, /*Grain=*/1,
                   [&](unsigned, size_t B, size_t E) {
                     for (size_t I = B; I != E; ++I)
-                      Responses[ParallelIdx[I]] =
-                          handle(*Requests[ParallelIdx[I]]);
+                      Entries[ParallelIdx[I]].Resp =
+                          handle(*Entries[ParallelIdx[I]].Req);
                   });
 
   {
@@ -582,6 +584,15 @@ CompileService::processBatch(const std::vector<std::string> &Lines) {
     Stats.Malformed += MalformedHere;
     Stats.BusySeconds += secondsSince(Start);
   }
+  return Entries;
+}
+
+std::vector<Response>
+CompileService::processBatch(const std::vector<std::string> &Lines) {
+  std::vector<Response> Responses;
+  Responses.reserve(Lines.size());
+  for (BatchEntry &E : processBatchEx(Lines))
+    Responses.push_back(std::move(E.Resp));
   return Responses;
 }
 
@@ -590,8 +601,18 @@ void CompileService::serveStream(std::istream &In, std::ostream &Out) {
   auto Flush = [&] {
     if (Batch.empty())
       return;
-    for (const Response &R : processBatch(Batch))
-      Out << R.toJson().dump() << '\n';
+    for (BatchEntry &E : processBatchEx(Batch)) {
+      if (E.Req && ResponseStream::wantsStream(*E.Req, E.Resp)) {
+        // Chunked rendering; over a blocking stream the lines simply go
+        // out back to back (the pull model matters on the TCP server,
+        // where the write buffer is bounded).
+        ResponseStream S(std::move(E.Resp));
+        while (std::optional<std::string> Line = S.next())
+          Out << *Line << '\n';
+      } else {
+        Out << E.Resp.toJson().dump() << '\n';
+      }
+    }
     Out.flush();
     Batch.clear();
   };

@@ -7,12 +7,13 @@
 ///
 /// \file
 /// A long-lived compile service over the \c CompilerPipeline: it accepts
-/// streaming `check` / `estimate` / `lower` / `dse-sweep` requests as
-/// line-delimited JSON (see Protocol.h), batches them per epoch to
-/// amortize pipeline setup, shards each epoch across the shared
-/// work-stealing pool, and answers with structured diagnostics, estimates,
-/// and per-request latencies — the server-style front end the ROADMAP
-/// calls for.
+/// streaming `check` / `estimate` / `lower` / `simulate` / `dse-sweep`
+/// requests as line-delimited JSON (see Protocol.h and docs/protocol.md),
+/// batches them per epoch to amortize pipeline setup, shards each epoch
+/// across the shared work-stealing pool, and answers with structured
+/// diagnostics, estimates, and per-request latencies — the server-style
+/// front end the ROADMAP calls for. The concurrent TCP front end lives in
+/// TcpServer.h; this class is transport-agnostic.
 ///
 /// Three layers of reuse make repeated traffic cheap:
 ///
@@ -105,10 +106,22 @@ public:
   /// the in-process client and by processBatch).
   Response handle(const Request &R);
 
-  /// Processes one epoch: every line in \p Lines, in parallel, responses
+  /// One decoded line of an epoch: the parsed request (absent when the
+  /// line was malformed) and its response. Callers that route responses
+  /// per-connection (TcpServer) or render streams (serveStream) need the
+  /// request back — e.g. its Stream flag — without re-parsing the line.
+  struct BatchEntry {
+    std::optional<Request> Req;
+    Response Resp;
+  };
+
+  /// Processes one epoch: every line in \p Lines, in parallel, entries
   /// index-aligned with the inputs. Malformed lines produce error
   /// responses (ok=false, id echoed when recoverable) rather than tearing
   /// down the stream.
+  std::vector<BatchEntry> processBatchEx(const std::vector<std::string> &Lines);
+
+  /// processBatchEx without the echoed requests.
   std::vector<Response> processBatch(const std::vector<std::string> &Lines);
 
   /// Reads the line protocol from \p In until EOF, writing one response

@@ -9,11 +9,20 @@
 
 #include "support/StableHash.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAHLIA_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
 
 using namespace dahlia;
 using namespace dahlia::service;
@@ -122,18 +131,17 @@ hlsim::Estimate getEstimate(Reader &R) {
   return E;
 }
 
-} // namespace
+/// One shard's decoded payload.
+struct ShardImage {
+  std::vector<std::pair<uint64_t, bool>> Verdicts;
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates;
+};
 
-PersistentCache::PersistentCache(std::string D, PersistentCacheOptions O)
-    : Dir(std::move(D)), Opts(O) {
-  if (Opts.Version == 0)
-    Opts.Version = kPersistentCacheFormatVersion;
-  File = (fs::path(Dir) / "memo.bin").string();
-}
-
-bool PersistentCache::load(dse::DseCache &Into,
-                           PersistentCacheLoadStats *Stats) const {
-  std::ifstream In(File, std::ios::binary);
+/// Parses one shard file. Returns false (empty \p Out) on a missing file,
+/// wrong magic, wrong version, bad checksum, or truncated payload.
+bool readShardFile(const std::string &Path, uint32_t WantVersion,
+                   ShardImage &Out) {
+  std::ifstream In(Path, std::ios::binary);
   if (!In)
     return false;
   std::string Bytes((std::istreambuf_iterator<char>(In)),
@@ -150,7 +158,7 @@ bool PersistentCache::load(dse::DseCache &Into,
            Bytes.size()};
   R.Pos = 4;
   uint32_t Version = R.u32();
-  if (Version != Opts.Version)
+  if (Version != WantVersion)
     return false;
 
   // Verify the checksum before trusting any count field.
@@ -165,73 +173,82 @@ bool PersistentCache::load(dse::DseCache &Into,
   uint64_t NumVerdicts = R.u64();
   if (R.Bad || NumVerdicts > (BodyLen - R.Pos) / kVerdictRecordBytes)
     return false;
-  std::vector<std::pair<uint64_t, bool>> Verdicts;
-  Verdicts.reserve(NumVerdicts);
+  Out.Verdicts.reserve(NumVerdicts);
   for (uint64_t I = 0; I != NumVerdicts; ++I) {
     uint64_t Key = R.u64();
     bool Accepted = R.u8() != 0;
-    Verdicts.emplace_back(Key, Accepted);
+    Out.Verdicts.emplace_back(Key, Accepted);
   }
 
   uint64_t NumEstimates = R.u64();
-  if (R.Bad || NumEstimates > (BodyLen - R.Pos) / kEstimateRecordBytes)
+  if (R.Bad || NumEstimates > (BodyLen - R.Pos) / kEstimateRecordBytes) {
+    Out = ShardImage(); // Verdicts were already parsed; discard them too.
     return false;
-  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates;
-  Estimates.reserve(NumEstimates);
+  }
+  Out.Estimates.reserve(NumEstimates);
   for (uint64_t I = 0; I != NumEstimates; ++I) {
     uint64_t Key = R.u64();
-    Estimates.emplace_back(Key, getEstimate(R));
+    Out.Estimates.emplace_back(Key, getEstimate(R));
   }
-  if (R.Bad || R.Pos != BodyLen)
+  if (R.Bad || R.Pos != BodyLen) {
+    Out = ShardImage();
     return false;
-
-  for (const auto &[Key, Accepted] : Verdicts)
-    Into.insertVerdict(Key, Accepted);
-  for (const auto &[Key, Est] : Estimates)
-    Into.insertEstimate(Key, Est);
-  if (Stats) {
-    Stats->Verdicts = Verdicts.size();
-    Stats->Estimates = Estimates.size();
   }
   return true;
 }
 
-bool PersistentCache::save(const dse::DseCache &From) const {
-  std::vector<std::pair<uint64_t, bool>> Verdicts = From.snapshotVerdicts();
-  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates =
-      From.snapshotEstimates();
+/// Advisory cross-process lock on one shard directory, held for the
+/// read-union-write of a save. flock-based, so it composes with the
+/// in-process stripe mutex (which flock alone would not replace: flock
+/// is per open file description, not per thread). No-op on platforms
+/// without flock — saves there are last-writer-wins, as before v4.
+class ShardFileLock {
+public:
+  explicit ShardFileLock(const std::string &ShardDir) {
+#ifdef DAHLIA_HAVE_FLOCK
+    Fd = ::open((fs::path(ShardDir) / "memo.lock").c_str(),
+                O_CREAT | O_RDWR, 0644);
+    if (Fd >= 0)
+      ::flock(Fd, LOCK_EX);
+#else
+    (void)ShardDir;
+#endif
+  }
+  ~ShardFileLock() {
+#ifdef DAHLIA_HAVE_FLOCK
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+#endif
+  }
 
-  // Eviction cap: verdicts (one byte of payload each, and each one stands
-  // for a full type-check) win over estimates; within a class the
-  // highest-keyed entries go first. Snapshots are key-sorted, so
-  // truncation is deterministic.
-  if (Verdicts.size() > Opts.MaxEntries)
-    Verdicts.resize(Opts.MaxEntries);
-  size_t EstBudget = Opts.MaxEntries - Verdicts.size();
-  if (Estimates.size() > EstBudget)
-    Estimates.resize(EstBudget);
+private:
+  int Fd = -1;
+};
 
+/// Serializes and atomically installs one shard file. Entries must be
+/// key-sorted (the format's canonical order).
+bool writeShardFile(const std::string &Path, uint32_t Version,
+                    const ShardImage &Img) {
   std::string Out;
-  Out.reserve(16 + Verdicts.size() * kVerdictRecordBytes +
-              Estimates.size() * kEstimateRecordBytes + 8);
+  Out.reserve(16 + Img.Verdicts.size() * kVerdictRecordBytes +
+              Img.Estimates.size() * kEstimateRecordBytes + 8);
   Out.append(kMagic, 4);
-  putU32(Out, Opts.Version);
-  putU64(Out, Verdicts.size());
-  for (const auto &[Key, Accepted] : Verdicts) {
+  putU32(Out, Version);
+  putU64(Out, Img.Verdicts.size());
+  for (const auto &[Key, Accepted] : Img.Verdicts) {
     putU64(Out, Key);
     Out.push_back(Accepted ? 1 : 0);
   }
-  putU64(Out, Estimates.size());
-  for (const auto &[Key, Est] : Estimates) {
+  putU64(Out, Img.Estimates.size());
+  for (const auto &[Key, Est] : Img.Estimates) {
     putU64(Out, Key);
     putEstimate(Out, Est);
   }
   putU64(Out, stableHash(Out));
 
-  std::error_code EC;
-  fs::create_directories(Dir, EC); // Existing directory is not an error.
-
-  std::string Tmp = File + ".tmp";
+  std::string Tmp = Path + ".tmp";
   {
     std::ofstream OutFile(Tmp, std::ios::binary | std::ios::trunc);
     if (!OutFile)
@@ -240,10 +257,187 @@ bool PersistentCache::save(const dse::DseCache &From) const {
     if (!OutFile)
       return false;
   }
-  fs::rename(Tmp, File, EC);
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
   if (EC) {
     fs::remove(Tmp, EC);
     return false;
   }
   return true;
+}
+
+std::string shardDirName(unsigned Index) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "shard-%02u", Index);
+  return Buf;
+}
+
+} // namespace
+
+PersistentCache::PersistentCache(std::string D, PersistentCacheOptions O)
+    : Dir(std::move(D)), Opts(O) {
+  if (Opts.Version == 0)
+    Opts.Version = kPersistentCacheFormatVersion;
+  Opts.Shards = std::clamp(Opts.Shards, 1u, 64u);
+  ShardLocks = std::make_unique<std::mutex[]>(Opts.Shards);
+}
+
+std::string PersistentCache::shardPath(unsigned Index) const {
+  return (fs::path(Dir) / shardDirName(Index) / "memo.bin").string();
+}
+
+std::string PersistentCache::shardPathFor(uint64_t Key) const {
+  return shardPath(shardOf(Key));
+}
+
+bool PersistentCache::load(dse::DseCache &Into,
+                           PersistentCacheLoadStats *Stats) const {
+  // Read every shard file present, not just indices below this handle's
+  // shard count: entry keys are self-describing, so a directory written
+  // with a different stripe count still loads completely.
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    if (!It->is_directory(EC))
+      continue;
+    std::string Name = It->path().filename().string();
+    if (Name.rfind("shard-", 0) == 0)
+      Paths.push_back((It->path() / "memo.bin").string());
+  }
+  std::sort(Paths.begin(), Paths.end()); // Deterministic load order.
+
+  PersistentCacheLoadStats Local;
+  for (const std::string &Path : Paths) {
+    ShardImage Img;
+    if (!readShardFile(Path, Opts.Version, Img))
+      continue; // Corrupt/mismatched shard: the others still serve.
+    ++Local.ShardsLoaded;
+    Local.Verdicts += Img.Verdicts.size();
+    Local.Estimates += Img.Estimates.size();
+    for (const auto &[Key, Accepted] : Img.Verdicts)
+      Into.insertVerdict(Key, Accepted);
+    for (const auto &[Key, Est] : Img.Estimates)
+      Into.insertEstimate(Key, Est);
+  }
+  if (Stats)
+    *Stats = Local;
+  return Local.ShardsLoaded != 0;
+}
+
+bool PersistentCache::save(const dse::DseCache &From) const {
+  std::vector<std::pair<uint64_t, bool>> Verdicts = From.snapshotVerdicts();
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates =
+      From.snapshotEstimates();
+
+  std::error_code EC;
+  fs::create_directories(Dir, EC); // Existing directory is not an error.
+
+  // A pre-v4 root memo.bin (or one left by an older run) is dead weight
+  // now; drop it so the directory holds exactly the sharded layout.
+  fs::remove(fs::path(Dir) / "memo.bin", EC);
+  fs::remove(fs::path(Dir) / "memo.bin.tmp", EC);
+
+  // Partition the snapshot by shard. Snapshots are key-sorted and the
+  // partition is order-preserving, so each shard's vectors stay sorted.
+  std::vector<ShardImage> Fresh(Opts.Shards);
+  for (const auto &[Key, Accepted] : Verdicts)
+    Fresh[shardOf(Key)].Verdicts.emplace_back(Key, Accepted);
+  for (const auto &[Key, Est] : Estimates)
+    Fresh[shardOf(Key)].Estimates.emplace_back(Key, Est);
+
+  // Stale stripes left by a run with a larger shard count hold live
+  // entries; fold them into this save's union (under the current
+  // partition) before they are removed below — deleting without merging
+  // would erase another writer's published work.
+  std::vector<fs::path> StaleDirs;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    if (!It->is_directory(EC))
+      continue;
+    std::string Name = It->path().filename().string();
+    if (Name.rfind("shard-", 0) != 0)
+      continue;
+    unsigned Index = static_cast<unsigned>(
+        std::strtoul(Name.c_str() + 6, nullptr, 10));
+    if (Index < Opts.Shards)
+      continue;
+    StaleDirs.push_back(It->path());
+    ShardImage Stale;
+    if (readShardFile((It->path() / "memo.bin").string(), Opts.Version,
+                      Stale)) {
+      // Disk entries are the union *base*: append before the in-memory
+      // snapshot so the snapshot wins collisions in the merge maps.
+      for (unsigned S = 0; S != Opts.Shards; ++S) {
+        ShardImage &F = Fresh[S];
+        std::vector<std::pair<uint64_t, bool>> Vs;
+        std::vector<std::pair<uint64_t, hlsim::Estimate>> Es;
+        for (const auto &KV : Stale.Verdicts)
+          if (shardOf(KV.first) == S)
+            Vs.push_back(KV);
+        for (const auto &KE : Stale.Estimates)
+          if (shardOf(KE.first) == S)
+            Es.push_back(KE);
+        F.Verdicts.insert(F.Verdicts.begin(), Vs.begin(), Vs.end());
+        F.Estimates.insert(F.Estimates.begin(), Es.begin(), Es.end());
+      }
+    }
+  }
+
+  // Per-shard entry budget (ceil): the global cap, apportioned.
+  size_t ShardBudget =
+      (Opts.MaxEntries + Opts.Shards - 1) / Opts.Shards;
+
+  bool AllOk = true;
+  for (unsigned S = 0; S != Opts.Shards; ++S) {
+    std::lock_guard<std::mutex> Lock(ShardLocks[S]);
+    std::string Path = shardPath(S);
+    fs::create_directories(fs::path(Path).parent_path(), EC);
+    // Cross-process exclusion for the read-union-write below: without
+    // it, two processes saving the same shard concurrently would each
+    // merge over the same stale base and the loser's entries vanish.
+    ShardFileLock FileLock(fs::path(Path).parent_path().string());
+
+    // Union-on-save: fold the shard's current on-disk entries under the
+    // fresh snapshot (the snapshot wins on collisions) so concurrent
+    // writers extend rather than clobber each other.
+    ShardImage OnDisk;
+    readShardFile(Path, Opts.Version, OnDisk); // Invalid loads as empty.
+
+    std::map<uint64_t, bool> V(OnDisk.Verdicts.begin(),
+                               OnDisk.Verdicts.end());
+    for (const auto &[Key, Accepted] : Fresh[S].Verdicts)
+      V[Key] = Accepted;
+    std::map<uint64_t, hlsim::Estimate> E(OnDisk.Estimates.begin(),
+                                          OnDisk.Estimates.end());
+    for (const auto &[Key, Est] : Fresh[S].Estimates)
+      E[Key] = Est;
+
+    // Eviction cap: verdicts (one byte of payload each, and each one
+    // stands for a full type-check) win over estimates; within a class
+    // the highest-keyed entries go first. Maps iterate key-sorted, so
+    // truncation is deterministic.
+    ShardImage Merged;
+    Merged.Verdicts.assign(V.begin(), V.end());
+    Merged.Estimates.assign(E.begin(), E.end());
+    if (Merged.Verdicts.size() > ShardBudget)
+      Merged.Verdicts.resize(ShardBudget);
+    size_t EstBudget = ShardBudget - Merged.Verdicts.size();
+    if (Merged.Estimates.size() > EstBudget)
+      Merged.Estimates.resize(EstBudget);
+
+    if (!writeShardFile(Path, Opts.Version, Merged))
+      AllOk = false;
+  }
+
+  // The stale stripes' contents now live in the current partition (or
+  // were invalid); remove the directories so they cannot resurrect
+  // evicted entries later. Skipped if any write failed — better a
+  // duplicate entry than a lost one.
+  if (AllOk)
+    for (const fs::path &P : StaleDirs) {
+      std::error_code RmEC;
+      fs::remove_all(P, RmEC);
+    }
+  return AllOk;
 }

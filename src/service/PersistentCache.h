@@ -8,28 +8,48 @@
 /// \file
 /// Persists a \c dse::DseCache (type-check verdicts keyed by source hash,
 /// hlsim estimates keyed by spec hash) across process runs, so Figure 7
-/// sweeps and long-lived compile-service instances start warm. The cache
-/// lives under a directory (by convention `.dahlia-cache/`) in a single
-/// versioned binary file:
+/// sweeps and long-lived compile-service instances start warm. Since
+/// format v4 the cache is *sharded*: a directory (by convention
+/// `.dahlia-cache/`) holds K lock-striped shard subdirectories, each with
+/// its own versioned binary file, and every entry lives in the shard its
+/// \c StableHash key selects:
 ///
 ///   .dahlia-cache/
-///     memo.bin      magic | format version | verdicts | estimates | checksum
-///     memo.bin.tmp  transient; the save path writes here, then renames
+///     shard-00/memo.bin   magic | version | verdicts | estimates | checksum
+///     shard-01/memo.bin
+///     ...
+///     shard-NN/memo.bin.tmp  transient; saves write here, then rename
+///
+/// Sharding exists for concurrency: the multi-client compile server saves
+/// after every disconnect, and multi-process `fig7 --shard i/N` runs all
+/// write the same cache directory — with one file they contended on (and
+/// overwrote) a single rename target; with K files plus union-on-save,
+/// writers touch disjoint shards' locks and *merge* with what concurrent
+/// writers already published instead of clobbering it.
 ///
 /// Robustness contract (exercised by PersistentCacheTest):
-///   * saves are crash-safe: the snapshot is written to `memo.bin.tmp` and
-///     atomically renamed over `memo.bin`, so readers never observe a
-///     half-written file;
-///   * a missing file, a version mismatch, or a truncated/corrupt file
-///     (bad magic, bad checksum, counts exceeding the payload) loads as
-///     empty — the caller rebuilds cleanly and the next save overwrites;
-///   * concurrent readers are safe: load only reads, and the
-///     rename-into-place discipline means they see either the old or the
-///     new complete file;
-///   * the entry count is capped (\c MaxEntries); eviction keeps verdicts
-///     (tiny, expensive to recompute) over estimates, dropping the
-///     highest-keyed entries first — deterministic, since a memo cache is
-///     correct under any subset.
+///   * saves are crash-safe per shard: each snapshot is written to
+///     `memo.bin.tmp` and atomically renamed over `memo.bin`, so readers
+///     never observe a half-written file;
+///   * saves are *unions*: a save first loads each shard's current
+///     on-disk entries and merges them under the in-memory snapshot (the
+///     snapshot wins on key collisions), so concurrent processes extend
+///     rather than erase each other's work;
+///   * a missing shard, a version mismatch, or a truncated/corrupt shard
+///     file (bad magic, bad checksum, counts exceeding the payload) loads
+///     as empty — a memo cache is correct under any subset, so the other
+///     shards still serve and the next save rebuilds the bad one;
+///   * pre-v4 caches (a single `memo.bin` at the directory root) are
+///     ignored on load and removed on save — old caches rebuild cleanly
+///     (see docs/caching.md for the layout and the intentional
+///     re-baselining workflow);
+///   * the entry count is capped (\c MaxEntries, apportioned across
+///     shards); eviction keeps verdicts (tiny, expensive to recompute)
+///     over estimates, dropping the highest-keyed entries first —
+///     deterministic, since a memo cache is correct under any subset;
+///   * within one process, per-shard stripe locks make concurrent save()
+///     calls safe (the compile server saves from its event loop while
+///     tests snapshot); concurrent loads were always fine.
 ///
 /// All integers are serialized little-endian regardless of host order, so
 /// a cache written on one machine loads on another.
@@ -42,18 +62,25 @@
 #include "dse/DseEngine.h"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace dahlia::service {
 
 /// Tunables of the on-disk cache.
 struct PersistentCacheOptions {
-  /// Total entry cap (verdicts + estimates) enforced at save time.
+  /// Total entry cap (verdicts + estimates) enforced at save time,
+  /// apportioned evenly across shards.
   size_t MaxEntries = 1u << 20;
   /// Format version written and required on load. Only tests override
   /// this (to exercise the mismatch path); real callers track
   /// \c kFormatVersion implicitly.
   uint32_t Version = 0; ///< 0 = current kFormatVersion.
+  /// Shard (stripe) count; clamped to [1, 64]. Tests pin 1 for the exact
+  /// single-file eviction semantics.
+  unsigned Shards = 8;
 };
 
 /// The current on-disk format version. Bump when the record layout — or
@@ -65,40 +92,54 @@ struct PersistentCacheOptions {
 /// while-loop markers (and the Exact simulator rung joined the fidelity
 /// keyspace), so pre-multi-nest caches hold entries under stale keys and
 /// are rebuilt rather than carried along.
-inline constexpr uint32_t kPersistentCacheFormatVersion = 3;
+/// Version 4: the cache directory is sharded (shard-NN/memo.bin,
+/// lock-striped, union-on-save); the single root memo.bin of v3 is no
+/// longer read.
+inline constexpr uint32_t kPersistentCacheFormatVersion = 4;
 
 /// Counters describing one load.
 struct PersistentCacheLoadStats {
   size_t Verdicts = 0;
   size_t Estimates = 0;
+  size_t ShardsLoaded = 0; ///< Shard files that passed validation.
 };
 
-/// Handle to one on-disk cache directory. Stateless between calls; safe
-/// to use from several threads as long as saves are not concurrent with
-/// each other (concurrent loads are always fine).
+/// Handle to one on-disk cache directory. Loads may run concurrently with
+/// anything; saves may run concurrently with each other (stripe locks) in
+/// one process, and cross-process writers merge through union-on-save.
 class PersistentCache {
 public:
   explicit PersistentCache(std::string Dir,
                            PersistentCacheOptions O = PersistentCacheOptions());
 
-  /// Bulk-inserts the on-disk snapshot into \p Into. Returns false (with
-  /// \p Into untouched) when the file is missing, has a different format
-  /// version, or is truncated/corrupt — never throws or crashes.
+  /// Bulk-inserts the on-disk snapshot into \p Into — every shard file
+  /// present (whatever its index), skipping invalid ones. Returns true
+  /// when at least one shard loaded; with no loadable shard, \p Into is
+  /// untouched. Never throws or crashes.
   bool load(dse::DseCache &Into,
             PersistentCacheLoadStats *Stats = nullptr) const;
 
-  /// Atomically writes a snapshot of \p From (write temp, then rename).
-  /// Returns false on I/O failure (e.g. unwritable directory).
+  /// Merges a snapshot of \p From over each shard's current on-disk
+  /// entries and atomically rewrites the shard files (write temp, then
+  /// rename, under the shard's stripe lock). Returns false when any
+  /// shard's write failed (e.g. unwritable directory).
   bool save(const dse::DseCache &From) const;
 
-  /// The cache file this handle reads and writes.
-  const std::string &path() const { return File; }
+  unsigned shardCount() const { return Opts.Shards; }
+  /// The shard file entry \p Key would be stored in.
+  std::string shardPathFor(uint64_t Key) const;
+  /// The shard file of shard \p Index.
+  std::string shardPath(unsigned Index) const;
   const std::string &directory() const { return Dir; }
 
 private:
+  unsigned shardOf(uint64_t Key) const { return Key % Opts.Shards; }
+
   std::string Dir;
-  std::string File;
   PersistentCacheOptions Opts;
+  /// Stripe locks, one per shard, so in-process concurrent saves contend
+  /// per shard rather than on the whole directory.
+  std::unique_ptr<std::mutex[]> ShardLocks;
 };
 
 } // namespace dahlia::service

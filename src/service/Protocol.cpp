@@ -67,6 +67,7 @@ std::optional<Request> Request::fromJson(const std::string &Line,
   R.Strategy = J->at("strategy").asString();
   R.Shard = J->at("shard").asString();
   R.ExactTopRung = J->at("exact").asBool();
+  R.Stream = J->at("stream").asBool();
   int64_t Limit = J->at("limit").asInt();
   int64_t Threads = J->at("threads").asInt();
   if (Limit < 0 || Threads < 0 || Threads > 4096) {
@@ -153,6 +154,8 @@ Json Request::toJson() const {
     if (ExactTopRung)
       J["exact"] = true;
   }
+  if (Stream)
+    J["stream"] = true;
   return J;
 }
 
@@ -185,6 +188,76 @@ Json Response::toJson() const {
   if (Kind == Op::DseSweep && Sweep.isObject())
     J["sweep"] = Sweep;
   return J;
+}
+
+//===----------------------------------------------------------------------===//
+// ResponseStream
+//===----------------------------------------------------------------------===//
+
+Json dahlia::service::jsonWithoutKey(const Json &J, const std::string &Key) {
+  Json::Object O = J.asObject();
+  O.erase(Key);
+  return Json(std::move(O));
+}
+
+bool dahlia::service::ResponseStream::wantsStream(const Request &R,
+                                                  const Response &Resp) {
+  return R.Stream && Resp.Ok &&
+         (R.Kind == Op::DseSweep || R.Kind == Op::Simulate);
+}
+
+ResponseStream::ResponseStream(Response Resp) : R(std::move(Resp)) {
+  // The bulky array moves out of the retained response: a stream queued
+  // behind a slow connection holds its payload once, not twice, and the
+  // terminal line serializes cheaply.
+  if (R.Kind == Op::DseSweep && R.Ok) {
+    ChunkKey = "front_point";
+    Chunks = R.Sweep.at("front_points").asArray();
+    R.Sweep = jsonWithoutKey(R.Sweep, "front_points");
+  } else if (R.Kind == Op::Simulate && R.Ok && R.Sim) {
+    ChunkKey = "nest";
+    Chunks = service::toJson(*R.Sim).at("nests").asArray();
+    R.Sim->Nests.clear();
+  }
+  // Anything else renders as the plain response: an empty chunk list with
+  // an empty ChunkKey degenerates to header-less single-line output.
+  if (ChunkKey.empty())
+    Idx = Chunks.size() + 1; // Jump straight to the terminal line.
+}
+
+std::optional<std::string> ResponseStream::next() {
+  if (done())
+    return std::nullopt;
+
+  if (Idx == 0) { // Header.
+    ++Idx;
+    Json H = Json::object();
+    H["id"] = R.Id;
+    H["op"] = opName(R.Kind);
+    H["stream"] = true;
+    return H.dump();
+  }
+
+  if (Idx <= Chunks.size()) { // One payload record per line.
+    Json C = Json::object();
+    C["id"] = R.Id;
+    C[ChunkKey] = Chunks[Idx - 1];
+    ++Idx;
+    return C.dump();
+  }
+
+  // Terminal summary: the batch response minus the streamed array
+  // (already detached in the constructor; the sim object still carries
+  // an empty "nests" key to drop). The plain (non-streaming) degenerate
+  // case lands here directly and emits the unmodified response.
+  ++Idx;
+  Json J = R.toJson();
+  if (ChunkKey.empty())
+    return J.dump();
+  if (J.contains("sim"))
+    J["sim"] = jsonWithoutKey(J.at("sim"), "nests");
+  J["stream_end"] = true;
+  return J.dump();
 }
 
 //===----------------------------------------------------------------------===//

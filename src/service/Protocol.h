@@ -36,6 +36,17 @@
 /// incremental re-checking for DSE-style sweeps. Such responses report
 /// `"parse_reused":true`.
 ///
+/// Streaming: a `dse-sweep` or `simulate` request carrying `"stream":true`
+/// answers as a *sequence* of lines instead of one — a header
+/// `{"id":N,"op":...,"stream":true}`, one chunk line per payload record
+/// (`{"id":N,"front_point":{...}}` per Pareto-front member, or
+/// `{"id":N,"nest":{...}}` per simulated nest), and a terminal summary
+/// that is the ordinary response with the bulky array removed and
+/// `"stream_end":true` added. Reassembling the chunks into the summary
+/// reproduces the batch response byte-for-byte (see ResponseStream and
+/// ServiceClient). Failed requests and non-streamable ops answer with the
+/// plain single-line response even when streaming was requested.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAHLIA_SERVICE_PROTOCOL_H
@@ -91,6 +102,9 @@ struct Request {
   /// dse-sweep "exact": promote the front to cycle-level simulated
   /// estimates (DseOptions::ExactTopRung).
   bool ExactTopRung = false;
+  /// "stream": answer dse-sweep/simulate as chunked lines (header,
+  /// incremental records, terminal summary) instead of one response line.
+  bool Stream = false;
 
   /// Parses one protocol line. Returns std::nullopt and sets \p Err on
   /// malformed input (not valid JSON, unknown op, missing fields).
@@ -117,6 +131,44 @@ struct Response {
 };
 
 //===----------------------------------------------------------------------===//
+// ResponseStream: chunked rendering of one streamed response
+//===----------------------------------------------------------------------===//
+
+/// Renders one response in the streamed wire form, one line at a time, so
+/// a server can interleave a giant sweep answer with other connections'
+/// traffic under a bounded write buffer: the producer only serializes the
+/// next line when the buffer has room (pull model — this is the service's
+/// back-pressure mechanism).
+///
+/// Line sequence: header, then one chunk per front point (dse-sweep) or
+/// per nest (simulate), then the terminal summary. The terminal summary is
+/// Response::toJson() with the streamed array removed and
+/// `"stream_end":true` added; re-inserting the collected chunks yields the
+/// batch response exactly (ServiceClient::callBatch does this).
+class ResponseStream {
+public:
+  /// \p R must be a successful dse-sweep or simulate response (see
+  /// wantsStream); anything else renders as a single plain line.
+  explicit ResponseStream(Response R);
+
+  /// The next line (without trailing newline), or std::nullopt when the
+  /// stream is exhausted.
+  std::optional<std::string> next();
+
+  bool done() const { return Idx > Chunks.size() + 1; }
+
+  /// True when \p R asked for streaming and \p Ok response of its op kind
+  /// would stream (dse-sweep / simulate).
+  static bool wantsStream(const Request &R, const Response &Resp);
+
+private:
+  Response R;
+  std::vector<Json> Chunks; ///< Payload records (already split out of R).
+  std::string ChunkKey;     ///< "front_point" or "nest".
+  size_t Idx = 0;           ///< 0 header, 1..N chunks, N+1 terminal.
+};
+
+//===----------------------------------------------------------------------===//
 // Shared serializers (service responses and `dahliac --json`)
 //===----------------------------------------------------------------------===//
 
@@ -138,6 +190,11 @@ Json toJson(const cyclesim::SimResult &S);
 
 /// Per-stage timings as {"parse":ms,...,"total":ms}.
 Json timingsToJson(const driver::CompileResult &R);
+
+/// Copy of \p J (an object) with \p Key removed. Shared by the stream
+/// producer (ResponseStream) and consumer (ServiceClient's reassembly),
+/// which must stay exact inverses.
+Json jsonWithoutKey(const Json &J, const std::string &Key);
 
 } // namespace dahlia::service
 

@@ -14,13 +14,54 @@
 using namespace dahlia;
 using namespace dahlia::service;
 
+namespace {
+
+/// Digs a human-readable message out of a JSON payload that is not a
+/// well-formed protocol response: the server's own words beat a generic
+/// "unparseable" (the error-shape contract of docs/protocol.md).
+std::string serverMessageIn(const Json &J) {
+  if (!J.at("errors").asArray().empty()) {
+    const Json &First = J.at("errors").asArray().front();
+    if (First.isString())
+      return First.asString();
+    if (!First.at("message").asString().empty())
+      return First.at("message").asString();
+  }
+  if (!J.at("message").asString().empty())
+    return J.at("message").asString();
+  if (J.at("error").isString() && !J.at("error").asString().empty())
+    return J.at("error").asString();
+  if (!J.at("error").at("message").asString().empty())
+    return J.at("error").at("message").asString();
+  return {};
+}
+
+} // namespace
+
 ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
   ClientResponse C;
   std::optional<Json> J = Json::parse(Line);
   if (!J) {
     C.R.Ok = false;
-    C.R.Errors.push_back(
-        Error(ErrorKind::Internal, "unparseable response line"));
+    std::string Snippet = Line.substr(0, 80);
+    C.R.Errors.push_back(Error(
+        ErrorKind::Internal, "malformed response line (not JSON): \"" +
+                                 Snippet + (Line.size() > 80 ? "…" : "") +
+                                 "\""));
+    return C;
+  }
+  if (!J->isObject() || !J->contains("id") || !J->contains("op") ||
+      !J->contains("ok")) {
+    // Valid JSON, but not a protocol response. Surface whatever message
+    // the payload carries instead of swallowing it.
+    C.Raw = *J;
+    C.R.Ok = false;
+    std::string Msg = serverMessageIn(*J);
+    C.R.Id = J->at("id").asInt();
+    C.R.Errors.push_back(Error(
+        ErrorKind::Internal,
+        Msg.empty() ? "malformed response: JSON lacks id/op/ok fields"
+                    : "server error: " + Msg));
     return C;
   }
   C.Raw = *J;
@@ -98,14 +139,117 @@ ServiceClient::ServiceClient(std::istream &InS, std::ostream &OutS)
     : In(&InS), Out(&OutS) {}
 ServiceClient::~ServiceClient() = default;
 
-std::vector<std::string>
+namespace {
+
+/// Accumulates the wire lines of one logical response, reassembling
+/// streamed sequences (header, chunks, terminal) into the
+/// batch-equivalent JSON. Feed lines in order; a completed reply pops out
+/// of take() after feed() returns true.
+class StreamAssembler {
+public:
+  /// Returns true when \p Line completed a logical reply.
+  bool feed(const std::string &Line) {
+    std::optional<Json> J = Json::parse(Line);
+    if (!J || !J->isObject()) {
+      // Not JSON at all: pass through; decodeResponse reports it.
+      Done = {Line, false, 0};
+      return true;
+    }
+
+    if (!InStream) {
+      if (J->at("stream").asBool() && !J->contains("stream_end")) {
+        // Stream header: start collecting.
+        InStream = true;
+        Chunks.clear();
+        return false;
+      }
+      Done = {Line, false, 0};
+      return true;
+    }
+
+    // Inside a stream: chunk or terminal.
+    if (J->contains("stream_end")) {
+      Done = {reassemble(*J), true, Chunks.size()};
+      InStream = false;
+      return true;
+    }
+    if (J->contains("front_point"))
+      Chunks.push_back(J->at("front_point"));
+    else if (J->contains("nest"))
+      Chunks.push_back(J->at("nest"));
+    // Unknown chunk kinds are skipped (forward compatibility).
+    return false;
+  }
+
+  struct Reply {
+    std::string Line;
+    bool Streamed = false;
+    size_t Chunks = 0;
+  };
+  Reply take() { return std::move(Done); }
+
+private:
+  /// Rebuilds the batch response from the terminal summary + chunks. The
+  /// inverse of ResponseStream: front points go back into the sweep when
+  /// the batch form carries them (sharded sweeps), nests always go back
+  /// into the sim object.
+  std::string reassemble(const Json &Terminal) {
+    Json R = jsonWithoutKey(Terminal, "stream_end");
+    const std::string &OpStr = R.at("op").asString();
+    if (OpStr == "dse-sweep" && R.at("sweep").isObject()) {
+      if (R.at("sweep").at("shard_count").asInt() > 1) {
+        Json Sweep = R.at("sweep");
+        Json Points = Json::array();
+        for (const Json &C : Chunks)
+          Points.push_back(C);
+        Sweep["front_points"] = std::move(Points);
+        R["sweep"] = std::move(Sweep);
+      }
+    } else if (OpStr == "simulate" && R.at("sim").isObject()) {
+      Json Sim = R.at("sim");
+      Json Nests = Json::array();
+      for (const Json &C : Chunks)
+        Nests.push_back(C);
+      Sim["nests"] = std::move(Nests);
+      R["sim"] = std::move(Sim);
+    }
+    return R.dump();
+  }
+
+  bool InStream = false;
+  std::vector<Json> Chunks;
+  Reply Done;
+};
+
+} // namespace
+
+std::vector<ServiceClient::RawReply>
 ServiceClient::exchange(const std::vector<std::string> &Lines) {
-  std::vector<std::string> Result;
+  std::vector<RawReply> Result;
+  StreamAssembler Asm;
+  auto FeedLine = [&](const std::string &Line) {
+    if (Asm.feed(Line)) {
+      StreamAssembler::Reply R = Asm.take();
+      Result.push_back(RawReply{std::move(R.Line), R.Streamed, R.Chunks});
+    }
+  };
+
   if (Local) {
-    for (const Response &R : Local->processBatch(Lines))
-      Result.push_back(R.toJson().dump());
+    // The in-process transport renders streamed responses through the
+    // same chunked wire form the TCP server emits, so tests exercise the
+    // full round trip.
+    for (CompileService::BatchEntry &E : Local->processBatchEx(Lines)) {
+      if (E.Req && ResponseStream::wantsStream(*E.Req, E.Resp)) {
+        ResponseStream S(std::move(E.Resp));
+        while (std::optional<std::string> Line = S.next())
+          FeedLine(*Line);
+      } else {
+        FeedLine(E.Resp.toJson().dump());
+      }
+    }
     return Result;
   }
+
   for (const std::string &L : Lines)
     *Out << L << '\n';
   *Out << '\n'; // Blank line: flush the epoch.
@@ -115,7 +259,7 @@ ServiceClient::exchange(const std::vector<std::string> &Lines) {
     if (!Line.empty() && Line.back() == '\r')
       Line.pop_back();
     if (!Line.empty())
-      Result.push_back(Line);
+      FeedLine(Line);
   }
   return Result;
 }
@@ -143,8 +287,10 @@ std::vector<ClientResponse> ServiceClient::callBatch(std::vector<Request> Rs) {
 
   std::vector<ClientResponse> Decoded(Rs.size());
   size_t Cursor = 0;
-  for (const std::string &Line : exchange(Lines)) {
-    ClientResponse C = decodeResponse(Line);
+  for (const RawReply &Reply : exchange(Lines)) {
+    ClientResponse C = decodeResponse(Reply.Line);
+    C.Streamed = Reply.Streamed;
+    C.StreamChunks = Reply.Chunks;
     auto It = IdToIndex.find(C.R.Id);
     size_t Slot = It != IdToIndex.end() ? It->second : Cursor;
     if (Slot < Decoded.size())

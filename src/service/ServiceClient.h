@@ -17,6 +17,17 @@
 /// The client assigns request ids automatically and matches responses by
 /// id, so callers think in Requests and Responses, not lines.
 ///
+/// Streamed responses (requests sent with `"stream":true`) are
+/// reassembled transparently: the client collects the header, the
+/// front_point/nest chunk lines, and the terminal summary, and rebuilds
+/// the batch-equivalent response (byte-identical `sweep`/`sim` objects),
+/// flagging it with ClientResponse::Streamed.
+///
+/// Malformed response lines never vanish into a generic parse failure:
+/// when the server (or a proxy) answers with JSON that is not a protocol
+/// response, the client surfaces the payload's own `message`/`errors`
+/// text so the operator sees the server's words, not "unparseable".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAHLIA_SERVICE_SERVICECLIENT_H
@@ -31,10 +42,13 @@
 namespace dahlia::service {
 
 /// Decoded response line. \c Raw keeps the full JSON for fields the
-/// struct does not model.
+/// struct does not model; for a streamed response it is the *reassembled*
+/// batch-equivalent object.
 struct ClientResponse {
   Response R;
   Json Raw;
+  bool Streamed = false;   ///< Arrived as header + chunks + terminal.
+  size_t StreamChunks = 0; ///< Chunk lines collected while reassembling.
 };
 
 /// Decodes one response line into the typed struct (fields the protocol
@@ -70,7 +84,14 @@ public:
                           unsigned Threads = 0);
 
 private:
-  std::vector<std::string> exchange(const std::vector<std::string> &Lines);
+  /// One logical reply: a plain response line, or a reassembled stream.
+  struct RawReply {
+    std::string Line; ///< Batch-equivalent JSON (reassembled if streamed).
+    bool Streamed = false;
+    size_t Chunks = 0;
+  };
+
+  std::vector<RawReply> exchange(const std::vector<std::string> &Lines);
 
   CompileService *Local = nullptr;
   std::istream *In = nullptr;

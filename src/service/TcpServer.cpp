@@ -1,0 +1,420 @@
+//===- TcpServer.cpp - Concurrent multi-client compile server ---*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/TcpServer.h"
+
+#include "support/Socket.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAHLIA_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace dahlia;
+using namespace dahlia::service;
+
+TcpServer::TcpServer(CompileService &S, TcpServerOptions O)
+    : Svc(S), Opts(O) {
+  Opts.MaxWriteBuffer = std::max<size_t>(Opts.MaxWriteBuffer, 1);
+}
+
+TcpServer::~TcpServer() {
+  for (auto &[Serial, C] : Conns)
+    closeFd(C.Fd);
+  Conns.clear();
+  closeFd(ListenFd);
+}
+
+TcpServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return Stats;
+}
+
+bool TcpServer::start(std::string *Err) {
+  if (!haveSockets() || !Loop.valid()) {
+    if (Err)
+      *Err = "sockets are unavailable on this platform";
+    return false;
+  }
+  ListenFd = listenLoopback(Opts.Port);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = "bind/listen on 127.0.0.1:" + std::to_string(Opts.Port) +
+             " failed: " + std::strerror(errno);
+    return false;
+  }
+  setNonBlocking(ListenFd);
+  BoundPort = boundPort(ListenFd);
+  Loop.add(ListenFd, /*WantRead=*/true, /*WantWrite=*/false,
+           [this](int, EventLoop::Events) { acceptReady(); });
+  return true;
+}
+
+void TcpServer::run() {
+  if (ListenFd < 0)
+    return;
+  while (!Loop.stopRequested()) {
+    if (Loop.poll(-1) < 0)
+      break;
+    // Epoch aggregation: with several clients connected, their requests
+    // are usually in flight *concurrently* — but the first arrival wakes
+    // us before the rest hit the socket. A few zero-timeout polls with
+    // yields in between let the peer threads complete their sends, so
+    // one epoch coalesces the whole wavefront instead of draining one
+    // request per wake-up. Bounded (it never sleeps), and skipped
+    // entirely for a single connection, whose latency it could only hurt.
+    if (Conns.size() > 1) {
+      size_t MaxBatch = std::max<size_t>(Svc.options().MaxBatch, 1);
+      for (unsigned Idle = 0; Idle < 2 && Pending.size() < MaxBatch &&
+                              !Loop.stopRequested();) {
+        if (Loop.poll(0) > 0) {
+          Idle = 0;
+          continue;
+        }
+        std::this_thread::yield();
+        if (Loop.poll(0) > 0)
+          Idle = 0;
+        else
+          ++Idle;
+      }
+    }
+    // Everything read this round — from however many connections were
+    // ready — forms the next epoch(s): this is the cross-client
+    // coalescing that raises warm throughput.
+    dispatchEpochs();
+  }
+  // Orderly teardown: no further reads; drop connections. One cache
+  // save covers them all — per-close saves would repeat identical
+  // full-directory writes N times.
+  InTeardown = true;
+  std::vector<uint64_t> Serials;
+  for (const auto &[Serial, C] : Conns)
+    Serials.push_back(Serial);
+  for (uint64_t Serial : Serials)
+    closeConnection(Serial);
+  InTeardown = false;
+  if (Opts.SaveCacheOnDisconnect && !Serials.empty())
+    Svc.savePersistentCache();
+}
+
+void TcpServer::stop() { Loop.stop(); }
+
+//===----------------------------------------------------------------------===//
+// Accept / close
+//===----------------------------------------------------------------------===//
+
+void TcpServer::acceptReady() {
+#ifdef DAHLIA_HAVE_SOCKETS
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN (drained) or transient error: poll again.
+    if (Conns.size() >= Opts.MaxConnections) {
+      ::close(Fd);
+      continue;
+    }
+    setNonBlocking(Fd);
+    if (Opts.SendBufferBytes > 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SendBufferBytes,
+                   sizeof(Opts.SendBufferBytes));
+    uint64_t Serial = NextSerial++;
+    Connection &C = Conns[Serial];
+    C.Fd = Fd;
+    FdToSerial[Fd] = Serial;
+    Loop.add(Fd, /*WantRead=*/true, /*WantWrite=*/false,
+             [this, Serial](int, EventLoop::Events E) {
+               connectionReady(Serial, E);
+             });
+    std::lock_guard<std::mutex> Lock(StatsM);
+    ++Stats.Accepted;
+    Stats.MaxConcurrentConnections =
+        std::max(Stats.MaxConcurrentConnections, Conns.size());
+  }
+#endif
+}
+
+void TcpServer::closeConnection(uint64_t Serial) {
+  auto It = Conns.find(Serial);
+  if (It == Conns.end())
+    return;
+  int Fd = It->second.Fd;
+  Loop.remove(Fd);
+  FdToSerial.erase(Fd);
+  closeFd(Fd);
+  Conns.erase(It);
+  // Lines already framed for this connection can no longer be answered;
+  // drop them rather than computing responses nobody will read.
+  Pending.erase(std::remove_if(
+                    Pending.begin(), Pending.end(),
+                    [Serial](const auto &P) { return P.first == Serial; }),
+                Pending.end());
+  {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    ++Stats.Closed;
+  }
+  if (Opts.SaveCacheOnDisconnect && !InTeardown)
+    Svc.savePersistentCache(); // Durable across abrupt server exits.
+}
+
+//===----------------------------------------------------------------------===//
+// Reading and framing
+//===----------------------------------------------------------------------===//
+
+void TcpServer::connectionReady(uint64_t Serial, EventLoop::Events E) {
+  auto It = Conns.find(Serial);
+  if (It == Conns.end())
+    return;
+  if (E.Error) {
+    closeConnection(Serial);
+    return;
+  }
+  if (E.Readable)
+    readFrom(Serial, It->second);
+  // readFrom may have closed (and erased) the connection; re-resolve.
+  It = Conns.find(Serial);
+  if (It != Conns.end())
+    pump(Serial, It->second);
+}
+
+void TcpServer::readFrom(uint64_t Serial, Connection &C) {
+#ifdef DAHLIA_HAVE_SOCKETS
+  char Buf[1 << 16];
+  while (true) {
+    ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.InBuf.append(Buf, static_cast<size_t>(N));
+      std::lock_guard<std::mutex> Lock(StatsM);
+      Stats.BytesRead += static_cast<uint64_t>(N);
+      // One drink per round: fairness to the other ready connections
+      // (level-triggered poll re-reports leftover data next round).
+      break;
+    }
+    if (N == 0) {
+      C.ReadClosed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    closeConnection(Serial);
+    return;
+  }
+
+  // Frame complete lines.
+  size_t Start = 0;
+  size_t FramedLines = 0;
+  while (true) {
+    size_t Nl = C.InBuf.find('\n', Start);
+    if (Nl == std::string::npos)
+      break;
+    std::string Line = C.InBuf.substr(Start, Nl - Start);
+    Start = Nl + 1;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    // Blank lines are the protocol's explicit epoch flush; the event loop
+    // already flushes every round, so they are a framing no-op here.
+    if (Line.empty())
+      continue;
+    Pending.emplace_back(Serial, std::move(Line));
+    ++C.PendingLines;
+    ++FramedLines;
+  }
+  C.InBuf.erase(0, Start);
+
+  if (FramedLines) {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    Stats.RequestLines += FramedLines;
+  }
+
+  // A single line larger than the cap can never complete: answer with a
+  // protocol error and close once it drains.
+  if (C.InBuf.size() > Opts.MaxLineBytes) {
+    Response Bad;
+    Bad.Ok = false;
+    Bad.Errors.push_back(Error(
+        ErrorKind::Internal,
+        "request line exceeds " + std::to_string(Opts.MaxLineBytes) +
+            " bytes"));
+    C.OutQ.push_back(OutItem{Bad.toJson().dump() + "\n", nullptr});
+    C.InBuf.clear();
+    C.ReadClosed = true;
+    C.CloseAfterFlush = true;
+  }
+#else
+  (void)Serial;
+  (void)C;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch dispatch
+//===----------------------------------------------------------------------===//
+
+void TcpServer::dispatchEpochs() {
+  while (!Pending.empty()) {
+    size_t MaxBatch = std::max<size_t>(Svc.options().MaxBatch, 1);
+    size_t Take = std::min(Pending.size(), MaxBatch);
+
+    std::vector<uint64_t> Owners;
+    std::vector<std::string> Lines;
+    Owners.reserve(Take);
+    Lines.reserve(Take);
+    for (size_t I = 0; I != Take; ++I) {
+      Owners.push_back(Pending[I].first);
+      Lines.push_back(std::move(Pending[I].second));
+      auto It = Conns.find(Pending[I].first);
+      if (It != Conns.end() && It->second.PendingLines > 0)
+        --It->second.PendingLines;
+    }
+    Pending.erase(Pending.begin(), Pending.begin() + Take);
+
+    bool Coalesced =
+        std::adjacent_find(Owners.begin(), Owners.end(),
+                           std::not_equal_to<>()) != Owners.end();
+
+    std::vector<CompileService::BatchEntry> Entries =
+        Svc.processBatchEx(Lines);
+
+    size_t Streamed = 0;
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      auto It = Conns.find(Owners[I]);
+      if (It == Conns.end())
+        continue; // Client vanished mid-epoch.
+      CompileService::BatchEntry &E = Entries[I];
+      if (E.Req && ResponseStream::wantsStream(*E.Req, E.Resp)) {
+        It->second.OutQ.push_back(OutItem{
+            std::string(),
+            std::make_unique<ResponseStream>(std::move(E.Resp))});
+        ++Streamed;
+      } else {
+        It->second.OutQ.push_back(
+            OutItem{E.Resp.toJson().dump() + "\n", nullptr});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsM);
+      ++Stats.Epochs;
+      Stats.CoalescedEpochs += Coalesced ? 1 : 0;
+      Stats.StreamedResponses += Streamed;
+    }
+
+    // Pump every connection that just got output (dead ones were skipped).
+    for (uint64_t Serial : Owners) {
+      auto It = Conns.find(Serial);
+      if (It != Conns.end())
+        pump(Serial, It->second);
+    }
+  }
+
+  // EOF'd connections with nothing queued and nothing pending can close
+  // now (those with queued output close from pump once drained).
+  std::vector<uint64_t> Drained;
+  for (auto &[Serial, C] : Conns)
+    if (C.ReadClosed && C.drained())
+      Drained.push_back(Serial);
+  for (uint64_t Serial : Drained)
+    closeConnection(Serial);
+}
+
+//===----------------------------------------------------------------------===//
+// Writing: the bounded pump
+//===----------------------------------------------------------------------===//
+
+void TcpServer::pump(uint64_t Serial, Connection &C) {
+#ifdef DAHLIA_HAVE_SOCKETS
+  while (true) {
+    // Refill: serialize queued output only while under the cap — a lazy
+    // ResponseStream is pulled one line at a time, so the buffer never
+    // holds more than MaxWriteBuffer plus one line.
+    while (C.WriteBuf.size() - C.WriteOff < Opts.MaxWriteBuffer &&
+           !C.OutQ.empty()) {
+      OutItem &Item = C.OutQ.front();
+      if (!Item.Stream) {
+        C.WriteBuf += Item.Text;
+        C.OutQ.pop_front();
+        continue;
+      }
+      std::optional<std::string> Line = Item.Stream->next();
+      if (!Line) {
+        C.OutQ.pop_front();
+        continue;
+      }
+      C.WriteBuf += *Line;
+      C.WriteBuf += '\n';
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StatsM);
+      Stats.PeakConnectionBufferedBytes = std::max(
+          Stats.PeakConnectionBufferedBytes, C.WriteBuf.size() - C.WriteOff);
+    }
+
+    // Drain what the socket will take right now.
+    bool WouldBlock = false;
+    while (C.WriteOff < C.WriteBuf.size()) {
+      ssize_t N = ::write(C.Fd, C.WriteBuf.data() + C.WriteOff,
+                          C.WriteBuf.size() - C.WriteOff);
+      if (N > 0) {
+        C.WriteOff += static_cast<size_t>(N);
+        std::lock_guard<std::mutex> Lock(StatsM);
+        Stats.BytesWritten += static_cast<uint64_t>(N);
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        WouldBlock = true;
+        break;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      closeConnection(Serial);
+      return;
+    }
+    if (C.WriteOff == C.WriteBuf.size()) {
+      C.WriteBuf.clear();
+      C.WriteOff = 0;
+    } else if (C.WriteOff > (1u << 16)) {
+      C.WriteBuf.erase(0, C.WriteOff); // Compact occasionally.
+      C.WriteOff = 0;
+    }
+
+    if (WouldBlock || C.OutQ.empty())
+      break;
+    // Otherwise the socket still accepts data and more output is queued:
+    // refill and keep going.
+  }
+
+  // Close only once genuinely drained: an EOF'd connection may still
+  // have framed lines awaiting dispatch (the aggregation loop can see
+  // the FIN before the epoch runs) whose responses it is owed.
+  if (C.drained() && (C.ReadClosed || C.CloseAfterFlush)) {
+    closeConnection(Serial);
+    return;
+  }
+  updateInterest(Serial, C);
+#else
+  (void)Serial;
+  (void)C;
+#endif
+}
+
+void TcpServer::updateInterest(uint64_t, Connection &C) {
+  bool OutputPending =
+      !C.OutQ.empty() || C.WriteBuf.size() - C.WriteOff > 0;
+  // Read-side back-pressure: while this connection's output is at the
+  // cap, stop reading from it — its own flood cannot grow server memory,
+  // and everyone else keeps being served.
+  bool Backpressured =
+      C.WriteBuf.size() - C.WriteOff >= Opts.MaxWriteBuffer;
+  Loop.update(C.Fd, /*WantRead=*/!C.ReadClosed && !Backpressured,
+              /*WantWrite=*/OutputPending);
+}

@@ -1,0 +1,143 @@
+//===- EventLoop.cpp - poll(2)-based single-threaded reactor ----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLoop.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAHLIA_HAVE_POLL 1
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+#include <vector>
+
+using namespace dahlia;
+
+EventLoop::EventLoop() {
+#ifdef DAHLIA_HAVE_POLL
+  int Pipe[2];
+  if (::pipe(Pipe) == 0) {
+    // Non-blocking on both ends: stop() must never block, and a burst of
+    // stop() calls only needs one wake byte to survive in the pipe.
+    ::fcntl(Pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(Pipe[1], F_SETFL, O_NONBLOCK);
+    WakeRead = Pipe[0];
+    WakeWrite = Pipe[1];
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+#ifdef DAHLIA_HAVE_POLL
+  if (WakeRead >= 0)
+    ::close(WakeRead);
+  if (WakeWrite >= 0)
+    ::close(WakeWrite);
+#endif
+}
+
+void EventLoop::add(int Fd, bool WantRead, bool WantWrite, Handler H) {
+  Fds[Fd] = Entry{WantRead, WantWrite, NextGen++, std::move(H)};
+}
+
+void EventLoop::update(int Fd, bool WantRead, bool WantWrite) {
+  auto It = Fds.find(Fd);
+  if (It == Fds.end())
+    return;
+  It->second.WantRead = WantRead;
+  It->second.WantWrite = WantWrite;
+}
+
+void EventLoop::remove(int Fd) { Fds.erase(Fd); }
+
+int EventLoop::poll(int TimeoutMs) {
+#ifndef DAHLIA_HAVE_POLL
+  (void)TimeoutMs;
+  return -1;
+#else
+  if (!valid())
+    return -1;
+
+  std::vector<pollfd> Pfds;
+  std::vector<uint64_t> Gens; // Aligned with Pfds[1..].
+  Pfds.reserve(Fds.size() + 1);
+  Gens.reserve(Fds.size());
+  Pfds.push_back(pollfd{WakeRead, POLLIN, 0});
+  for (const auto &[Fd, E] : Fds) {
+    short Mask = 0;
+    if (E.WantRead)
+      Mask |= POLLIN;
+    if (E.WantWrite)
+      Mask |= POLLOUT;
+    // Registered-but-idle fds still ride along: POLLERR/POLLHUP are always
+    // reported by poll regardless of the requested mask.
+    Pfds.push_back(pollfd{Fd, Mask, 0});
+    Gens.push_back(E.Gen);
+  }
+
+  int N;
+  do {
+    N = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0)
+    return -1;
+
+  // Drain wake bytes so the next poll can block again.
+  if (Pfds[0].revents & POLLIN) {
+    char Buf[64];
+    while (::read(WakeRead, Buf, sizeof(Buf)) > 0) {
+    }
+  }
+
+  int Dispatched = 0;
+  for (size_t I = 1; I != Pfds.size(); ++I) {
+    const pollfd &P = Pfds[I];
+    if (P.revents == 0)
+      continue;
+    // The handler of an earlier dispatch may have removed this fd — or a
+    // close+accept pair may have recycled its number for a brand-new
+    // registration. The generation check drops such stale events (a
+    // leftover POLLHUP must not reach the recycled fd's new owner); the
+    // real readiness of the new fd is re-reported next round.
+    auto It = Fds.find(P.fd);
+    if (It == Fds.end() || It->second.Gen != Gens[I - 1])
+      continue;
+    Events E;
+    E.Readable = (P.revents & POLLIN) != 0;
+    E.Writable = (P.revents & POLLOUT) != 0;
+    E.Error = (P.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    // Copy the handler: it may remove (and thus destroy) its own entry.
+    Handler H = It->second.H;
+    H(P.fd, E);
+    ++Dispatched;
+  }
+  return Dispatched;
+#endif
+}
+
+void EventLoop::run() {
+  StopFlag.store(false);
+  if (!valid())
+    return;
+  while (!StopFlag.load()) {
+    if (poll(-1) < 0)
+      break;
+  }
+}
+
+void EventLoop::stop() {
+  StopFlag.store(true);
+#ifdef DAHLIA_HAVE_POLL
+  if (WakeWrite >= 0) {
+    char One = 1;
+    // Best-effort: a full pipe already guarantees a pending wake-up.
+    (void)!::write(WakeWrite, &One, 1);
+  }
+#endif
+}

@@ -1,0 +1,107 @@
+//===- EventLoop.h - poll(2)-based single-threaded reactor ------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal single-threaded readiness loop over poll(2): the front end of
+/// the concurrent compile server (service::TcpServer). File descriptors are
+/// registered with read/write interest and a callback; one thread runs the
+/// loop, and every callback fires on that thread, so handlers need no
+/// locking among themselves.
+///
+/// The loop is edge-agnostic (level-triggered, like poll itself): a handler
+/// that does not drain its descriptor is simply called again on the next
+/// iteration. Handlers may add, update, or remove descriptors — including
+/// their own — during dispatch.
+///
+/// \c stop() is the only thread-safe entry point: it wakes a blocked
+/// \c poll() through a self-pipe so another thread can shut the loop down
+/// promptly (the TCP server's tests drive it this way).
+///
+/// On platforms without POSIX poll/pipe (anything not __unix__/__APPLE__)
+/// the class still compiles but \c valid() is false and \c poll() fails, so
+/// callers can gate their feature (the server reports TCP mode as
+/// unavailable, exactly as before).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_EVENTLOOP_H
+#define DAHLIA_SUPPORT_EVENTLOOP_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace dahlia {
+
+class EventLoop {
+public:
+  /// What a descriptor was ready for. \c Error covers POLLERR/POLLHUP/
+  /// POLLNVAL; a handler seeing it should clean the descriptor up.
+  struct Events {
+    bool Readable = false;
+    bool Writable = false;
+    bool Error = false;
+  };
+
+  using Handler = std::function<void(int Fd, Events E)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// False when the loop could not allocate its wake-up pipe (or the
+  /// platform has no poll); such a loop dispatches nothing.
+  bool valid() const { return WakeRead >= 0; }
+
+  /// Registers \p Fd. Re-adding an fd replaces its interest and handler.
+  void add(int Fd, bool WantRead, bool WantWrite, Handler H);
+
+  /// Adjusts interest for an already-registered fd (no-op when absent).
+  void update(int Fd, bool WantRead, bool WantWrite);
+
+  /// Deregisters \p Fd (the caller still owns and closes it).
+  void remove(int Fd);
+
+  bool watched(int Fd) const { return Fds.count(Fd) != 0; }
+  size_t watchedCount() const { return Fds.size(); }
+
+  /// One poll + dispatch round. Blocks up to \p TimeoutMs (-1 = forever,
+  /// 0 = non-blocking). Returns the number of handlers dispatched, or -1
+  /// on poll failure (EINTR is retried internally).
+  int poll(int TimeoutMs);
+
+  /// Runs until stop(). Returns immediately when the loop is not valid().
+  void run();
+
+  /// Requests run() to return; callable from any thread, wakes a blocked
+  /// poll. Sticky until the next run().
+  void stop();
+
+  bool stopRequested() const { return StopFlag.load(); }
+
+private:
+  struct Entry {
+    bool WantRead = false;
+    bool WantWrite = false;
+    uint64_t Gen = 0; ///< Registration generation; see poll().
+    Handler H;
+  };
+
+  std::map<int, Entry> Fds;
+  uint64_t NextGen = 1;
+  std::atomic<bool> StopFlag{false};
+  int WakeRead = -1;
+  int WakeWrite = -1;
+};
+
+} // namespace dahlia
+
+#endif // DAHLIA_SUPPORT_EVENTLOOP_H

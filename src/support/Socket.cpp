@@ -1,0 +1,132 @@
+//===- Socket.cpp - Loopback TCP helpers and an fd streambuf ----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAHLIA_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace dahlia;
+
+bool dahlia::haveSockets() {
+#ifdef DAHLIA_HAVE_SOCKETS
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef DAHLIA_HAVE_SOCKETS
+
+int dahlia::listenLoopback(int Port, int Backlog) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, Backlog) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int dahlia::boundPort(int Fd) {
+  sockaddr_in Addr{};
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
+    return -1;
+  return ntohs(Addr.sin_port);
+}
+
+int dahlia::connectLoopback(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  // The protocol is line-oriented request/response; Nagle only adds
+  // latency to the blank-line epoch flushes.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool dahlia::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+void dahlia::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+int FdStreamBuf::underflow() {
+  ssize_t N = ::read(Fd, InBuf, sizeof(InBuf));
+  if (N <= 0)
+    return traits_type::eof();
+  setg(InBuf, InBuf, InBuf + N);
+  return traits_type::to_int_type(*gptr());
+}
+
+int FdStreamBuf::overflow(int C) {
+  if (flushOut() != 0)
+    return traits_type::eof();
+  if (C != traits_type::eof()) {
+    *pptr() = traits_type::to_char_type(C);
+    pbump(1);
+  }
+  return traits_type::not_eof(C);
+}
+
+int FdStreamBuf::sync() { return flushOut(); }
+
+int FdStreamBuf::flushOut() {
+  char *P = pbase();
+  while (P != pptr()) {
+    ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
+    if (N <= 0)
+      return -1;
+    P += N;
+  }
+  setp(OutBuf, OutBuf + sizeof(OutBuf));
+  return 0;
+}
+
+#else // !DAHLIA_HAVE_SOCKETS
+
+int dahlia::listenLoopback(int, int) { return -1; }
+int dahlia::boundPort(int) { return -1; }
+int dahlia::connectLoopback(int) { return -1; }
+bool dahlia::setNonBlocking(int) { return false; }
+void dahlia::closeFd(int) {}
+int FdStreamBuf::underflow() { return traits_type::eof(); }
+int FdStreamBuf::overflow(int) { return traits_type::eof(); }
+int FdStreamBuf::sync() { return -1; }
+int FdStreamBuf::flushOut() { return -1; }
+
+#endif // DAHLIA_HAVE_SOCKETS

@@ -1,0 +1,76 @@
+//===- Socket.h - Loopback TCP helpers and an fd streambuf ------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small slice of BSD sockets the compile service needs, shared by the
+/// TCP server (service::TcpServer), the multi-client throughput bench, and
+/// the concurrency tests: create/connect loopback listeners, toggle
+/// non-blocking mode, and wrap a connected fd in a std::streambuf so the
+/// line protocol can ride ordinary iostreams (ServiceClient's stream
+/// transport).
+///
+/// Everything here is loopback-only by design — the compile server binds
+/// 127.0.0.1 and nothing else. On platforms without BSD sockets the
+/// functions compile but fail (return -1), mirroring EventLoop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_SOCKET_H
+#define DAHLIA_SUPPORT_SOCKET_H
+
+#include <streambuf>
+
+namespace dahlia {
+
+/// True when this build has BSD sockets (and EventLoop has poll).
+bool haveSockets();
+
+/// Creates a TCP listener on 127.0.0.1:\p Port (0 = ephemeral) with
+/// SO_REUSEADDR and the given backlog. Returns the listening fd, or -1.
+int listenLoopback(int Port, int Backlog = 64);
+
+/// The locally bound port of \p Fd (what an ephemeral bind resolved to),
+/// or -1.
+int boundPort(int Fd);
+
+/// Connects to 127.0.0.1:\p Port. Blocking; returns the fd or -1.
+int connectLoopback(int Port);
+
+/// Switches \p Fd to non-blocking mode. Returns false on failure.
+bool setNonBlocking(int Fd);
+
+/// Closes \p Fd (no-op for negative fds).
+void closeFd(int Fd);
+
+/// Minimal bidirectional streambuf over a connected socket, enough for the
+/// line protocol (std::getline in, operator<< out). Blocking; pair it with
+/// an std::iostream and hand both sides to ServiceClient. Does not own the
+/// fd.
+class FdStreamBuf final : public std::streambuf {
+public:
+  explicit FdStreamBuf(int Fd) : Fd(Fd) {
+    setg(InBuf, InBuf, InBuf);
+    setp(OutBuf, OutBuf + sizeof(OutBuf));
+  }
+  ~FdStreamBuf() override { sync(); }
+
+protected:
+  int underflow() override;
+  int overflow(int C) override;
+  int sync() override;
+
+private:
+  int flushOut();
+
+  int Fd;
+  char InBuf[1 << 14];
+  char OutBuf[1 << 14];
+};
+
+} // namespace dahlia
+
+#endif // DAHLIA_SUPPORT_SOCKET_H

@@ -3,10 +3,12 @@
 // Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
 // Time-Sensitive Affine Types" (PLDI 2020).
 //
-// The robustness contract of service::PersistentCache: round-trips are
-// lossless, a version mismatch or truncated/corrupt file loads as empty
-// (clean rebuild, no crash), concurrent readers are safe, and the entry
-// cap evicts deterministically.
+// The robustness contract of service::PersistentCache (format v4,
+// sharded): round-trips are lossless, saves union with what concurrent
+// writers already published, a version mismatch or truncated/corrupt
+// shard loads as empty without taking the healthy shards down, legacy
+// single-file caches rebuild cleanly, concurrent readers and in-process
+// concurrent savers are safe, and the entry cap evicts deterministically.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +43,37 @@ protected:
   }
   void TearDown() override { fs::remove_all(Dir); }
 
+  /// Options pinning one shard: the exact single-file semantics (used by
+  /// the truncation/corruption/eviction tests that poke file internals).
+  static PersistentCacheOptions oneShard() {
+    PersistentCacheOptions O;
+    O.Shards = 1;
+    return O;
+  }
+
+  /// Every existing shard file under \p Dir.
+  static std::vector<std::string> shardFiles(const std::string &Dir) {
+    std::vector<std::string> Files;
+    std::error_code EC;
+    for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+         It.increment(EC)) {
+      fs::path Memo = It->path() / "memo.bin";
+      if (It->is_directory() && fs::exists(Memo))
+        Files.push_back(Memo.string());
+    }
+    return Files;
+  }
+
+  /// True when any *.tmp litter exists anywhere under \p Dir.
+  static bool anyTmpFiles(const std::string &Dir) {
+    std::error_code EC;
+    for (fs::recursive_directory_iterator It(Dir, EC), End; !EC && It != End;
+         It.increment(EC))
+      if (It->path().extension() == ".tmp")
+        return true;
+    return false;
+  }
+
   std::string Dir;
 };
 
@@ -61,18 +94,19 @@ hlsim::Estimate estimateFor(uint64_t I) {
 
 /// Fills \p C with \p NumVerdicts verdicts and \p NumEstimates estimates.
 /// (DseCache is neither copyable nor movable — mutexes and atomics.)
-void fillCache(DseCache &C, size_t NumVerdicts, size_t NumEstimates) {
+void fillCache(DseCache &C, size_t NumVerdicts, size_t NumEstimates,
+               uint64_t KeyBase = 0) {
   for (size_t I = 0; I != NumVerdicts; ++I)
-    C.insertVerdict(1000 + I, I % 3 == 0);
+    C.insertVerdict(KeyBase + 1000 + I, I % 3 == 0);
   for (size_t I = 0; I != NumEstimates; ++I)
-    C.insertEstimate(9000 + I, estimateFor(I));
+    C.insertEstimate(KeyBase + 9000 + I, estimateFor(I));
 }
 
 /// Builds a filled cache and saves it through \p P.
 bool saveCache(const PersistentCache &P, size_t NumVerdicts,
-               size_t NumEstimates) {
+               size_t NumEstimates, uint64_t KeyBase = 0) {
   DseCache C;
-  fillCache(C, NumVerdicts, NumEstimates);
+  fillCache(C, NumVerdicts, NumEstimates, KeyBase);
   return P.save(C);
 }
 
@@ -88,15 +122,16 @@ TEST_F(PersistentCacheTest, RoundTripIsLossless) {
   fillCache(Original, 100, 40);
   PersistentCache P(Dir);
   ASSERT_TRUE(P.save(Original));
-  ASSERT_TRUE(fs::exists(P.path()));
-  // The temp file never survives a completed save.
-  EXPECT_FALSE(fs::exists(P.path() + ".tmp"));
+  EXPECT_FALSE(shardFiles(Dir).empty());
+  // Temp files never survive a completed save.
+  EXPECT_FALSE(anyTmpFiles(Dir));
 
   DseCache Loaded;
   PersistentCacheLoadStats Stats;
   ASSERT_TRUE(P.load(Loaded, &Stats));
   EXPECT_EQ(Stats.Verdicts, 100u);
   EXPECT_EQ(Stats.Estimates, 40u);
+  EXPECT_GT(Stats.ShardsLoaded, 0u);
 
   for (size_t I = 0; I != 100; ++I) {
     bool Accepted = false;
@@ -108,6 +143,23 @@ TEST_F(PersistentCacheTest, RoundTripIsLossless) {
     ASSERT_TRUE(Loaded.lookupEstimate(9000 + I, E)) << I;
     EXPECT_TRUE(equalEstimates(E, estimateFor(I))) << I;
   }
+}
+
+TEST_F(PersistentCacheTest, ShardedLayoutSpreadsEntries) {
+  PersistentCache P(Dir); // Default stripe count (8).
+  ASSERT_EQ(P.shardCount(), 8u);
+  ASSERT_TRUE(saveCache(P, 64, 64));
+  // Sequential keys modulo 8 land in every stripe.
+  EXPECT_EQ(shardFiles(Dir).size(), 8u);
+  // An entry's shard path is deterministic and inside the directory.
+  EXPECT_EQ(P.shardPathFor(1000), P.shardPath(1000 % 8));
+
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.ShardsLoaded, 8u);
+  EXPECT_EQ(Stats.Verdicts, 64u);
+  EXPECT_EQ(Stats.Estimates, 64u);
 }
 
 TEST_F(PersistentCacheTest, MissingFileLoadsAsEmpty) {
@@ -124,7 +176,7 @@ TEST_F(PersistentCacheTest, VersionMismatchTriggersCleanRebuild) {
     PersistentCache P(Dir, Old);
     ASSERT_TRUE(saveCache(P, 10, 5));
   }
-  // A reader expecting a newer format ignores the old file...
+  // A reader expecting a newer format ignores the old files...
   PersistentCacheOptions New;
   New.Version = 2;
   PersistentCache P2(Dir, New);
@@ -133,7 +185,8 @@ TEST_F(PersistentCacheTest, VersionMismatchTriggersCleanRebuild) {
   EXPECT_EQ(Into.verdictCount(), 0u);
   EXPECT_EQ(Into.estimateCount(), 0u);
 
-  // ...and its next save rebuilds the file in the new format.
+  // ...and its next save rebuilds them in the new format (union-on-save
+  // cannot resurrect mismatched entries: they fail validation).
   ASSERT_TRUE(saveCache(P2, 3, 2));
   DseCache Fresh;
   PersistentCacheLoadStats Stats;
@@ -142,15 +195,33 @@ TEST_F(PersistentCacheTest, VersionMismatchTriggersCleanRebuild) {
   EXPECT_EQ(Stats.Estimates, 2u);
 }
 
-TEST_F(PersistentCacheTest, TruncatedFileIsIgnoredWithoutCrashing) {
+TEST_F(PersistentCacheTest, LegacyRootFileIsIgnoredAndRemovedOnSave) {
+  // A v3-era cache was a single memo.bin at the directory root.
+  fs::create_directories(Dir);
+  {
+    std::ofstream Out(fs::path(Dir) / "memo.bin", std::ios::binary);
+    Out << "DAHC-v3-era payload that v4 must not read";
+  }
   PersistentCache P(Dir);
+  DseCache Into;
+  EXPECT_FALSE(P.load(Into)); // No shard dirs: nothing to serve.
+  EXPECT_EQ(Into.verdictCount(), 0u);
+
+  ASSERT_TRUE(saveCache(P, 4, 2));
+  EXPECT_FALSE(fs::exists(fs::path(Dir) / "memo.bin"));
+  EXPECT_FALSE(shardFiles(Dir).empty());
+}
+
+TEST_F(PersistentCacheTest, TruncatedFileIsIgnoredWithoutCrashing) {
+  PersistentCache P(Dir, oneShard());
   ASSERT_TRUE(saveCache(P, 50, 20));
-  auto FullSize = fs::file_size(P.path());
+  std::string Path = P.shardPath(0);
+  auto FullSize = fs::file_size(Path);
 
   // Truncate at every interesting boundary plus a sweep of prefixes.
   std::string Full;
   {
-    std::ifstream In(P.path(), std::ios::binary);
+    std::ifstream In(Path, std::ios::binary);
     Full.assign((std::istreambuf_iterator<char>(In)),
                 std::istreambuf_iterator<char>());
   }
@@ -158,7 +229,7 @@ TEST_F(PersistentCacheTest, TruncatedFileIsIgnoredWithoutCrashing) {
   for (size_t Keep :
        {size_t(0), size_t(3), size_t(4), size_t(7), size_t(8), size_t(15),
         size_t(16), Full.size() / 2, Full.size() - 1}) {
-    std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
     Out.write(Full.data(), static_cast<std::streamsize>(Keep));
     Out.close();
     DseCache Into;
@@ -168,11 +239,12 @@ TEST_F(PersistentCacheTest, TruncatedFileIsIgnoredWithoutCrashing) {
 }
 
 TEST_F(PersistentCacheTest, CorruptPayloadIsIgnoredWithoutCrashing) {
-  PersistentCache P(Dir);
+  PersistentCache P(Dir, oneShard());
   ASSERT_TRUE(saveCache(P, 50, 20));
+  std::string Path = P.shardPath(0);
   std::string Full;
   {
-    std::ifstream In(P.path(), std::ios::binary);
+    std::ifstream In(Path, std::ios::binary);
     Full.assign((std::istreambuf_iterator<char>(In)),
                 std::istreambuf_iterator<char>());
   }
@@ -181,7 +253,7 @@ TEST_F(PersistentCacheTest, CorruptPayloadIsIgnoredWithoutCrashing) {
   for (size_t Victim : {Full.size() / 2, size_t(9), Full.size() - 4}) {
     std::string Bad = Full;
     Bad[Victim] = static_cast<char>(Bad[Victim] ^ 0x5a);
-    std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
     Out.write(Bad.data(), static_cast<std::streamsize>(Bad.size()));
     Out.close();
     DseCache Into;
@@ -190,11 +262,81 @@ TEST_F(PersistentCacheTest, CorruptPayloadIsIgnoredWithoutCrashing) {
   }
 
   // Garbage that is not even the right magic.
-  std::ofstream Out(P.path(), std::ios::binary | std::ios::trunc);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   Out << "this is not a cache file at all, but it is long enough to parse";
   Out.close();
   DseCache Into;
   EXPECT_FALSE(P.load(Into));
+}
+
+TEST_F(PersistentCacheTest, CorruptShardLeavesOthersServing) {
+  PersistentCache P(Dir); // 8 stripes.
+  ASSERT_TRUE(saveCache(P, 64, 0));
+
+  // Scribble over the shard holding key 1000; its 8 entries vanish, the
+  // other 56 still serve (a memo cache is correct under any subset).
+  {
+    std::ofstream Out(P.shardPathFor(1000),
+                      std::ios::binary | std::ios::trunc);
+    Out << "scribble";
+  }
+  DseCache Into;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Into, &Stats));
+  EXPECT_EQ(Stats.ShardsLoaded, 7u);
+  EXPECT_EQ(Stats.Verdicts, 56u);
+  bool Accepted = false;
+  EXPECT_FALSE(Into.lookupVerdict(1000, Accepted));
+  EXPECT_TRUE(Into.lookupVerdict(1001, Accepted));
+
+  // The next save heals the scribbled stripe.
+  ASSERT_TRUE(saveCache(P, 64, 0));
+  DseCache Healed;
+  ASSERT_TRUE(P.load(Healed, &Stats));
+  EXPECT_EQ(Stats.ShardsLoaded, 8u);
+  EXPECT_EQ(Stats.Verdicts, 64u);
+}
+
+TEST_F(PersistentCacheTest, ShrinkingShardCountMergesStaleStripes) {
+  // A writer with more stripes published entries into shard-04..15; a
+  // later writer with fewer stripes must fold them into its partition,
+  // not delete them.
+  PersistentCacheOptions Big;
+  Big.Shards = 16;
+  ASSERT_TRUE(saveCache(PersistentCache(Dir, Big), 32, 16));
+
+  PersistentCacheOptions Small;
+  Small.Shards = 4;
+  PersistentCache P(Dir, Small);
+  ASSERT_TRUE(saveCache(P, 8, 4, /*KeyBase=*/100000));
+
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 32u + 8u);
+  EXPECT_EQ(Stats.Estimates, 16u + 4u);
+  bool Accepted = false;
+  EXPECT_TRUE(Loaded.lookupVerdict(1031, Accepted)); // From the 16-stripe run.
+  EXPECT_TRUE(Loaded.lookupVerdict(101007, Accepted));
+  // The stale stripes are gone once their contents migrated.
+  EXPECT_EQ(shardFiles(Dir).size(), 4u);
+}
+
+TEST_F(PersistentCacheTest, UnionOnSaveMergesDisjointWriters) {
+  // Two handles over the same directory, as two processes would hold.
+  PersistentCache A(Dir), B(Dir);
+  ASSERT_TRUE(saveCache(A, 20, 10, /*KeyBase=*/0));
+  ASSERT_TRUE(saveCache(B, 20, 10, /*KeyBase=*/100000));
+
+  // B's save merged with A's published entries instead of clobbering.
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(PersistentCache(Dir).load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 40u);
+  EXPECT_EQ(Stats.Estimates, 20u);
+  bool Accepted = false;
+  EXPECT_TRUE(Loaded.lookupVerdict(1000, Accepted));
+  EXPECT_TRUE(Loaded.lookupVerdict(101000, Accepted));
 }
 
 TEST_F(PersistentCacheTest, ConcurrentReadersAgree) {
@@ -203,7 +345,9 @@ TEST_F(PersistentCacheTest, ConcurrentReadersAgree) {
 
   constexpr unsigned NumReaders = 8;
   std::vector<DseCache> Caches(NumReaders);
-  std::vector<bool> LoadOk(NumReaders, false);
+  // Plain ints, not vector<bool>: adjacent bit-packed writes from
+  // different threads are a (harmless-looking but real) data race.
+  std::vector<int> LoadOk(NumReaders, 0);
   std::vector<std::thread> Readers;
   for (unsigned T = 0; T != NumReaders; ++T)
     Readers.emplace_back([&, T] { LoadOk[T] = P.load(Caches[T]); });
@@ -217,8 +361,33 @@ TEST_F(PersistentCacheTest, ConcurrentReadersAgree) {
   }
 }
 
+TEST_F(PersistentCacheTest, ConcurrentSaversUnionThroughStripeLocks) {
+  // One handle, many threads, disjoint key ranges: the stripe locks
+  // serialize the per-shard read-union-write, so every range survives.
+  PersistentCache P(Dir);
+  constexpr unsigned NumSavers = 4;
+  std::vector<std::thread> Savers;
+  std::vector<int> SaveOk(NumSavers, 0);
+  for (unsigned T = 0; T != NumSavers; ++T)
+    Savers.emplace_back([&, T] {
+      DseCache C;
+      fillCache(C, 50, 25, /*KeyBase=*/T * 100000);
+      SaveOk[T] = P.save(C);
+    });
+  for (std::thread &T : Savers)
+    T.join();
+  for (unsigned T = 0; T != NumSavers; ++T)
+    EXPECT_TRUE(SaveOk[T]) << T;
+
+  DseCache Loaded;
+  PersistentCacheLoadStats Stats;
+  ASSERT_TRUE(P.load(Loaded, &Stats));
+  EXPECT_EQ(Stats.Verdicts, 50u * NumSavers);
+  EXPECT_EQ(Stats.Estimates, 25u * NumSavers);
+}
+
 TEST_F(PersistentCacheTest, EvictionCapKeepsVerdictsOverEstimates) {
-  PersistentCacheOptions O;
+  PersistentCacheOptions O = oneShard();
   O.MaxEntries = 60;
   PersistentCache P(Dir, O);
   ASSERT_TRUE(saveCache(P, 50, 30)); // 80 entries > cap 60.
@@ -237,8 +406,10 @@ TEST_F(PersistentCacheTest, EvictionCapKeepsVerdictsOverEstimates) {
   hlsim::Estimate E;
   EXPECT_FALSE(Loaded.lookupEstimate(9000 + 10, E));
 
-  // A cap smaller than the verdict count truncates verdicts too.
-  PersistentCacheOptions Tiny;
+  // A cap smaller than the verdict count truncates verdicts too. (A
+  // fresh directory: union-on-save would otherwise resurrect survivors.)
+  fs::remove_all(Dir);
+  PersistentCacheOptions Tiny = oneShard();
   Tiny.MaxEntries = 20;
   PersistentCache P2(Dir, Tiny);
   ASSERT_TRUE(saveCache(P2, 50, 30));
@@ -249,7 +420,7 @@ TEST_F(PersistentCacheTest, EvictionCapKeepsVerdictsOverEstimates) {
 }
 
 TEST_F(PersistentCacheTest, SaveOverwritesAtomically) {
-  PersistentCache P(Dir);
+  PersistentCache P(Dir, oneShard());
   ASSERT_TRUE(saveCache(P, 10, 0));
   ASSERT_TRUE(saveCache(P, 25, 5)); // Larger snapshot over smaller.
   DseCache Loaded;
@@ -257,7 +428,7 @@ TEST_F(PersistentCacheTest, SaveOverwritesAtomically) {
   ASSERT_TRUE(P.load(Loaded, &Stats));
   EXPECT_EQ(Stats.Verdicts, 25u);
   EXPECT_EQ(Stats.Estimates, 5u);
-  EXPECT_FALSE(fs::exists(P.path() + ".tmp"));
+  EXPECT_FALSE(anyTmpFiles(Dir));
 }
 
 } // namespace

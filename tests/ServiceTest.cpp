@@ -10,6 +10,12 @@
 // dse-sweep requests match the engine run directly; and a service restart
 // over a cache directory starts warm.
 //
+// The concurrent layer's contract (TcpServer): eight parallel TCP clients
+// mixing check/estimate/dse-sweep each get their own responses intact;
+// streamed dse-sweep/simulate responses reassemble byte-identically to
+// the batch form; and a slow reader's buffered output is bounded by the
+// back-pressure cap without stalling the other clients.
+//
 //===----------------------------------------------------------------------===//
 
 #include "service/ServiceClient.h"
@@ -17,11 +23,16 @@
 #include "driver/CompilerPipeline.h"
 #include "dse/SearchStrategy.h"
 #include "kernels/Kernels.h"
+#include "service/TcpServer.h"
+#include "support/Socket.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <map>
 #include <sstream>
+#include <thread>
 
 using namespace dahlia;
 using namespace dahlia::service;
@@ -441,6 +452,370 @@ TEST(Service, ServeStreamSpeaksTheLineProtocol) {
   EXPECT_TRUE(R2.R.Ok);
   EXPECT_TRUE(R2.R.Cached); // Second epoch hits the first epoch's memo.
   EXPECT_EQ(Svc.stats().Epochs, 2u);
+}
+
+TEST(Client, SurfacesServerMessageOnMalformedResponses) {
+  // Not JSON at all: the snippet rides along instead of a bare
+  // "unparseable".
+  ClientResponse NotJson = decodeResponse("half a {respon");
+  EXPECT_FALSE(NotJson.R.Ok);
+  ASSERT_FALSE(NotJson.R.Errors.empty());
+  EXPECT_NE(NotJson.R.Errors[0].message().find("half a {respon"),
+            std::string::npos);
+
+  // Valid JSON that is not a protocol response but carries the server's
+  // structured errors: the message field surfaces verbatim.
+  ClientResponse WithErrors = decodeResponse(
+      R"({"errors":[{"kind":"internal","message":"cache shard offline"}]})");
+  EXPECT_FALSE(WithErrors.R.Ok);
+  ASSERT_FALSE(WithErrors.R.Errors.empty());
+  EXPECT_NE(WithErrors.R.Errors[0].message().find("cache shard offline"),
+            std::string::npos);
+
+  // Bare message / error fields surface too.
+  for (const char *Line :
+       {R"({"message":"server overloaded"})", R"({"error":"server overloaded"})",
+        R"({"error":{"message":"server overloaded"}})"}) {
+    ClientResponse C = decodeResponse(Line);
+    EXPECT_FALSE(C.R.Ok) << Line;
+    ASSERT_FALSE(C.R.Errors.empty()) << Line;
+    EXPECT_NE(C.R.Errors[0].message().find("server overloaded"),
+              std::string::npos)
+        << Line;
+  }
+
+  // JSON with no message at all still names the defect, not "unparseable".
+  ClientResponse Bare = decodeResponse(R"({"foo":1})");
+  EXPECT_FALSE(Bare.R.Ok);
+  ASSERT_FALSE(Bare.R.Errors.empty());
+  EXPECT_NE(Bare.R.Errors[0].message().find("id/op/ok"), std::string::npos);
+
+  // A well-formed response still decodes as one (no regression).
+  ClientResponse Good =
+      decodeResponse(R"({"id":3,"op":"check","ok":true,"latency_ms":0.1})");
+  EXPECT_TRUE(Good.R.Ok);
+  EXPECT_TRUE(Good.R.Errors.empty());
+}
+
+/// The deterministic slice of a sweep summary: membership, hashes, and
+/// shard bookkeeping (timing and cache-hit fields vary run to run).
+std::string sweepFingerprint(const Json &Sweep) {
+  return Sweep.at("space").dump() + "|" + Sweep.at("strategy").dump() + "|" +
+         Sweep.at("shard_index").dump() + "/" + Sweep.at("shard_count").dump() +
+         "|" + Sweep.at("explored").dump() + "|" + Sweep.at("accepted").dump() +
+         "|" + Sweep.at("front").dump() + "|" +
+         Sweep.at("accepted_front").dump() + "|" +
+         Sweep.at("front_hash").dump() + "|" + Sweep.at("front_points").dump();
+}
+
+TEST(Service, StreamedResponsesReassembleByteIdentical) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  auto SweepReq = [](bool Stream, const std::string &Shard) {
+    Request R;
+    R.Kind = Op::DseSweep;
+    R.Space = "gemm-blocked";
+    R.Limit = 300;
+    R.Threads = 2;
+    R.Shard = Shard;
+    R.Stream = Stream;
+    return R;
+  };
+
+  // Sharded: the batch response carries front_points; the streamed form
+  // ships them as chunks and must reassemble to the identical payload.
+  ClientResponse Batch = C.call(SweepReq(false, "0/2"));
+  ASSERT_TRUE(Batch.R.Ok);
+  EXPECT_FALSE(Batch.Streamed);
+  ClientResponse Streamed = C.call(SweepReq(true, "0/2"));
+  ASSERT_TRUE(Streamed.R.Ok);
+  EXPECT_TRUE(Streamed.Streamed);
+  EXPECT_EQ(Streamed.StreamChunks,
+            Batch.Raw.at("sweep").at("front_points").size());
+  EXPECT_GT(Streamed.StreamChunks, 0u);
+  EXPECT_EQ(sweepFingerprint(Streamed.Raw.at("sweep")),
+            sweepFingerprint(Batch.Raw.at("sweep")));
+
+  // Unsharded: the batch summary has no front_points; the streamed form
+  // still chunks the front but reassembles to the same summary.
+  ClientResponse B2 = C.call(SweepReq(false, ""));
+  ClientResponse S2 = C.call(SweepReq(true, ""));
+  ASSERT_TRUE(B2.R.Ok);
+  ASSERT_TRUE(S2.R.Ok);
+  EXPECT_TRUE(S2.Streamed);
+  EXPECT_GT(S2.StreamChunks, 0u);
+  EXPECT_FALSE(S2.Raw.at("sweep").contains("front_points"));
+  EXPECT_EQ(sweepFingerprint(S2.Raw.at("sweep")),
+            sweepFingerprint(B2.Raw.at("sweep")));
+
+  // Simulate: per-nest chunks reassemble into the batch sim object.
+  Request SimB;
+  SimB.Kind = Op::Simulate;
+  SimB.Source = AcceptedSrc;
+  Request SimS = SimB;
+  SimS.Stream = true;
+  ClientResponse SimBatch = C.call(SimB);
+  ClientResponse SimStream = C.call(SimS);
+  ASSERT_TRUE(SimBatch.R.Ok);
+  ASSERT_TRUE(SimStream.R.Ok);
+  EXPECT_TRUE(SimStream.Streamed);
+  EXPECT_EQ(SimStream.StreamChunks, SimBatch.Raw.at("sim").at("nests").size());
+  EXPECT_EQ(SimStream.Raw.at("sim").dump(), SimBatch.Raw.at("sim").dump());
+  ASSERT_TRUE(SimStream.R.Sim.has_value());
+  EXPECT_EQ(SimStream.R.Sim->Cycles, SimBatch.R.Sim->Cycles);
+
+  // Failed and non-streamable requests answer plain even when streaming
+  // was requested.
+  Request BadReq;
+  BadReq.Kind = Op::DseSweep;
+  BadReq.Space = "no-such-space";
+  BadReq.Stream = true;
+  ClientResponse Bad = C.call(BadReq);
+  EXPECT_FALSE(Bad.R.Ok);
+  EXPECT_FALSE(Bad.Streamed);
+  ASSERT_FALSE(Bad.R.Errors.empty());
+  Request Chk;
+  Chk.Kind = Op::Check;
+  Chk.Source = AcceptedSrc;
+  Chk.Stream = true;
+  ClientResponse Plain = C.call(Chk);
+  EXPECT_TRUE(Plain.R.Ok);
+  EXPECT_FALSE(Plain.Streamed);
+}
+
+//===----------------------------------------------------------------------===//
+// TcpServer: concurrent clients, streaming, back-pressure
+//===----------------------------------------------------------------------===//
+
+TEST(TcpServer, EightParallelClientsKeepResponseIntegrity) {
+  if (!haveSockets())
+    GTEST_SKIP() << "no sockets on this platform";
+  CompileService Svc(testOptions());
+  TcpServer Srv(Svc);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  std::thread Loop([&] { Srv.run(); });
+
+  driver::CompileResult Ref = driver::CompilerPipeline().estimate(AcceptedSrc);
+  ASSERT_TRUE(Ref.ok());
+
+  constexpr int NumClients = 8, Iters = 12;
+  std::vector<std::thread> Clients;
+  std::vector<std::string> Failures(NumClients);
+  for (int T = 0; T != NumClients; ++T)
+    Clients.emplace_back([&, T] {
+      auto Fail = [&](const std::string &Msg) {
+        if (Failures[T].empty())
+          Failures[T] = Msg;
+      };
+      int Fd = connectLoopback(Srv.port());
+      if (Fd < 0)
+        return Fail("connect failed");
+      {
+        FdStreamBuf Buf(Fd);
+        std::istream In(&Buf);
+        std::ostream Out(&Buf);
+        ServiceClient C(In, Out);
+        for (int I = 0; I != Iters && Failures[T].empty(); ++I) {
+          std::vector<Request> Batch;
+          Request Chk;
+          Chk.Kind = Op::Check;
+          Chk.Source = AcceptedSrc;
+          Batch.push_back(Chk);
+          Request Rej;
+          Rej.Kind = Op::Check;
+          Rej.Source = RejectedSrc;
+          Batch.push_back(Rej);
+          Request Est;
+          Est.Kind = Op::Estimate;
+          Est.Source = AcceptedSrc;
+          Batch.push_back(Est);
+          bool WithSweep = I % 4 == T % 4;
+          if (WithSweep) {
+            Request Sw;
+            Sw.Kind = Op::DseSweep;
+            Sw.Space = "gemm-blocked";
+            Sw.Limit = 120;
+            Batch.push_back(Sw);
+          }
+          std::vector<ClientResponse> Rs = C.callBatch(Batch);
+          if (Rs.size() != Batch.size())
+            return Fail("short batch");
+          if (!Rs[0].R.Ok || !Rs[0].R.Errors.empty())
+            return Fail("check flipped");
+          if (Rs[1].R.Ok || Rs[1].R.Errors.empty())
+            return Fail("rejection flipped");
+          if (!Rs[2].R.Ok || !Rs[2].R.Est ||
+              Rs[2].R.Est->Cycles != Ref.Est->Cycles ||
+              Rs[2].R.Est->Lut != Ref.Est->Lut)
+            return Fail("estimate drifted");
+          if (WithSweep &&
+              (!Rs[3].R.Ok || Rs[3].R.Sweep.at("explored").asInt() != 120))
+            return Fail("sweep drifted");
+        }
+      }
+      closeFd(Fd);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (int T = 0; T != NumClients; ++T)
+    EXPECT_EQ(Failures[T], "") << "client " << T;
+
+  TcpServerStats St = Srv.stats();
+  EXPECT_EQ(St.Accepted, static_cast<size_t>(NumClients));
+  EXPECT_GE(St.RequestLines, static_cast<size_t>(NumClients * Iters * 3));
+  EXPECT_GT(St.Epochs, 0u);
+  // The whole point of the shared event loop: lines from different
+  // clients coalesce into common epochs (8 clients hammering concurrently
+  // make this overwhelmingly likely every run).
+  EXPECT_GT(St.CoalescedEpochs, 0u);
+
+  Srv.stop();
+  Loop.join();
+}
+
+TEST(TcpServer, SlowStreamReaderIsBoundedAndDoesNotStallOthers) {
+  if (!haveSockets())
+    GTEST_SKIP() << "no sockets on this platform";
+  CompileService Svc(testOptions());
+  TcpServerOptions TO;
+  TO.MaxWriteBuffer = 4096; // Small cap: back-pressure engages quickly.
+  TO.SendBufferBytes = 4096; // Small kernel buffer: it cannot hide the cap.
+  TcpServer Srv(Svc, TO);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  std::thread Loop([&] { Srv.run(); });
+
+  auto SweepReq = [](int64_t Id, bool Stream) {
+    Request R;
+    R.Id = Id;
+    R.Kind = Op::DseSweep;
+    R.Space = "gemm-blocked";
+    R.Limit = 400;
+    R.Threads = 1;
+    R.Shard = "0/2";
+    R.Stream = Stream;
+    return R;
+  };
+
+  // Reference: the batch response of the identical sweep, over TCP.
+  Json RefSweep;
+  {
+    int Fd = connectLoopback(Srv.port());
+    ASSERT_GE(Fd, 0);
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient C(In, Out);
+    ClientResponse Ref = C.call(SweepReq(0, false));
+    ASSERT_TRUE(Ref.R.Ok);
+    RefSweep = Ref.Raw.at("sweep");
+    closeFd(Fd);
+  }
+  const std::string RefPoints = RefSweep.at("front_points").dump();
+  const size_t RefPointCount = RefSweep.at("front_points").size();
+  ASSERT_GT(RefPointCount, 0u);
+
+  // The slow reader: pipeline 24 streamed copies of the sweep, then stop
+  // touching the socket while everyone else works.
+  constexpr int NumStreams = 24;
+  int Slow = connectLoopback(Srv.port());
+  ASSERT_GE(Slow, 0);
+  FdStreamBuf SlowBuf(Slow);
+  std::istream SlowIn(&SlowBuf);
+  std::ostream SlowOut(&SlowBuf);
+  for (int I = 0; I != NumStreams; ++I)
+    SlowOut << SweepReq(I + 1, true).toJson().dump() << '\n';
+  SlowOut << '\n';
+  SlowOut.flush();
+
+  // Give the server time to compute the sweeps and wedge the slow
+  // connection's output against the cap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Four other clients run full workloads to completion while the slow
+  // reader's responses sit queued: joining these threads is the liveness
+  // assertion.
+  constexpr int NumOthers = 4;
+  std::vector<std::thread> Others;
+  std::vector<std::string> Failures(NumOthers);
+  for (int T = 0; T != NumOthers; ++T)
+    Others.emplace_back([&, T] {
+      int Fd = connectLoopback(Srv.port());
+      if (Fd < 0) {
+        Failures[T] = "connect failed";
+        return;
+      }
+      {
+        FdStreamBuf Buf(Fd);
+        std::istream In(&Buf);
+        std::ostream Out(&Buf);
+        ServiceClient C(In, Out);
+        for (int I = 0; I != 20 && Failures[T].empty(); ++I) {
+          if (!C.check(AcceptedSrc).R.Ok)
+            Failures[T] = "check failed";
+          ClientResponse E = C.estimate(AcceptedSrc);
+          if (!E.R.Ok || !E.R.Est)
+            Failures[T] = "estimate failed";
+        }
+      }
+      closeFd(Fd);
+    });
+  for (std::thread &T : Others)
+    T.join();
+  for (int T = 0; T != NumOthers; ++T)
+    EXPECT_EQ(Failures[T], "") << "client " << T;
+
+  // Now drain the slow connection: all 24 streams must arrive complete,
+  // with the full Pareto front byte-identical to the batch response.
+  std::map<int64_t, std::vector<Json>> ChunksById;
+  std::map<int64_t, Json> TerminalById;
+  int Headers = 0;
+  std::string L;
+  while (TerminalById.size() != NumStreams && std::getline(SlowIn, L)) {
+    if (L.empty())
+      continue;
+    std::optional<Json> J = Json::parse(L);
+    ASSERT_TRUE(J.has_value()) << L;
+    int64_t Id = J->at("id").asInt();
+    if (J->at("stream").asBool() && !J->contains("stream_end")) {
+      ++Headers;
+      continue;
+    }
+    if (J->contains("front_point")) {
+      ChunksById[Id].push_back(J->at("front_point"));
+      continue;
+    }
+    if (J->contains("stream_end"))
+      TerminalById[Id] = *J;
+  }
+  EXPECT_EQ(Headers, NumStreams);
+  ASSERT_EQ(TerminalById.size(), static_cast<size_t>(NumStreams));
+  for (int I = 0; I != NumStreams; ++I) {
+    int64_t Id = I + 1;
+    Json Points = Json::array();
+    for (const Json &P : ChunksById[Id])
+      Points.push_back(P);
+    EXPECT_EQ(Points.dump(), RefPoints) << "stream " << Id;
+    const Json &Sweep = TerminalById[Id].at("sweep");
+    EXPECT_EQ(Sweep.at("front").dump(), RefSweep.at("front").dump());
+    EXPECT_EQ(Sweep.at("front_hash").dump(), RefSweep.at("front_hash").dump());
+    EXPECT_FALSE(Sweep.contains("front_points")) << "terminal carries bulk";
+  }
+  closeFd(Slow);
+
+  TcpServerStats St = Srv.stats();
+  EXPECT_EQ(St.StreamedResponses, static_cast<size_t>(NumStreams));
+  // The back-pressure invariant: buffered bytes never exceeded the cap
+  // plus one protocol line, despite ~NumStreams responses pending — and
+  // the cap was genuinely reached (the kernel buffers could not absorb
+  // 24 sweep responses), so the bound was exercised, not idle.
+  EXPECT_LE(St.PeakConnectionBufferedBytes, TO.MaxWriteBuffer + 4096u);
+  EXPECT_GE(St.PeakConnectionBufferedBytes, TO.MaxWriteBuffer);
+
+  Srv.stop();
+  Loop.join();
 }
 
 TEST(Service, RestartOverCacheDirStartsWarm) {
