@@ -14,9 +14,19 @@ front membership and hashes are compared exactly — any Pareto-front
 change must come with an intentional re-baseline (see README, "The CI
 bench-regression gate").
 
+A second mode gates tracing overhead: --overhead-pair NOTRACE TRACED
+takes two BENCH_service.json files from the same machine — one from a
+-DDAHLIA_ENABLE_TRACE=OFF build, one from the default instrumented
+build (tracing compiled in but not enabled) — and requires the
+instrumented requests_per_sec to stay within --overhead-tolerance
+(default 3%) of the no-trace build. That is the "near-zero cost when
+disabled" contract of src/support/Trace.h, enforced.
+
 Usage:
   check_regression.py [--tolerance 0.25] --pair BASELINE FRESH \
-                      [--pair BASELINE FRESH ...]
+                      [--pair BASELINE FRESH ...] \
+                      [--overhead-pair NOTRACE TRACED] \
+                      [--overhead-tolerance 0.03]
 Exits non-zero listing every violated rule.
 """
 
@@ -83,18 +93,62 @@ def check_pair(baseline_path, fresh_path, tolerance):
     return failures
 
 
+def check_overhead(notrace_path, traced_path, tolerance):
+    """Gate the cost of compiled-in-but-disabled tracing.
+
+    Both files come from the same run of bench/service_throughput on the
+    same machine, so the comparison is relative and machine-independent:
+    the instrumented build's requests_per_sec may lose at most
+    ``tolerance`` against the -DDAHLIA_ENABLE_TRACE=OFF build.
+    """
+    with open(notrace_path) as f:
+        notrace = json.load(f)
+    with open(traced_path) as f:
+        traced = json.load(f)
+
+    label = f"{traced_path} vs {notrace_path}"
+    base = notrace.get("requests_per_sec")
+    got = traced.get("requests_per_sec")
+    if base is None or got is None:
+        return [f"{label}: missing requests_per_sec in one side"]
+    if base <= 0:
+        return [f"{label}: no-trace requests_per_sec is {base}"]
+
+    floor = (1.0 - tolerance) * base
+    if got < floor:
+        return [
+            f"{label}: disabled-tracing overhead exceeds {tolerance:.0%}: "
+            f"instrumented {got:.1f} req/s < {floor:.1f} "
+            f"(no-trace build {base:.1f})"]
+    print(f"  ok tracing overhead: instrumented {got:.1f} req/s vs "
+          f"no-trace {base:.1f} ({got / base - 1.0:+.1%}, floor {floor:.1f})")
+    return []
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative throughput regression (0.25 = 25%%)")
-    ap.add_argument("--pair", nargs=2, action="append", required=True,
+    ap.add_argument("--pair", nargs=2, action="append", default=[],
                     metavar=("BASELINE", "FRESH"))
+    ap.add_argument("--overhead-pair", nargs=2, action="append", default=[],
+                    metavar=("NOTRACE", "TRACED"),
+                    help="BENCH_service.json from a -DDAHLIA_ENABLE_TRACE=OFF "
+                         "build and from the instrumented build")
+    ap.add_argument("--overhead-tolerance", type=float, default=0.03,
+                    help="allowed disabled-tracing throughput loss "
+                         "(0.03 = 3%%)")
     args = ap.parse_args()
+    if not args.pair and not args.overhead_pair:
+        ap.error("need at least one --pair or --overhead-pair")
 
     failures = []
     for baseline, fresh in args.pair:
         print(f"checking {fresh} against {baseline}")
         failures += check_pair(baseline, fresh, args.tolerance)
+    for notrace, traced in args.overhead_pair:
+        print(f"checking tracing overhead: {traced} against {notrace}")
+        failures += check_overhead(notrace, traced, args.overhead_tolerance)
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI gate: a --trace-out file must be valid, loadable Chrome trace JSON.
+
+Validates the trace-event JSON the Trace layer writes (dahliac,
+dahlia-serve, fig7_dse_gemm_blocked --trace-out; see
+docs/observability.md):
+
+  * top-level object with a non-empty "traceEvents" array;
+  * every event is a complete span (ph "X" with name, ts, dur >= 0,
+    pid, tid) or thread-name metadata (ph "M", thread_name, non-empty
+    args.name) — exactly what Perfetto and chrome://tracing load;
+  * --require NAME: the named span must appear at least once;
+  * --require-thread NAME: a thread/track with that name must exist
+    (prefix match, so `--require-thread dse-worker-` matches any
+    worker).
+
+Usage:
+  check_trace.py TRACE.json [--require service.request ...]
+                 [--require-thread tcp-server ...]
+Exits non-zero listing every violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(trace, require, require_threads):
+    failures = []
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' is missing or empty"]
+
+    span_names = set()
+    thread_names = set()
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "X":
+            if not e.get("name"):
+                failures.append(f"{where}: X event without a name")
+            if not isinstance(e.get("ts"), (int, float)):
+                failures.append(f"{where}: X event without numeric ts")
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                failures.append(f"{where}: X event with bad dur")
+            if "pid" not in e or "tid" not in e:
+                failures.append(f"{where}: X event without pid/tid")
+            span_names.add(e.get("name"))
+        elif ph == "M":
+            if e.get("name") != "thread_name":
+                failures.append(f"{where}: unexpected metadata {e.get('name')!r}")
+            tname = e.get("args", {}).get("name")
+            if not tname:
+                failures.append(f"{where}: thread_name without args.name")
+            else:
+                thread_names.add(tname)
+        else:
+            failures.append(f"{where}: unexpected phase {ph!r}")
+
+    for name in require:
+        if name not in span_names:
+            failures.append(f"required span '{name}' never recorded "
+                            f"(saw: {', '.join(sorted(filter(None, span_names)))})")
+    for name in require_threads:
+        if not any(t.startswith(name) for t in thread_names):
+            failures.append(f"required thread '{name}*' not named "
+                            f"(saw: {', '.join(sorted(thread_names))})")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="SPAN", help="span name that must appear")
+    ap.add_argument("--require-thread", action="append", default=[],
+                    metavar="NAME",
+                    help="thread/track name prefix that must appear")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    failures = validate(trace, args.require, args.require_thread)
+    if failures:
+        print(f"TRACE GATE FAILED ({args.trace}):", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    threads = sum(1 for e in events if e.get("ph") == "M")
+    print(f"trace gate OK: {args.trace} — {spans} spans on {threads} "
+          f"named tracks, Perfetto-loadable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

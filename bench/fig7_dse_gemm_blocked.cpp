@@ -29,6 +29,9 @@
 //   --json PATH     write metrics + front (default: BENCH_fig7_dse.json)
 //   --cache-dir D   persist the memo cache under D (e.g. .dahlia-cache);
 //                   a second run then starts warm and reports the hit rate
+//   --trace-out F   record spans (DSE workers, rung passes, cache I/O) and
+//                   write Chrome trace-event JSON to F at exit — load it
+//                   in Perfetto (see docs/observability.md)
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +40,7 @@
 #include "dse/SearchStrategy.h"
 #include "kernels/Kernels.h"
 #include "service/PersistentCache.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -52,6 +56,7 @@ int main(int Argc, char **Argv) {
   dse::DseOptions Opts;
   const char *JsonPath = "BENCH_fig7_dse.json";
   const char *CacheDir = nullptr;
+  const char *TraceOut = nullptr;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
       char *End = nullptr;
@@ -94,6 +99,9 @@ int main(int Argc, char **Argv) {
       JsonPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--cache-dir") && I + 1 < Argc) {
       CacheDir = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
+      TraceOut = Argv[++I];
+      trace::traceEnable();
     }
   }
 
@@ -252,6 +260,12 @@ int main(int Argc, char **Argv) {
     std::ofstream Out(JsonPath);
     Out << J.dump() << "\n";
     std::printf("metrics written to %s\n", JsonPath);
+  }
+  if (TraceOut && *TraceOut) {
+    if (trace::traceWriteFile(TraceOut))
+      std::printf("trace written to %s\n", TraceOut);
+    else
+      std::fprintf(stderr, "fig7: cannot write trace '%s'\n", TraceOut);
   }
   return 0;
 }

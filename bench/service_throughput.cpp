@@ -38,6 +38,7 @@
 #include "service/TcpServer.h"
 #include "support/Socket.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,7 @@
 #include <fstream>
 #include <map>
 #include <thread>
+#include <vector>
 
 using namespace dahlia;
 using namespace dahlia::bench;
@@ -64,6 +66,7 @@ struct PassResult {
   size_t Ok = 0;
   size_t Cached = 0;
   double Seconds = 0;
+  std::vector<double> LatenciesMs; ///< Per-request server-side latency.
 
   double rps() const { return Seconds > 0 ? Requests / Seconds : 0; }
   double hitRate() const {
@@ -71,11 +74,22 @@ struct PassResult {
   }
 };
 
+/// The q-quantile of \p Samples (nearest-rank); 0 when empty. Sorts its
+/// argument.
+double percentile(std::vector<double> &Samples, double Q) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(Samples.size()));
+  return Samples[std::min(Rank, Samples.size() - 1)];
+}
+
 /// Streams \p Reqs through \p Client in epochs of \p Batch.
 PassResult replay(ServiceClient &Client, const std::vector<Request> &Reqs,
                   size_t Batch) {
   PassResult P;
   P.Requests = Reqs.size();
+  P.LatenciesMs.reserve(Reqs.size());
   double T0 = now();
   for (size_t I = 0; I < Reqs.size(); I += Batch) {
     size_t E = std::min(I + Batch, Reqs.size());
@@ -83,6 +97,7 @@ PassResult replay(ServiceClient &Client, const std::vector<Request> &Reqs,
     for (ClientResponse &C : Client.callBatch(std::move(Epoch))) {
       P.Ok += C.R.Ok ? 1 : 0;
       P.Cached += C.R.Cached ? 1 : 0;
+      P.LatenciesMs.push_back(C.R.LatencyMs);
     }
   }
   P.Seconds = now() - T0;
@@ -439,6 +454,19 @@ int main(int Argc, char **Argv) {
   std::printf("lifetime throughput:   %.0f req/s over %zu epochs\n",
               Stats.requestsPerSecond(), Stats.Epochs);
 
+  // Per-request server-side latency quantiles across every in-process
+  // pass (cold + estimate + warm): the tail the req/s average hides.
+  std::vector<double> AllLatencies;
+  for (const PassResult *P : {&Cold, &Estimates, &Warm})
+    AllLatencies.insert(AllLatencies.end(), P->LatenciesMs.begin(),
+                        P->LatenciesMs.end());
+  double LatP50 = percentile(AllLatencies, 0.50);
+  double LatP95 = percentile(AllLatencies, 0.95);
+  double LatP99 = percentile(AllLatencies, 0.99);
+  std::printf("request latency:       p50=%.3fms p95=%.3fms p99=%.3fms "
+              "(%zu samples)\n",
+              LatP50, LatP95, LatP99, AllLatencies.size());
+
   double TcpSpeedup = 0;
   if (Clients) {
     TcpSpeedup = TcpSingle.rps() > 0 ? TcpMulti.rps() / TcpSingle.rps() : 0;
@@ -471,6 +499,9 @@ int main(int Argc, char **Argv) {
     J["warm_requests_per_sec"] = Warm.rps();
     J["warm_hit_rate"] = Warm.hitRate();
     J["estimate_requests_per_sec"] = Estimates.rps();
+    J["latency_p50_ms"] = LatP50;
+    J["latency_p95_ms"] = LatP95;
+    J["latency_p99_ms"] = LatP99;
     J["epochs"] = Stats.Epochs;
     if (Clients) {
       J["tcp_clients"] = Clients;

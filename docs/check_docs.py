@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
 """CI gate: the docs/ tree may not drift from the code.
 
-Checks two machine-verifiable contracts:
+Checks three machine-verifiable contracts:
 
   * every service op the server knows (the string literals handled in
     src/service/Protocol.cpp) appears in docs/protocol.md;
-  * every flag `dahliac` and `dahlia-serve` accept (their --help
-    output, or the usage strings in their sources when --bin-dir is not
-    given) appears in docs/cli.md.
+  * every flag `dahliac`, `dahlia-serve`, and `dahlia-dse-merge` accept
+    (their --help output, or the usage strings in their sources when
+    --bin-dir is not given) appears in docs/cli.md;
+  * every metric name registered under src/ (the string literals passed
+    to metrics::counter/gauge/histogram) appears in
+    docs/observability.md.
 
 Usage:
   docs/check_docs.py [--bin-dir build] [--repo .] [--self-test]
 
 --self-test additionally verifies the gate has teeth: it replays the
-checks against doc text with one op and one flag removed and fails if
-that tampering is NOT detected. CI runs both.
+checks against doc text with one op, one flag, and one metric removed
+and fails if that tampering is NOT detected. CI runs both.
 
 Exits non-zero listing every violation.
 """
@@ -75,7 +78,30 @@ def binary_flags(repo, bin_dir, name, source):
     return flags
 
 
-def check(ops, flags_by_bin, protocol_md, cli_md):
+METRIC_RE = re.compile(
+    r'metrics::(?:counter|gauge|histogram)\(\s*"([a-z][a-z0-9_.]*)"')
+
+
+def metric_names(repo):
+    """Every metric name registered by code under src/.
+
+    Test- and bench-only metric names do not need documentation; the
+    library's registrations are the operational surface.
+    """
+    names = set()
+    src_root = os.path.join(repo, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for fname in filenames:
+            if fname.endswith((".cpp", ".h")):
+                names |= set(METRIC_RE.findall(
+                    read(os.path.join(dirpath, fname))))
+    if not names:
+        sys.exit("check_docs: found no metrics::counter/gauge/histogram "
+                 "registrations under src/ — did the registry move?")
+    return names
+
+
+def check(ops, flags_by_bin, metrics, protocol_md, cli_md, observability_md):
     """Returns a list of violations ([] = docs cover everything)."""
     failures = []
     documented_ops = set(re.findall(r"`([a-z][a-z0-9-]*)`", protocol_md))
@@ -90,25 +116,40 @@ def check(ops, flags_by_bin, protocol_md, cli_md):
             if flag not in documented_flags:
                 failures.append(
                     f"docs/cli.md: flag '{flag}' of {name} is missing")
+    documented_metrics = set(
+        re.findall(r"`([a-z][a-z0-9_.]*)`", observability_md))
+    for metric in sorted(metrics):
+        if metric not in documented_metrics:
+            failures.append(
+                f"docs/observability.md: metric '{metric}' is registered "
+                f"under src/ but not documented")
     return failures
 
 
-def self_test(ops, flags_by_bin, protocol_md, cli_md):
-    """The gate must detect a removed op and a removed flag."""
+def self_test(ops, flags_by_bin, metrics, protocol_md, cli_md,
+              observability_md):
+    """The gate must detect a removed op, flag, and metric."""
     problems = []
     victim_op = sorted(ops)[-1]
     tampered = protocol_md.replace(f"`{victim_op}`", "`redacted`")
-    if not check(ops, {}, tampered, cli_md):
+    if not check(ops, {}, set(), tampered, cli_md, observability_md):
         problems.append(
             f"self-test: removing op '{victim_op}' from protocol.md was "
             f"not detected")
     name, flags = sorted(flags_by_bin.items())[0]
     victim_flag = sorted(flags)[-1]
     tampered = cli_md.replace(victim_flag, "--redacted")
-    if not check(set(), flags_by_bin, protocol_md, tampered):
+    if not check(set(), flags_by_bin, set(), protocol_md, tampered,
+                 observability_md):
         problems.append(
             f"self-test: removing flag '{victim_flag}' from cli.md was "
             f"not detected")
+    victim_metric = sorted(metrics)[-1]
+    tampered = observability_md.replace(f"`{victim_metric}`", "`redacted`")
+    if not check(set(), {}, metrics, protocol_md, cli_md, tampered):
+        problems.append(
+            f"self-test: removing metric '{victim_metric}' from "
+            f"observability.md was not detected")
     return problems
 
 
@@ -129,13 +170,21 @@ def main():
         "dahlia-serve": binary_flags(args.repo, args.bin_dir,
                                      "dahlia-serve",
                                      "examples/dahlia_serve.cpp"),
+        "dahlia-dse-merge": binary_flags(args.repo, args.bin_dir,
+                                         "dahlia-dse-merge",
+                                         "examples/dahlia_dse_merge.cpp"),
     }
+    metrics = metric_names(args.repo)
     protocol_md = read(os.path.join(args.repo, "docs", "protocol.md"))
     cli_md = read(os.path.join(args.repo, "docs", "cli.md"))
+    observability_md = read(
+        os.path.join(args.repo, "docs", "observability.md"))
 
-    failures = check(ops, flags_by_bin, protocol_md, cli_md)
+    failures = check(ops, flags_by_bin, metrics, protocol_md, cli_md,
+                     observability_md)
     if args.self_test:
-        failures += self_test(ops, flags_by_bin, protocol_md, cli_md)
+        failures += self_test(ops, flags_by_bin, metrics, protocol_md,
+                              cli_md, observability_md)
 
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)
@@ -143,8 +192,8 @@ def main():
         sys.exit(1)
     nflags = sum(len(f) for f in flags_by_bin.values())
     mode = "binaries" if args.bin_dir else "sources"
-    print(f"docs gate OK: {len(ops)} ops and {nflags} flags documented "
-          f"(checked against {mode}"
+    print(f"docs gate OK: {len(ops)} ops, {nflags} flags, and "
+          f"{len(metrics)} metrics documented (checked against {mode}"
           f"{', self-test passed' if args.self_test else ''})")
 
 

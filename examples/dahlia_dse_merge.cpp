@@ -37,9 +37,10 @@ using namespace dahlia;
 
 namespace {
 
+const char *kUsage = "usage: dahlia-dse-merge [--out PATH] SHARD.json...\n";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dahlia-dse-merge [--out PATH] SHARD.json...\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
 
@@ -49,12 +50,17 @@ int main(int Argc, char **Argv) {
   const char *OutPath = nullptr;
   std::vector<const char *> Inputs;
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+    if (!std::strcmp(Argv[I], "--help")) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc) {
       OutPath = Argv[++I];
-    else if (Argv[I][0] == '-')
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "dahlia-dse-merge: unknown flag '%s'\n", Argv[I]);
       return usage();
-    else
+    } else {
       Inputs.push_back(Argv[I]);
+    }
   }
   if (Inputs.empty())
     return usage();

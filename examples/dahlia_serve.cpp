@@ -23,7 +23,21 @@
 //                                     (default 256)
 //   ... --stats                       print lifetime stats JSON to stderr
 //                                     at exit
+//   ... --trace-out FILE              record spans and write a Chrome
+//                                     trace-event JSON file at shutdown
+//                                     (load it in Perfetto; see
+//                                     docs/observability.md)
+//   ... --metrics-port P              serve the metrics-registry snapshot
+//                                     as one JSON line per connection on
+//                                     127.0.0.1:P (0 picks an ephemeral
+//                                     port, announced on stderr)
+//   ... --slow-request-ms N           log one structured JSON line to
+//                                     stderr for every request slower
+//                                     than N ms
 //   ... --help                        this summary
+//
+// SIGINT/SIGTERM stop the TCP server gracefully: connections drain, the
+// persistent cache saves, and --trace-out flushes before exit.
 //
 // TCP mode multiplexes every connection on one event loop
 // (service::TcpServer): request lines from different clients coalesce
@@ -35,11 +49,25 @@
 
 #include "service/TcpServer.h"
 
+#include "support/Metrics.h"
+#include "support/Socket.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DAHLIA_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 using namespace dahlia;
 using namespace dahlia::service;
@@ -49,11 +77,49 @@ namespace {
 const char *kUsage =
     "usage: dahlia-serve [--port P] [--threads N] [--batch N] "
     "[--cache-dir DIR] [--no-memoize] [--write-buffer BYTES] "
-    "[--max-connections N] [--stats] [--help]\n";
+    "[--max-connections N] [--stats] [--trace-out FILE] "
+    "[--metrics-port P] [--slow-request-ms N] [--help]\n";
 
 int usage() {
   std::fprintf(stderr, "%s", kUsage);
   return 2;
+}
+
+/// The running TCP server, for the signal handler. EventLoop::stop only
+/// stores an atomic flag and writes one byte to the loop's self-pipe —
+/// both async-signal-safe — so a SIGINT mid-epoch still drains cleanly.
+std::atomic<TcpServer *> GServer{nullptr};
+
+void onSignal(int) {
+  if (TcpServer *S = GServer.load())
+    S->stop();
+}
+
+/// Blocking accept loop of the --metrics-port text endpoint: each
+/// connection gets one JSON line (the registry snapshot) and a close.
+/// Detached; lives until process exit.
+void serveMetricsEndpoint(int ListenFd) {
+#ifdef DAHLIA_HAVE_SOCKETS
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    std::string Body = metrics::snapshot().dump() + "\n";
+    size_t Off = 0;
+    while (Off < Body.size()) {
+      ssize_t N = ::write(Fd, Body.data() + Off, Body.size() - Off);
+      if (N <= 0)
+        break;
+      Off += static_cast<size_t>(N);
+    }
+    ::close(Fd);
+  }
+#else
+  (void)ListenFd;
+#endif
 }
 
 } // namespace
@@ -63,7 +129,9 @@ int main(int Argc, char **Argv) {
   Opts.CacheDir = ".dahlia-cache";
   TcpServerOptions TcpOpts;
   int Port = -1; // -1 = stdio mode; 0 is a valid (ephemeral) TCP port.
+  int MetricsPort = -1; // -1 = no metrics endpoint.
   bool PrintStats = false;
+  std::string TraceOut;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--help")) {
@@ -110,9 +178,42 @@ int main(int Argc, char **Argv) {
       TcpOpts.MaxConnections = static_cast<size_t>(N);
     } else if (!std::strcmp(Argv[I], "--stats")) {
       PrintStats = true;
+    } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
+      TraceOut = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--metrics-port") && I + 1 < Argc) {
+      char *End = nullptr;
+      long P = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || P < 0 || P > 65535) {
+        std::fprintf(stderr, "dahlia-serve: invalid --metrics-port\n");
+        return 2;
+      }
+      MetricsPort = static_cast<int>(P);
+    } else if (!std::strcmp(Argv[I], "--slow-request-ms") && I + 1 < Argc) {
+      char *End = nullptr;
+      double Ms = std::strtod(Argv[++I], &End);
+      if (End == Argv[I] || *End != '\0' || Ms < 0) {
+        std::fprintf(stderr, "dahlia-serve: invalid --slow-request-ms\n");
+        return 2;
+      }
+      Opts.SlowRequestMs = Ms;
     } else {
       return usage();
     }
+  }
+
+  if (!TraceOut.empty())
+    trace::traceEnable();
+
+  if (MetricsPort >= 0) {
+    int MetricsFd = listenLoopback(MetricsPort);
+    if (MetricsFd < 0) {
+      std::fprintf(stderr,
+                   "dahlia-serve: bind/listen for --metrics-port failed\n");
+      return 1;
+    }
+    std::fprintf(stderr, "dahlia-serve: metrics on 127.0.0.1:%d\n",
+                 boundPort(MetricsFd));
+    std::thread(serveMetricsEndpoint, MetricsFd).detach();
   }
 
   int Rc = 0;
@@ -128,7 +229,13 @@ int main(int Argc, char **Argv) {
       } else {
         std::fprintf(stderr, "dahlia-serve: listening on 127.0.0.1:%d\n",
                      Server.port());
+        GServer.store(&Server);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
         Server.run();
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+        GServer.store(nullptr);
       }
     } else {
       Svc.serveStream(std::cin, std::cout);
@@ -136,5 +243,13 @@ int main(int Argc, char **Argv) {
     if (PrintStats)
       std::fprintf(stderr, "%s\n", Svc.stats().toJson().dump().c_str());
   } // ~CompileService saves the persistent cache.
+
+  // Flush after the service is destroyed so the shutdown cache-save spans
+  // make it into the trace.
+  if (!TraceOut.empty() && !trace::traceWriteFile(TraceOut)) {
+    std::fprintf(stderr, "dahlia-serve: cannot write trace '%s'\n",
+                 TraceOut.c_str());
+    Rc = Rc ? Rc : 1;
+  }
   return Rc;
 }

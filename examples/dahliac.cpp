@@ -34,6 +34,7 @@
 #include "filament/Interp.h"
 #include "filament/Syntax.h"
 #include "service/Protocol.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -48,13 +49,25 @@ namespace {
 
 const char *kUsage =
     "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
-    "[--json] [--check | --lower | --run | --estimate | "
-    "--simulate]\n";
+    "[--json] [--trace-out FILE] [--check | --lower | --run | "
+    "--estimate | --simulate]\n";
 
 int usage() {
   std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
+
+/// Flushes the span buffers to --trace-out on every exit path.
+struct TraceOutput {
+  std::string Path;
+  ~TraceOutput() {
+    if (Path.empty())
+      return;
+    if (!trace::traceWriteFile(Path))
+      std::fprintf(stderr, "dahliac: cannot write trace '%s'\n",
+                   Path.c_str());
+  }
+};
 
 void printTimings(const CompileResult &R) {
   std::fprintf(stderr, "timings:");
@@ -99,6 +112,7 @@ int main(int Argc, char **Argv) {
   std::string KernelName = "kernel";
   bool Time = false;
   bool EmitJson = false;
+  TraceOutput TraceOut;
   enum { EmitCpp, CheckOnly, Lower, Run, Estimate, Simulate } Mode = EmitCpp;
 
   for (int I = 1; I < Argc; ++I) {
@@ -119,6 +133,9 @@ int main(int Argc, char **Argv) {
       Time = true;
     } else if (!std::strcmp(Argv[I], "--json")) {
       EmitJson = true;
+    } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
+      TraceOut.Path = Argv[++I];
+      trace::traceEnable();
     } else if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc) {
       OutFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--kernel") && I + 1 < Argc) {

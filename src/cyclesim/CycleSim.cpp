@@ -8,7 +8,9 @@
 #include "cyclesim/CycleSim.h"
 
 #include "hlsim/KernelAnalysis.h"
+#include "support/Metrics.h"
 #include "support/StableHash.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -83,6 +85,9 @@ NestPlan planNest(const KernelSpec &K, const KernelSpec::NestView &N) {
 
 SimResult dahlia::cyclesim::simulate(const KernelSpec &K,
                                      const SimOptions &O) {
+  TRACE_SPAN("cyclesim.simulate");
+  static metrics::Counter &Sims = metrics::counter("cyclesim.simulations");
+  Sims.inc();
   const CostModel &CM = O.CM;
   SimResult R;
   uint64_t Budget = std::max<uint64_t>(O.MaxWalkGroups, 1);
@@ -174,6 +179,15 @@ SimResult dahlia::cyclesim::simulate(const KernelSpec &K,
   if (CM.ModelHeuristicNoise &&
       !(unrollDividesBanking(K) && bankingDividesSizes(K)))
     Cycles *= heuristicLatencyMultiplier(K, CM.NoiseAmplitudeLatency);
+
+  // Conflict-period walk accounting: how many iteration groups the
+  // simulator actually executed (vs. the analytic scan's fixed samples).
+  static metrics::Counter &Walked =
+      metrics::counter("cyclesim.walked_groups");
+  static metrics::Counter &Truncs = metrics::counter("cyclesim.truncations");
+  Walked.inc(R.WalkedGroups);
+  if (R.Truncated)
+    Truncs.inc();
 
   R.Cycles = Cycles;
   return R;

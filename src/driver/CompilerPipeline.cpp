@@ -10,6 +10,8 @@
 #include "driver/SpecExtractor.h"
 #include "parser/Parser.h"
 #include "sema/TypeChecker.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <sstream>
@@ -82,6 +84,9 @@ namespace {
 /// Runs \p Body as stage \p S of \p R, recording its wall-clock time.
 template <typename Fn>
 void timedStage(CompileResult &R, Stage S, Fn &&Body) {
+  TRACE_SPAN(stageName(S));
+  static metrics::Counter &Stages = metrics::counter("pipeline.stages_run");
+  Stages.inc();
   auto Start = std::chrono::steady_clock::now();
   Body();
   double Secs = std::chrono::duration<double>(

@@ -8,7 +8,9 @@
 #include "dse/DseEngine.h"
 
 #include "dse/SearchStrategy.h"
+#include "support/Metrics.h"
 #include "support/StableHash.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -74,6 +76,8 @@ bool DseCache::lookupEstimate(uint64_t Key, hlsim::Estimate &Out) const {
     return false;
   Out = It->second;
   EstimateHits.fetch_add(1, std::memory_order_relaxed);
+  static metrics::Counter &Hits = metrics::counter("dse.memo.estimate_hits");
+  Hits.inc();
   return true;
 }
 
@@ -91,6 +95,8 @@ bool DseCache::lookupVerdict(uint64_t Key, bool &Accepted) const {
     return false;
   Accepted = It->second;
   VerdictHits.fetch_add(1, std::memory_order_relaxed);
+  static metrics::Counter &Hits = metrics::counter("dse.memo.verdict_hits");
+  Hits.inc();
   return true;
 }
 
@@ -157,6 +163,7 @@ unsigned dahlia::dse::resolveThreadCount(unsigned Requested) {
 }
 
 DseResult DseEngine::explore(const DseProblem &P) const {
+  TRACE_SPAN("dse.explore");
   auto Start = std::chrono::steady_clock::now();
 
   DseResult R;
@@ -196,5 +203,16 @@ DseResult DseEngine::explore(const DseProblem &P) const {
   R.Stats.Seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
+
+  static metrics::Counter &Explored = metrics::counter("dse.configs_explored");
+  static metrics::Counter &Accepted = metrics::counter("dse.configs_accepted");
+  static metrics::Counter &Pruned = metrics::counter("dse.configs_pruned");
+  static metrics::Counter &Rescued = metrics::counter("dse.configs_rescued");
+  static metrics::Gauge &Rate = metrics::gauge("dse.configs_per_sec");
+  Explored.inc(R.Stats.Explored);
+  Accepted.inc(R.Stats.Accepted);
+  Pruned.inc(R.Stats.Pruned);
+  Rescued.inc(R.Stats.Rescued);
+  Rate.set(static_cast<int64_t>(R.Stats.configsPerSecond()));
   return R;
 }

@@ -8,7 +8,9 @@
 #include "dse/SearchStrategy.h"
 
 #include "driver/CompilerPipeline.h"
+#include "support/Metrics.h"
 #include "support/StableHash.h"
+#include "support/Trace.h"
 #include "support/WorkStealingPool.h"
 
 #include <algorithm>
@@ -88,7 +90,14 @@ unsigned parallelOver(const SearchContext &Ctx, size_t N, BodyT &&Body) {
   unsigned Threads = Ctx.Threads;
   if (N < Threads)
     Threads = static_cast<unsigned>(std::max<size_t>(N, 1));
-  workStealingFor(N, Threads, Ctx.Grain, Body);
+  workStealingFor(N, Threads, Ctx.Grain,
+                  [&Body](unsigned W, size_t B, size_t E) {
+                    if (trace::enabled())
+                      trace::traceSetThreadNameIfUnset("dse-worker-" +
+                                                       std::to_string(W));
+                    TRACE_SPAN("dse.chunk");
+                    Body(W, B, E);
+                  });
   return Threads;
 }
 
@@ -125,6 +134,7 @@ hlsim::Estimate estimateOne(const SearchContext &Ctx, size_t I,
 /// Parallel type-check of every index in Ctx.Indices; fills verdicts and
 /// Stats.Accepted.
 void checkVerdicts(const SearchContext &Ctx, DseResult &R) {
+  TRACE_SPAN("dse.check_verdicts");
   driver::CompilerPipeline Pipeline;
   std::atomic<size_t> Accepted{0};
   parallelOver(Ctx, Ctx.Indices.size(), [&](unsigned, size_t B, size_t E) {
@@ -143,6 +153,8 @@ void checkVerdicts(const SearchContext &Ctx, DseResult &R) {
 std::vector<Objectives> boundBatch(const SearchContext &Ctx,
                                    const std::vector<size_t> &Cand,
                                    hlsim::Fidelity F) {
+  TRACE_SPAN(F == hlsim::Fidelity::Coarse ? "dse.bound.coarse"
+                                          : "dse.bound.medium");
   std::vector<Objectives> Out(Cand.size());
   parallelOver(Ctx, Cand.size(), [&](unsigned, size_t B, size_t E) {
     for (size_t K = B; K != E; ++K)
@@ -231,6 +243,7 @@ std::vector<size_t> rankByBound(const std::vector<size_t> &Pos,
 /// computes. Under pruned strategies it is exact over their Full-rung
 /// survivor set, which already provably contains the Full-fidelity front.
 void exactTopRungPass(const SearchContext &Ctx, DseResult &R) {
+  TRACE_SPAN("dse.exact_top_rung");
   std::vector<size_t> Cand;     ///< Full-estimated configs, ascending.
   std::vector<Objectives> Bound; ///< Their Full objectives (the bounds).
   for (size_t I : Ctx.Indices) {
@@ -297,6 +310,9 @@ public:
   StrategyKind kind() const override { return StrategyKind::Exhaustive; }
 
   void run(const SearchContext &Ctx, DseResult &R) const override {
+    TRACE_SPAN("dse.exhaustive");
+    static metrics::Counter &Runs = metrics::counter("dse.exhaustive.runs");
+    Runs.inc();
     struct WorkerTally {
       size_t Accepted = 0;
       size_t Estimated = 0;
@@ -363,6 +379,12 @@ public:
 /// Step 4's skip test is exact (never drops a front member) because the
 /// fidelity ladder makes every bound admissible; see SearchStrategy.h.
 void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
+  TRACE_SPAN(Rungs ? "dse.halving" : "dse.pareto_prune");
+  static metrics::Counter &HalvingRuns =
+      metrics::counter("dse.halving.runs");
+  static metrics::Counter &PruneRuns =
+      metrics::counter("dse.pareto_prune.runs");
+  (Rungs ? HalvingRuns : PruneRuns).inc();
   const DseProblem &P = Ctx.Problem;
   checkVerdicts(Ctx, R);
 
@@ -408,7 +430,13 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
     size_t Keep2 = (Keep1 + Eta - 1) / Eta;
     for (size_t K = 0; K != std::min(Keep2, Order2.size()); ++K)
       Survivor[Order2[K]] = 1;
+    static metrics::Gauge &GKeep1 = metrics::gauge("dse.rung.keep1");
+    static metrics::Gauge &GKeep2 = metrics::gauge("dse.rung.keep2");
+    GKeep1.set(static_cast<int64_t>(Keep1));
+    GKeep2.set(static_cast<int64_t>(Keep2));
   }
+  static metrics::Gauge &GCand = metrics::gauge("dse.rung.candidates");
+  GCand.set(static_cast<int64_t>(Cand.size()));
 
   // Full estimates for the promoted set (parallel), then seed the fronts.
   std::vector<size_t> Promoted;
@@ -420,6 +448,8 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
       recordFull(Ctx, R, Promoted[K]);
   });
   R.Stats.Estimated += Promoted.size();
+  static metrics::Gauge &GPromoted = metrics::gauge("dse.rung.promoted");
+  GPromoted.set(static_cast<int64_t>(Promoted.size()));
 
   ParetoFront All, Acc;
   for (size_t I : Promoted) {

@@ -9,6 +9,7 @@
 
 #include "cyclesim/CycleSim.h"
 #include "hlsim/KernelAnalysis.h"
+#include "support/Metrics.h"
 #include "support/StableHash.h"
 
 #include <algorithm>
@@ -255,6 +256,26 @@ CostModel dahlia::hlsim::costModelFor(Fidelity F) {
 }
 
 Estimate dahlia::hlsim::estimateAt(const KernelSpec &K, Fidelity F) {
+  // Per-fidelity evaluation counters: where the DSE fidelity ladder
+  // actually spends its estimator calls (memo hits never get here).
+  static metrics::Counter &Coarse = metrics::counter("hlsim.estimates.coarse");
+  static metrics::Counter &Medium = metrics::counter("hlsim.estimates.medium");
+  static metrics::Counter &Full = metrics::counter("hlsim.estimates.full");
+  static metrics::Counter &Exact = metrics::counter("hlsim.estimates.exact");
+  switch (F) {
+  case Fidelity::Coarse:
+    Coarse.inc();
+    break;
+  case Fidelity::Medium:
+    Medium.inc();
+    break;
+  case Fidelity::Full:
+    Full.inc();
+    break;
+  case Fidelity::Exact:
+    Exact.inc();
+    break;
+  }
   if (F == Fidelity::Exact)
     return cyclesim::exactEstimate(K);
   return estimate(K, costModelFor(F));

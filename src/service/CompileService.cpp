@@ -14,11 +14,14 @@
 #include "kernels/Kernels.h"
 #include "lower/Desugar.h"
 #include "sema/TypeChecker.h"
+#include "support/Metrics.h"
 #include "support/StableHash.h"
+#include "support/Trace.h"
 #include "support/WorkStealingPool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -200,11 +203,46 @@ std::optional<Error> CompileService::applyRewrite(Program &P,
 
 Response CompileService::handle(const Request &R) {
   auto Start = std::chrono::steady_clock::now();
-  Response Out =
-      R.Kind == Op::DseSweep ? dseSweep(R) : checkOrEstimate(R);
+  // Stamp a trace ID when the client did not supply one; scoped so every
+  // span this request opens (pipeline, DSE, cache) carries it.
+  uint64_t TraceId =
+      R.TraceId ? R.TraceId : NextTraceId.fetch_add(1, std::memory_order_relaxed);
+  trace::TraceIdScope IdScope(TraceId);
+  TRACE_SPAN("service.request");
+
+  Response Out;
+  if (R.Kind == Op::Metrics) {
+    Out.Ok = true;
+    Out.Metrics = metrics::snapshot();
+  } else if (R.Kind == Op::DseSweep) {
+    Out = dseSweep(R);
+  } else {
+    Out = checkOrEstimate(R);
+  }
   Out.Id = R.Id;
   Out.Kind = R.Kind;
+  Out.TraceId = TraceId;
   Out.LatencyMs = secondsSince(Start) * 1e3;
+
+  static metrics::Counter &Requests = metrics::counter("service.requests");
+  static metrics::Histogram &Latency = metrics::histogram("service.request_ms");
+  Requests.inc();
+  Latency.recordMs(Out.LatencyMs);
+
+  if (Opts.SlowRequestMs > 0 && Out.LatencyMs > Opts.SlowRequestMs) {
+    // Structured slow-request log: one JSON object per line on stderr,
+    // greppable without disturbing the protocol stream on stdout.
+    Json L = Json::object();
+    L["slow_request"] = true;
+    L["trace_id"] = TraceId;
+    L["id"] = R.Id;
+    L["op"] = opName(R.Kind);
+    L["latency_ms"] = Out.LatencyMs;
+    L["threshold_ms"] = Opts.SlowRequestMs;
+    L["ok"] = Out.Ok;
+    L["cached"] = Out.Cached;
+    std::cerr << L.dump() << '\n';
+  }
 
   {
     std::lock_guard<std::mutex> Lock(StatsM);
@@ -426,6 +464,7 @@ Response CompileService::checkOrEstimate(const Request &R) {
   }
 
   case Op::DseSweep:
+  case Op::Metrics:
     break; // Unreachable; dispatched in handle().
   }
   Out.Errors.push_back(Error(ErrorKind::Internal, "unhandled op"));

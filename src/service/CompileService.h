@@ -42,6 +42,7 @@
 #include "service/PersistentCache.h"
 #include "service/Protocol.h"
 
+#include <atomic>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -65,6 +66,10 @@ struct ServiceOptions {
   std::string CacheDir;
   /// Entry cap forwarded to the persistent layer.
   size_t CacheMaxEntries = 1u << 20;
+  /// Structured slow-request log threshold: a request whose latency
+  /// exceeds this many milliseconds emits one JSON line on stderr
+  /// (trace_id, op, latency_ms, ...). 0 disables the log.
+  double SlowRequestMs = 0;
 };
 
 /// Aggregate counters over the service's lifetime.
@@ -171,6 +176,10 @@ private:
   /// errors without re-checking. Re-populated lazily after a restart.
   std::mutex RejectM;
   std::map<uint64_t, std::vector<Error>> RejectDiags;
+
+  /// Next server-stamped trace ID (requests without a client-supplied
+  /// "trace_id" get one of these; see Request::TraceId).
+  std::atomic<uint64_t> NextTraceId{1};
 
   std::mutex StatsM;
 };

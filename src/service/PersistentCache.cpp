@@ -7,9 +7,12 @@
 
 #include "service/PersistentCache.h"
 
+#include "support/Metrics.h"
 #include "support/StableHash.h"
+#include "support/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -208,8 +211,16 @@ public:
 #ifdef DAHLIA_HAVE_FLOCK
     Fd = ::open((fs::path(ShardDir) / "memo.lock").c_str(),
                 O_CREAT | O_RDWR, 0644);
-    if (Fd >= 0)
+    if (Fd >= 0) {
+      // How long saves sit waiting on other processes' shard locks.
+      static metrics::Histogram &Wait =
+          metrics::histogram("cache.flock_wait_ms");
+      auto Start = std::chrono::steady_clock::now();
       ::flock(Fd, LOCK_EX);
+      Wait.recordMs(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count());
+    }
 #else
     (void)ShardDir;
 #endif
@@ -292,6 +303,7 @@ std::string PersistentCache::shardPathFor(uint64_t Key) const {
 
 bool PersistentCache::load(dse::DseCache &Into,
                            PersistentCacheLoadStats *Stats) const {
+  TRACE_SPAN("cache.load");
   // Read every shard file present, not just indices below this handle's
   // shard count: entry keys are self-describing, so a directory written
   // with a different stripe count still loads completely.
@@ -322,10 +334,16 @@ bool PersistentCache::load(dse::DseCache &Into,
   }
   if (Stats)
     *Stats = Local;
+  static metrics::Counter &Loads = metrics::counter("cache.shard_loads");
+  static metrics::Counter &LoadedEntries =
+      metrics::counter("cache.entries_loaded");
+  Loads.inc(Local.ShardsLoaded);
+  LoadedEntries.inc(Local.Verdicts + Local.Estimates);
   return Local.ShardsLoaded != 0;
 }
 
 bool PersistentCache::save(const dse::DseCache &From) const {
+  TRACE_SPAN("cache.save");
   std::vector<std::pair<uint64_t, bool>> Verdicts = From.snapshotVerdicts();
   std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates =
       From.snapshotEstimates();
@@ -389,7 +407,10 @@ bool PersistentCache::save(const dse::DseCache &From) const {
       (Opts.MaxEntries + Opts.Shards - 1) / Opts.Shards;
 
   bool AllOk = true;
+  static metrics::Counter &Saves = metrics::counter("cache.shard_saves");
   for (unsigned S = 0; S != Opts.Shards; ++S) {
+    TRACE_SPAN("cache.shard_save");
+    Saves.inc();
     std::lock_guard<std::mutex> Lock(ShardLocks[S]);
     std::string Path = shardPath(S);
     fs::create_directories(fs::path(Path).parent_path(), EC);

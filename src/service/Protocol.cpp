@@ -22,6 +22,8 @@ const char *dahlia::service::opName(Op O) {
     return "simulate";
   case Op::DseSweep:
     return "dse-sweep";
+  case Op::Metrics:
+    return "metrics";
   }
   return "?";
 }
@@ -55,6 +57,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     R.Kind = Op::Simulate;
   } else if (OpStr == "dse-sweep") {
     R.Kind = Op::DseSweep;
+  } else if (OpStr == "metrics") {
+    R.Kind = Op::Metrics;
   } else {
     if (Err)
       *Err = "unknown op '" + OpStr + "'";
@@ -77,6 +81,13 @@ std::optional<Request> Request::fromJson(const std::string &Line,
   }
   R.Limit = static_cast<size_t>(Limit);
   R.Threads = static_cast<unsigned>(Threads);
+  int64_t TraceId = J->at("trace_id").asInt();
+  if (TraceId < 0) {
+    if (Err)
+      *Err = "'trace_id' out of range";
+    return std::nullopt;
+  }
+  R.TraceId = static_cast<uint64_t>(TraceId);
 
   if (J->contains("rewrite")) {
     const Json &RwJ = J->at("rewrite");
@@ -103,6 +114,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
         *Err = "dse-sweep requires a 'space'";
       return std::nullopt;
     }
+  } else if (R.Kind == Op::Metrics) {
+    // A registry scrape needs no source; nothing further to validate.
   } else if (!R.Source.empty() && R.Rw) {
     // Ambiguous: would the rewrite apply to this source or not? Make the
     // client pick one (establish with source, then rewrite by session).
@@ -156,6 +169,8 @@ Json Request::toJson() const {
   }
   if (Stream)
     J["stream"] = true;
+  if (TraceId)
+    J["trace_id"] = TraceId;
   return J;
 }
 
@@ -187,6 +202,10 @@ Json Response::toJson() const {
     J["lowered"] = Lowered;
   if (Kind == Op::DseSweep && Sweep.isObject())
     J["sweep"] = Sweep;
+  if (Kind == Op::Metrics && Metrics.isObject())
+    J["metrics"] = Metrics;
+  if (TraceId)
+    J["trace_id"] = TraceId;
   return J;
 }
 

@@ -67,8 +67,10 @@ namespace dahlia::service {
 
 /// Operations the service answers. \c Simulate runs the cycle-level
 /// banked-memory simulator (the Exact estimation rung) and additionally
-/// ships the per-nest schedule breakdown.
-enum class Op { Check, Estimate, Lower, Simulate, DseSweep };
+/// ships the per-nest schedule breakdown. \c Metrics snapshots the
+/// process-wide metrics registry (support/Metrics.h) as JSON — a live
+/// observability scrape that needs no source.
+enum class Op { Check, Estimate, Lower, Simulate, DseSweep, Metrics };
 
 const char *opName(Op O);
 
@@ -105,6 +107,11 @@ struct Request {
   /// "stream": answer dse-sweep/simulate as chunked lines (header,
   /// incremental records, terminal summary) instead of one response line.
   bool Stream = false;
+  /// Per-request trace ID. Clients may supply "trace_id"; when absent the
+  /// service stamps one. It threads through every span the request opens
+  /// (support/Trace.h) and is echoed in the response, so a slow request
+  /// in a server-side trace is attributable from the client side alone.
+  uint64_t TraceId = 0;
 
   /// Parses one protocol line. Returns std::nullopt and sets \p Err on
   /// malformed input (not valid JSON, unknown op, missing fields).
@@ -126,6 +133,8 @@ struct Response {
   std::optional<cyclesim::SimResult> Sim; ///< simulate op breakdown.
   std::string Lowered;                ///< lower op.
   Json Sweep;                         ///< dse-sweep op summary (object).
+  Json Metrics;                       ///< metrics op snapshot (object).
+  uint64_t TraceId = 0;               ///< Echo of the request's trace ID.
 
   Json toJson() const;
 };

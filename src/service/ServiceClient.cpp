@@ -71,7 +71,8 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
              : OpStr == "lower"    ? Op::Lower
              : OpStr == "simulate" ? Op::Simulate
              : OpStr == "dse-sweep" ? Op::DseSweep
-                                     : Op::Check;
+             : OpStr == "metrics"  ? Op::Metrics
+                                   : Op::Check;
   C.R.Ok = J->at("ok").asBool();
   C.R.Cached = J->at("cached").asBool();
   C.R.ParseReused = J->at("parse_reused").asBool();
@@ -131,6 +132,11 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
   C.R.Lowered = J->at("lowered").asString();
   if (J->contains("sweep"))
     C.R.Sweep = J->at("sweep");
+  if (J->contains("metrics"))
+    C.R.Metrics = J->at("metrics");
+  int64_t TraceId = J->at("trace_id").asInt();
+  if (TraceId > 0)
+    C.R.TraceId = static_cast<uint64_t>(TraceId);
   return C;
 }
 
@@ -339,5 +345,11 @@ ClientResponse ServiceClient::dseSweep(const std::string &Space, size_t Limit,
   R.Space = Space;
   R.Limit = Limit;
   R.Threads = Threads;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::metrics() {
+  Request R;
+  R.Kind = Op::Metrics;
   return call(std::move(R));
 }

@@ -82,6 +82,8 @@ public:
   ClientResponse lower(const std::string &Source);
   ClientResponse dseSweep(const std::string &Space, size_t Limit = 0,
                           unsigned Threads = 0);
+  /// Live scrape of the server's metrics registry (the `metrics` op).
+  ClientResponse metrics();
 
 private:
   /// One logical reply: a plain response line, or a reassembled stream.

@@ -7,7 +7,9 @@
 
 #include "service/TcpServer.h"
 
+#include "support/Metrics.h"
 #include "support/Socket.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -63,6 +65,8 @@ bool TcpServer::start(std::string *Err) {
 void TcpServer::run() {
   if (ListenFd < 0)
     return;
+  if (trace::enabled())
+    trace::traceSetThreadName("tcp-server");
   while (!Loop.stopRequested()) {
     if (Loop.poll(-1) < 0)
       break;
@@ -130,6 +134,13 @@ void TcpServer::acceptReady() {
     uint64_t Serial = NextSerial++;
     Connection &C = Conns[Serial];
     C.Fd = Fd;
+    // Each connection gets its own named trace track; its lifetime span
+    // is emitted at close so Perfetto shows one row per client.
+    C.TrackId = trace::traceMakeTrack("conn-" + std::to_string(Serial));
+    C.AcceptUs = C.TrackId ? trace::nowUs() : 0;
+    static metrics::Counter &AcceptedC =
+        metrics::counter("server.connections_accepted");
+    AcceptedC.inc();
     FdToSerial[Fd] = Serial;
     Loop.add(Fd, /*WantRead=*/true, /*WantWrite=*/false,
              [this, Serial](int, EventLoop::Events E) {
@@ -147,6 +158,13 @@ void TcpServer::closeConnection(uint64_t Serial) {
   auto It = Conns.find(Serial);
   if (It == Conns.end())
     return;
+  if (It->second.TrackId)
+    trace::traceSpanOnTrack(It->second.TrackId, "server.connection",
+                            It->second.AcceptUs,
+                            trace::nowUs() - It->second.AcceptUs);
+  static metrics::Counter &ClosedC =
+      metrics::counter("server.connections_closed");
+  ClosedC.inc();
   int Fd = It->second.Fd;
   Loop.remove(Fd);
   FdToSerial.erase(Fd);
@@ -282,7 +300,22 @@ void TcpServer::dispatchEpochs() {
     bool Coalesced =
         std::adjacent_find(Owners.begin(), Owners.end(),
                            std::not_equal_to<>()) != Owners.end();
+    // Epoch width: how many distinct clients this epoch coalesced.
+    std::vector<uint64_t> Distinct(Owners);
+    std::sort(Distinct.begin(), Distinct.end());
+    Distinct.erase(std::unique(Distinct.begin(), Distinct.end()),
+                   Distinct.end());
 
+    static metrics::Counter &EpochsC = metrics::counter("server.epochs");
+    static metrics::Counter &CoalescedC =
+        metrics::counter("server.coalesced_epochs");
+    static metrics::Gauge &WidthG = metrics::gauge("server.max_epoch_width");
+    EpochsC.inc();
+    if (Coalesced)
+      CoalescedC.inc();
+    WidthG.setMax(static_cast<int64_t>(Distinct.size()));
+
+    TRACE_SPAN("server.epoch");
     std::vector<CompileService::BatchEntry> Entries =
         Svc.processBatchEx(Lines);
 
@@ -358,6 +391,9 @@ void TcpServer::pump(uint64_t Serial, Connection &C) {
       Stats.PeakConnectionBufferedBytes = std::max(
           Stats.PeakConnectionBufferedBytes, C.WriteBuf.size() - C.WriteOff);
     }
+    static metrics::Gauge &HighWater =
+        metrics::gauge("server.write_buffer_high_water");
+    HighWater.setMax(static_cast<int64_t>(C.WriteBuf.size() - C.WriteOff));
 
     // Drain what the socket will take right now.
     bool WouldBlock = false;
@@ -415,6 +451,13 @@ void TcpServer::updateInterest(uint64_t, Connection &C) {
   // and everyone else keeps being served.
   bool Backpressured =
       C.WriteBuf.size() - C.WriteOff >= Opts.MaxWriteBuffer;
+  if (Backpressured && !C.Stalled) {
+    // Count entries into the stalled state, not polls while in it.
+    static metrics::Counter &Stalls =
+        metrics::counter("server.backpressure_stalls");
+    Stalls.inc();
+  }
+  C.Stalled = Backpressured;
   Loop.update(C.Fd, /*WantRead=*/!C.ReadClosed && !Backpressured,
               /*WantWrite=*/OutputPending);
 }

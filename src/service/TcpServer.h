@@ -125,6 +125,9 @@ private:
 
   struct Connection {
     int Fd = -1;
+    uint64_t TrackId = 0;       ///< Synthetic trace track (0 = tracing off).
+    uint64_t AcceptUs = 0;      ///< Accept time on the tracing clock.
+    bool Stalled = false;       ///< Currently read-side back-pressured.
     std::string InBuf;          ///< Read bytes not yet framed into lines.
     size_t PendingLines = 0;    ///< Framed lines not yet dispatched.
     std::deque<OutItem> OutQ;   ///< Responses not yet in the write buffer.

@@ -7,6 +7,8 @@
 
 #include "support/EventLoop.h"
 
+#include "support/Metrics.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define DAHLIA_HAVE_POLL 1
 #include <cerrno>
@@ -85,6 +87,8 @@ int EventLoop::poll(int TimeoutMs) {
   do {
     N = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
   } while (N < 0 && errno == EINTR);
+  static metrics::Counter &Polls = metrics::counter("eventloop.polls");
+  Polls.inc();
   if (N < 0)
     return -1;
 
@@ -116,6 +120,11 @@ int EventLoop::poll(int TimeoutMs) {
     Handler H = It->second.H;
     H(P.fd, E);
     ++Dispatched;
+  }
+  if (Dispatched) {
+    static metrics::Counter &Dispatches =
+        metrics::counter("eventloop.dispatches");
+    Dispatches.inc(static_cast<uint64_t>(Dispatched));
   }
   return Dispatched;
 #endif

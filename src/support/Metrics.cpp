@@ -1,0 +1,159 @@
+//===- Metrics.cpp - Process-wide metrics registry ------------------------===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace dahlia::metrics {
+
+namespace {
+
+/// The registry maps names to leaked heap objects: metrics live for the
+/// process, and leaking them keeps every returned reference valid during
+/// static destruction (threads may still be recording).
+struct RegistryImpl {
+  std::mutex M;
+  std::map<std::string, Counter *> Counters;
+  std::map<std::string, Gauge *> Gauges;
+  std::map<std::string, Histogram *> Histograms;
+};
+
+RegistryImpl &registry() {
+  static RegistryImpl *R = new RegistryImpl();
+  return *R;
+}
+
+template <typename T>
+T &findOrCreate(std::map<std::string, T *> &Map, std::mutex &M,
+                const char *Name) {
+  std::lock_guard<std::mutex> L(M);
+  T *&Slot = Map[Name];
+  if (!Slot)
+    Slot = new T();
+  return *Slot;
+}
+
+} // namespace
+
+size_t Histogram::bucketOf(uint64_t Us) {
+  if (Us < (1u << SubBits))
+    return static_cast<size_t>(Us);
+  unsigned Exp = 63 - static_cast<unsigned>(std::countl_zero(Us));
+  uint64_t Sub = (Us >> (Exp - SubBits)) & ((1u << SubBits) - 1);
+  return ((Exp - SubBits + 1) << SubBits) + static_cast<size_t>(Sub);
+}
+
+double Histogram::bucketMidUs(size_t I) {
+  if (I < (1u << SubBits))
+    return static_cast<double>(I);
+  unsigned Block = static_cast<unsigned>(I >> SubBits);
+  uint64_t Sub = I & ((1u << SubBits) - 1);
+  unsigned Exp = Block + SubBits - 1;
+  double Lo = static_cast<double>(uint64_t(1) << Exp) +
+              static_cast<double>(Sub) *
+                  static_cast<double>(uint64_t(1) << (Exp - SubBits));
+  double Step = static_cast<double>(uint64_t(1) << (Exp - SubBits));
+  return Lo + Step / 2.0;
+}
+
+double Histogram::percentileMs(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Rank >= Total)
+    Rank = Total - 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I != NumBuckets; ++I) {
+    Seen += Buckets[I].load(std::memory_order_relaxed);
+    if (Seen > Rank)
+      return bucketMidUs(I) / 1000.0;
+  }
+  return maxMs();
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  SumUs.store(0, std::memory_order_relaxed);
+  MaxUs.store(0, std::memory_order_relaxed);
+}
+
+Counter &counter(const char *Name) {
+  RegistryImpl &R = registry();
+  return findOrCreate(R.Counters, R.M, Name);
+}
+
+Gauge &gauge(const char *Name) {
+  RegistryImpl &R = registry();
+  return findOrCreate(R.Gauges, R.M, Name);
+}
+
+Histogram &histogram(const char *Name) {
+  RegistryImpl &R = registry();
+  return findOrCreate(R.Histograms, R.M, Name);
+}
+
+std::vector<std::string> registeredNames() {
+  RegistryImpl &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  std::vector<std::string> Names;
+  for (auto &KV : R.Counters)
+    Names.push_back(KV.first);
+  for (auto &KV : R.Gauges)
+    Names.push_back(KV.first);
+  for (auto &KV : R.Histograms)
+    Names.push_back(KV.first);
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+void resetAll() {
+  RegistryImpl &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (auto &KV : R.Counters)
+    KV.second->reset();
+  for (auto &KV : R.Gauges)
+    KV.second->reset();
+  for (auto &KV : R.Histograms)
+    KV.second->reset();
+}
+
+Json snapshot() {
+  RegistryImpl &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  Json Counters = Json::object();
+  for (auto &KV : R.Counters)
+    Counters[KV.first] = KV.second->value();
+  Json Gauges = Json::object();
+  for (auto &KV : R.Gauges)
+    Gauges[KV.first] = KV.second->value();
+  Json Histograms = Json::object();
+  for (auto &KV : R.Histograms) {
+    const Histogram &H = *KV.second;
+    Json E = Json::object();
+    E["count"] = H.count();
+    E["mean_ms"] = H.meanMs();
+    E["p50_ms"] = H.percentileMs(0.50);
+    E["p95_ms"] = H.percentileMs(0.95);
+    E["p99_ms"] = H.percentileMs(0.99);
+    E["max_ms"] = H.maxMs();
+    Histograms[KV.first] = std::move(E);
+  }
+  Json Root = Json::object();
+  Root["counters"] = std::move(Counters);
+  Root["gauges"] = std::move(Gauges);
+  Root["histograms"] = std::move(Histograms);
+  return Root;
+}
+
+} // namespace dahlia::metrics

@@ -1,0 +1,141 @@
+//===- Metrics.h - Process-wide metrics registry ----------------*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, gauges, and latency
+/// histograms. Every layer registers its metrics by string literal at
+/// first use and caches the reference in a function-local static, so the
+/// hot path is a single relaxed atomic op:
+///
+///   static metrics::Counter &Hits = metrics::counter("dse.memo.estimate_hits");
+///   Hits.inc();
+///
+/// The registry is always on (unlike tracing) — counters are too cheap
+/// to gate. `metrics::snapshot()` serializes everything as JSON: the
+/// compile service's `metrics` op and `dahlia-serve --metrics-port`
+/// both answer with it, and bench/service_throughput reads its latency
+/// percentiles.
+///
+/// Metric names are part of the documented surface: docs/check_docs.py
+/// scrapes every `metrics::counter("...")` / `gauge(...)` /
+/// `histogram(...)` literal under src/ and requires each name to appear
+/// in docs/observability.md.
+///
+/// Histograms bucket microsecond values log-scale with 8 sub-buckets
+/// per octave (quantile error <= ~12%), which is plenty for p50/p95/p99
+/// latency tracking without per-sample allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_SUPPORT_METRICS_H
+#define DAHLIA_SUPPORT_METRICS_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dahlia::metrics {
+
+/// Monotone event counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-value / high-water gauge.
+class Gauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  /// Monotone high-water update (keeps the max ever set).
+  void setMax(int64_t X) {
+    int64_t Cur = V.load(std::memory_order_relaxed);
+    while (X > Cur &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed))
+      ;
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Log-bucketed latency histogram over microseconds; reports quantiles
+/// in milliseconds. Thread-safe, allocation-free recording.
+class Histogram {
+public:
+  static constexpr unsigned SubBits = 3; ///< 8 sub-buckets per octave.
+  static constexpr size_t NumBuckets =
+      (64 - SubBits + 1) * (1u << SubBits); ///< Covers the full uint64 range.
+
+  void recordUs(uint64_t Us) {
+    Buckets[bucketOf(Us)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    SumUs.fetch_add(Us, std::memory_order_relaxed);
+    uint64_t Cur = MaxUs.load(std::memory_order_relaxed);
+    while (Us > Cur &&
+           !MaxUs.compare_exchange_weak(Cur, Us, std::memory_order_relaxed))
+      ;
+  }
+  void recordMs(double Ms) {
+    recordUs(Ms <= 0 ? 0 : static_cast<uint64_t>(Ms * 1000.0));
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  /// The q-quantile (0 < q <= 1) in milliseconds; 0 when empty.
+  double percentileMs(double Q) const;
+  double maxMs() const {
+    return static_cast<double>(MaxUs.load(std::memory_order_relaxed)) / 1000.0;
+  }
+  double meanMs() const {
+    uint64_t C = count();
+    return C ? static_cast<double>(SumUs.load(std::memory_order_relaxed)) /
+                   (1000.0 * static_cast<double>(C))
+             : 0.0;
+  }
+  void reset();
+
+private:
+  static size_t bucketOf(uint64_t Us);
+  /// Midpoint of bucket \p I in microseconds.
+  static double bucketMidUs(size_t I);
+
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> SumUs{0};
+  std::atomic<uint64_t> MaxUs{0};
+};
+
+/// Finds or creates the named metric. The returned reference is valid
+/// for the process lifetime; cache it in a function-local static.
+Counter &counter(const char *Name);
+Gauge &gauge(const char *Name);
+Histogram &histogram(const char *Name);
+
+/// Every name registered so far, sorted (tests, docs tooling).
+std::vector<std::string> registeredNames();
+
+/// Zeroes every registered metric (tests and bench passes).
+void resetAll();
+
+/// The whole registry as JSON:
+///   {"counters":{name:n,...},"gauges":{...},
+///    "histograms":{name:{"count","mean_ms","p50_ms","p95_ms","p99_ms",
+///                        "max_ms"},...}}
+Json snapshot();
+
+} // namespace dahlia::metrics
+
+#endif // DAHLIA_SUPPORT_METRICS_H

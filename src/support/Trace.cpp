@@ -1,0 +1,249 @@
+//===- Trace.cpp - Span tracing with Chrome trace-event export ------------===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dahlia::trace {
+
+std::atomic<bool> Enabled{false};
+
+namespace {
+
+/// One completed span. Name is a string literal (TRACE_SPAN contract).
+struct SpanRec {
+  const char *Name;
+  uint64_t StartUs;
+  uint64_t DurUs;
+  uint64_t TraceId;
+};
+
+/// Per-thread recording buffer. The owning thread appends without any
+/// shared lock; the buffer's own mutex only matters when the writer
+/// drains a still-live thread's spans.
+struct ThreadBuffer {
+  std::mutex M;
+  std::vector<SpanRec> Spans;
+  std::string Name;
+  uint64_t Tid = 0;
+  size_t Dropped = 0;
+};
+
+/// Spans recorded onto synthetic tracks (server connections). Low rate,
+/// so a single shared mutex is fine.
+struct TrackRec {
+  uint64_t Tid;
+  std::string Name;
+};
+struct TrackSpanRec {
+  uint64_t Tid;
+  SpanRec Rec;
+};
+
+constexpr size_t MaxSpansPerBuffer = 1u << 18;
+constexpr uint64_t FirstTrackTid = 1u << 20;
+
+struct Registry {
+  std::mutex M;
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  std::vector<TrackRec> Tracks;
+  std::vector<TrackSpanRec> TrackSpans;
+  uint64_t NextTid = 1;
+  uint64_t NextTrackTid = FirstTrackTid;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point T0 =
+      std::chrono::steady_clock::now();
+  return T0;
+}
+
+ThreadBuffer &threadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> B = [] {
+    auto NewB = std::make_shared<ThreadBuffer>();
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    NewB->Tid = R.NextTid++;
+    R.Buffers.push_back(NewB);
+    return NewB;
+  }();
+  return *B;
+}
+
+thread_local uint64_t CurTraceId = 0;
+
+void appendSpan(ThreadBuffer &B, const SpanRec &Rec) {
+  std::lock_guard<std::mutex> L(B.M);
+  if (B.Spans.size() >= MaxSpansPerBuffer) {
+    ++B.Dropped;
+    return;
+  }
+  B.Spans.push_back(Rec);
+}
+
+} // namespace
+
+void traceEnable() {
+  traceEpoch(); // Pin the clock origin before the first span.
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+void traceDisable() { Enabled.store(false, std::memory_order_relaxed); }
+
+void traceClear() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (auto &B : R.Buffers) {
+    std::lock_guard<std::mutex> LB(B->M);
+    B->Spans.clear();
+    B->Dropped = 0;
+  }
+  R.Tracks.clear();
+  R.TrackSpans.clear();
+  R.NextTrackTid = FirstTrackTid;
+}
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+size_t bufferedSpanCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  size_t N = R.TrackSpans.size();
+  for (auto &B : R.Buffers) {
+    std::lock_guard<std::mutex> LB(B->M);
+    N += B->Spans.size();
+  }
+  return N;
+}
+
+void traceSetThreadName(const std::string &Name) {
+  ThreadBuffer &B = threadBuffer();
+  std::lock_guard<std::mutex> L(B.M);
+  B.Name = Name;
+}
+
+void traceSetThreadNameIfUnset(const std::string &Name) {
+  ThreadBuffer &B = threadBuffer();
+  std::lock_guard<std::mutex> L(B.M);
+  if (B.Name.empty())
+    B.Name = Name;
+}
+
+uint64_t currentTraceId() { return CurTraceId; }
+
+TraceIdScope::TraceIdScope(uint64_t Id) : Prev(CurTraceId) {
+  CurTraceId = Id;
+}
+TraceIdScope::~TraceIdScope() { CurTraceId = Prev; }
+
+uint64_t traceMakeTrack(const std::string &Name) {
+  if (!enabled())
+    return 0;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  uint64_t Tid = R.NextTrackTid++;
+  R.Tracks.push_back({Tid, Name});
+  return Tid;
+}
+
+void traceSpanOnTrack(uint64_t Track, const char *Name, uint64_t StartUs,
+                      uint64_t DurUs, uint64_t TraceId) {
+  if (Track == 0 || !enabled())
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.TrackSpans.push_back({Track, {Name, StartUs, DurUs, TraceId}});
+}
+
+void Span::begin(const char *Name) {
+  SpanName = Name;
+  StartUs = nowUs();
+  Active = true;
+}
+
+void Span::end() {
+  // Record even if tracing was disabled mid-span: the span was promised
+  // at entry and dropping it would leave an unbalanced trace.
+  appendSpan(threadBuffer(),
+             {SpanName, StartUs, nowUs() - StartUs, CurTraceId});
+}
+
+std::string traceToChromeJson() {
+  Json Events = Json::array();
+  auto PushSpan = [&Events](uint64_t Tid, const SpanRec &S) {
+    Json E = Json::object();
+    E["name"] = S.Name;
+    E["ph"] = "X";
+    E["ts"] = S.StartUs;
+    E["dur"] = S.DurUs;
+    E["pid"] = 1;
+    E["tid"] = Tid;
+    if (S.TraceId) {
+      Json Args = Json::object();
+      Args["trace_id"] = S.TraceId;
+      E["args"] = std::move(Args);
+    }
+    Events.push_back(std::move(E));
+  };
+  auto PushThreadName = [&Events](uint64_t Tid, const std::string &Name) {
+    Json E = Json::object();
+    E["name"] = "thread_name";
+    E["ph"] = "M";
+    E["pid"] = 1;
+    E["tid"] = Tid;
+    Json Args = Json::object();
+    Args["name"] = Name;
+    E["args"] = std::move(Args);
+    Events.push_back(std::move(E));
+  };
+
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (auto &B : R.Buffers) {
+    std::lock_guard<std::mutex> LB(B->M);
+    if (!B->Name.empty())
+      PushThreadName(B->Tid, B->Name);
+    for (const SpanRec &S : B->Spans)
+      PushSpan(B->Tid, S);
+  }
+  for (const TrackRec &T : R.Tracks)
+    PushThreadName(T.Tid, T.Name);
+  for (const TrackSpanRec &S : R.TrackSpans)
+    PushSpan(S.Tid, S.Rec);
+
+  Json Root = Json::object();
+  Root["traceEvents"] = std::move(Events);
+  Root["displayTimeUnit"] = "ms";
+  return Root.dump();
+}
+
+bool traceWriteFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << traceToChromeJson() << "\n";
+  return static_cast<bool>(Out);
+}
+
+} // namespace dahlia::trace

@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <map>
@@ -851,6 +852,148 @@ TEST(Service, RestartOverCacheDirStartsWarm) {
     EXPECT_TRUE(Second.R.Cached);
   }
   fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: the metrics op and request trace IDs
+//===----------------------------------------------------------------------===//
+
+/// The metrics registry is process-global, so these tests only assert on
+/// before/after deltas — absolute values include every other test's work.
+int64_t counterOf(const ClientResponse &M, const char *Name) {
+  return M.R.Metrics.at("counters").at(Name).asInt();
+}
+
+TEST(Service, MetricsOpCountsRequestsAndWarmCacheHits) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  ClientResponse Before = C.metrics();
+  ASSERT_TRUE(Before.R.Ok);
+  ASSERT_TRUE(Before.R.Metrics.isObject());
+  ASSERT_TRUE(Before.R.Metrics.at("counters").isObject());
+  int64_t Requests0 = counterOf(Before, "service.requests");
+  int64_t VerdictHits0 = counterOf(Before, "dse.memo.verdict_hits");
+  int64_t HistCount0 = Before.R.Metrics.at("histograms")
+                           .at("service.request_ms")
+                           .at("count")
+                           .asInt();
+
+  EXPECT_TRUE(C.check(AcceptedSrc).R.Ok); // Cold: populates the memo.
+  ClientResponse Warm = C.check(AcceptedSrc); // Warm repeat: a memo hit.
+  EXPECT_TRUE(Warm.R.Ok);
+  EXPECT_TRUE(Warm.R.Cached);
+
+  ClientResponse After = C.metrics();
+  ASSERT_TRUE(After.R.Ok);
+  // The two checks plus the metrics ops themselves were counted...
+  EXPECT_GE(counterOf(After, "service.requests"), Requests0 + 3);
+  // ...the warm repeat moved the cache-hit counter...
+  EXPECT_GT(counterOf(After, "dse.memo.verdict_hits"), VerdictHits0);
+  // ...and each counted request recorded a latency sample.
+  EXPECT_GE(After.R.Metrics.at("histograms")
+                .at("service.request_ms")
+                .at("count")
+                .asInt(),
+            HistCount0 + 3);
+}
+
+TEST(Service, TraceIdsEchoClientValuesAndStampFreshOnes) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  // A client-supplied trace ID is echoed back verbatim.
+  Request R;
+  R.Kind = Op::Check;
+  R.Source = AcceptedSrc;
+  R.TraceId = 987654;
+  ClientResponse Echoed = C.call(std::move(R));
+  EXPECT_TRUE(Echoed.R.Ok);
+  EXPECT_EQ(Echoed.R.TraceId, 987654u);
+
+  // Without one, the server stamps a fresh nonzero ID — distinct per
+  // request, so a slow-request log line maps to exactly one request.
+  ClientResponse A = C.check(AcceptedSrc);
+  ClientResponse B = C.estimate(AcceptedSrc);
+  EXPECT_NE(A.R.TraceId, 0u);
+  EXPECT_NE(B.R.TraceId, 0u);
+  EXPECT_NE(A.R.TraceId, B.R.TraceId);
+
+  // The wire format round-trips it.
+  std::string Err;
+  auto Back = Request::fromJson(
+      R"({"id":1,"op":"check","source":"x","trace_id":42})", &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->TraceId, 42u);
+  EXPECT_FALSE(
+      Request::fromJson(
+          R"({"id":1,"op":"check","source":"x","trace_id":-3})", &Err)
+          .has_value()); // Negative IDs are rejected, not wrapped.
+}
+
+TEST(TcpServer, MetricsOpSeesCoalescedEpochsAndCacheHits) {
+  if (!haveSockets())
+    GTEST_SKIP() << "no sockets on this platform";
+  CompileService Svc(testOptions());
+  ServiceClient Local(Svc);
+  ClientResponse Before = Local.metrics();
+  ASSERT_TRUE(Before.R.Ok);
+  int64_t Coalesced0 = counterOf(Before, "server.coalesced_epochs");
+  int64_t VerdictHits0 = counterOf(Before, "dse.memo.verdict_hits");
+  int64_t Accepted0 = counterOf(Before, "server.connections_accepted");
+
+  TcpServer Srv(Svc);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  std::thread Loop([&] { Srv.run(); });
+
+  // Warm the memo once so the hammer below is mostly cache hits.
+  EXPECT_TRUE(Local.check(AcceptedSrc).R.Ok);
+
+  constexpr int NumClients = 8, Iters = 20;
+  std::vector<std::thread> Clients;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T != NumClients; ++T)
+    Clients.emplace_back([&] {
+      int Fd = connectLoopback(Srv.port());
+      if (Fd < 0) {
+        ++Failures;
+        return;
+      }
+      {
+        FdStreamBuf Buf(Fd);
+        std::istream In(&Buf);
+        std::ostream Out(&Buf);
+        ServiceClient C(In, Out);
+        for (int I = 0; I != Iters; ++I)
+          if (!C.check(AcceptedSrc).R.Ok)
+            ++Failures;
+      }
+      closeFd(Fd);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // The acceptance snapshot rides the same wire as any other op.
+  int Fd = connectLoopback(Srv.port());
+  ASSERT_GE(Fd, 0);
+  {
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient C(In, Out);
+    ClientResponse After = C.metrics();
+    ASSERT_TRUE(After.R.Ok);
+    EXPECT_GT(counterOf(After, "server.coalesced_epochs"), Coalesced0);
+    EXPECT_GT(counterOf(After, "dse.memo.verdict_hits"), VerdictHits0);
+    EXPECT_GE(counterOf(After, "server.connections_accepted"),
+              Accepted0 + NumClients);
+  }
+  closeFd(Fd);
+
+  Srv.stop();
+  Loop.join();
 }
 
 } // namespace
