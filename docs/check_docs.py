@@ -5,9 +5,10 @@ Checks three machine-verifiable contracts:
 
   * every service op the server knows (the string literals handled in
     src/service/Protocol.cpp) appears in docs/protocol.md;
-  * every flag `dahliac`, `dahlia-serve`, and `dahlia-dse-merge` accept
-    (their --help output, or the usage strings in their sources when
-    --bin-dir is not given) appears in docs/cli.md;
+  * every flag `dahliac`, `dahlia-serve`, `dahlia-dse-merge`,
+    `dahlia-fuzz`, and `dahlia-fuzz-proto` accept (their --help output,
+    or the usage strings in their sources when --bin-dir is not given)
+    appears in docs/cli.md;
   * every metric name registered under src/ (the string literals passed
     to metrics::counter/gauge/histogram) appears in
     docs/observability.md.
@@ -173,6 +174,11 @@ def main():
         "dahlia-dse-merge": binary_flags(args.repo, args.bin_dir,
                                          "dahlia-dse-merge",
                                          "examples/dahlia_dse_merge.cpp"),
+        "dahlia-fuzz": binary_flags(args.repo, args.bin_dir, "dahlia-fuzz",
+                                    "bench/fuzz_differential.cpp"),
+        "dahlia-fuzz-proto": binary_flags(args.repo, args.bin_dir,
+                                          "dahlia-fuzz-proto",
+                                          "bench/fuzz_protocol.cpp"),
     }
     metrics = metric_names(args.repo)
     protocol_md = read(os.path.join(args.repo, "docs", "protocol.md"))

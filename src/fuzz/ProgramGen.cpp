@@ -1,0 +1,634 @@
+//===- ProgramGen.cpp - Seeded random Dahlia program generator --*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <sstream>
+
+using namespace dahlia;
+using namespace dahlia::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void indent(std::ostringstream &OS, int Depth) {
+  for (int I = 0; I < Depth; ++I)
+    OS << "  ";
+}
+
+/// The first Read binding in \p Body, if any — the value a combine block
+/// reduces. The shrinker may have dropped every read, in which case the
+/// renderer drops the combine clause too (an empty combine would not
+/// type-check).
+const GStmt *firstRead(const std::vector<GStmt> &Body) {
+  for (const GStmt &S : Body)
+    if (S.K == GStmt::Read)
+      return &S;
+  return nullptr;
+}
+
+std::string indexText(const GStmt &S) {
+  std::ostringstream OS;
+  if (S.IdxVar.empty()) {
+    OS << S.IdxConst;
+    return OS.str();
+  }
+  OS << S.IdxVar;
+  if (!S.Idx2Var.empty())
+    OS << " + " << S.Idx2Var;
+  if (S.IdxConst != 0)
+    OS << " + " << S.IdxConst;
+  return OS.str();
+}
+
+void renderStmt(std::ostringstream &OS, const GProgram &P, const GStmt &S,
+                int Depth) {
+  const GArray &A = P.Arrays[static_cast<size_t>(S.Array)];
+  const std::string Mem = S.ViaView.empty() ? A.Name : S.ViaView;
+  switch (S.K) {
+  case GStmt::Read:
+    indent(OS, Depth);
+    OS << "let " << S.Var << " = " << Mem << "[" << indexText(S) << "];\n";
+    break;
+  case GStmt::Write: {
+    indent(OS, Depth);
+    OS << Mem << "[" << indexText(S) << "] := ";
+    if (!S.SrcVar.empty())
+      OS << S.SrcVar << (A.Float ? " + 1.5" : " + 1");
+    else
+      OS << (A.Float ? "2.5" : "3");
+    OS << ";\n";
+    break;
+  }
+  case GStmt::View:
+    indent(OS, Depth);
+    OS << "view " << S.Var << " = shrink " << A.Name << "[by " << S.ViewDiv
+       << "];\n";
+    break;
+  case GStmt::For: {
+    const GStmt *Red = S.Combine ? firstRead(S.Body) : nullptr;
+    if (Red) {
+      indent(OS, Depth);
+      OS << "let s_" << S.Var << " = 0.0;\n";
+    }
+    indent(OS, Depth);
+    OS << "for (let " << S.Var << " = 0.." << S.Trip << ")";
+    if (S.Unroll != 1)
+      OS << " unroll " << S.Unroll;
+    OS << " {\n";
+    for (const GStmt &C : S.Body)
+      renderStmt(OS, P, C, Depth + 1);
+    indent(OS, Depth);
+    OS << "}";
+    if (Red) {
+      OS << " combine {\n";
+      indent(OS, Depth + 1);
+      OS << "s_" << S.Var << " += " << Red->Var << ";\n";
+      indent(OS, Depth);
+      OS << "}";
+    }
+    OS << "\n";
+    break;
+  }
+  case GStmt::While:
+    indent(OS, Depth);
+    OS << "let " << S.Var << " = 0;\n";
+    indent(OS, Depth);
+    OS << "while (" << S.Var << " < " << S.Trip << ") {\n";
+    for (const GStmt &C : S.Body)
+      renderStmt(OS, P, C, Depth + 1);
+    indent(OS, Depth + 1);
+    OS << S.Var << " := " << S.Var << " + 1;\n";
+    indent(OS, Depth);
+    OS << "}\n";
+    break;
+  }
+}
+
+} // namespace
+
+std::string GProgram::render() const {
+  std::ostringstream OS;
+  for (const GArray &A : Arrays) {
+    OS << "decl " << A.Name << ": " << (A.Float ? "float" : "bit<32>") << "["
+       << A.Size;
+    if (A.Bank != 1)
+      OS << " bank " << A.Bank;
+    OS << "];\n";
+  }
+  for (size_t B = 0; B != Blocks.size(); ++B) {
+    if (B != 0)
+      OS << "---\n";
+    for (const GStmt &S : Blocks[B])
+      renderStmt(OS, *this, S, 0);
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Divisors of \p N in ascending order (N <= 64 here, so trial division
+/// is fine).
+std::vector<int64_t> divisorsOf(int64_t N) {
+  std::vector<int64_t> D;
+  for (int64_t I = 1; I <= N; ++I)
+    if (N % I == 0)
+      D.push_back(I);
+  return D;
+}
+
+/// Mutable generation state: fresh-name counters plus the draw stream.
+struct GenState {
+  Rng R;
+  int NextLet = 0;
+  int NextIter = 0;
+  int NextWhile = 0;
+  int NextView = 0;
+  const GenOptions &O;
+
+  explicit GenState(uint64_t Seed, const GenOptions &Opts)
+      : R(Seed), O(Opts) {}
+
+  std::string letName() { return "v" + std::to_string(NextLet++); }
+  std::string iterName() { return "i" + std::to_string(NextIter++); }
+  std::string whileName() { return "c" + std::to_string(NextWhile++); }
+  std::string viewName() { return "w" + std::to_string(NextView++); }
+};
+
+/// One Read or Write of \p Array through iterator \p IdxVar (empty for a
+/// literal index). \p MaxConst bounds the additive constant so every
+/// reachable index stays in bounds (the interpreter runs these programs;
+/// a static OOB would surface as a spurious stuck state).
+GStmt genAccess(GenState &G, const GProgram &P, int Array,
+                const std::string &IdxVar, int64_t MaxConst,
+                const std::string &ViaView = {},
+                const std::string &Idx2Var = {}) {
+  GStmt S;
+  S.Array = Array;
+  S.IdxVar = IdxVar;
+  S.Idx2Var = Idx2Var;
+  S.ViaView = ViaView;
+  S.IdxConst = MaxConst > 0 ? G.R.range(0, MaxConst) : 0;
+  if (IdxVar.empty() && S.IdxConst >= P.Arrays[Array].Size)
+    S.IdxConst = P.Arrays[Array].Size - 1;
+  if (G.R.chance(50)) {
+    S.K = GStmt::Read;
+    S.Var = G.letName();
+  } else {
+    S.K = GStmt::Write;
+  }
+  return S;
+}
+
+/// Statements for one par step. \p Pool holds the indices of arrays this
+/// step may still touch; every generated statement removes the arrays it
+/// consumes, preserving the one-access-per-memory-per-step discipline the
+/// affine checker enforces.
+void genStmts(GenState &G, GProgram &P, std::vector<int> &Pool, int Depth,
+              std::vector<GStmt> &Out);
+
+/// A for loop over \p Array (claimed from the pool by the caller): picks
+/// unroll/trip factors consistent with the array's banking and the
+/// unwritten rules (unroll == bank, or unroll == 1), then fills the body.
+GStmt genFor(GenState &G, GProgram &P, std::vector<int> &Pool, int Array,
+             int Depth) {
+  const GArray &A = P.Arrays[static_cast<size_t>(Array)];
+  GStmt S;
+  S.K = GStmt::For;
+  S.Var = G.iterName();
+  // Unrolled lockstep access needs unroll == bank; sequential (unroll 1)
+  // accesses any banking. Bias toward the interesting unrolled case.
+  S.Unroll = (A.Bank > 1 && G.R.chance(70)) ? A.Bank : 1;
+  // Trip: a multiple of the unroll factor, within the array bound.
+  int64_t MaxTrip = A.Size;
+  int64_t Steps = std::max<int64_t>(1, MaxTrip / S.Unroll);
+  S.Trip = S.Unroll * G.R.range(1, Steps);
+  int64_t MaxConst = A.Size - S.Trip;
+
+  S.Body.push_back(genAccess(G, P, Array, S.Var, std::min<int64_t>(MaxConst, 3)));
+  // A second array in the same step: lockstep-compatible banking uses the
+  // shared iterator; anything else gets a literal index (one bank).
+  if (!Pool.empty() && G.R.chance(45)) {
+    int Other = Pool.back();
+    Pool.pop_back();
+    const GArray &B = P.Arrays[static_cast<size_t>(Other)];
+    bool SameIter = (S.Unroll == 1 || B.Bank == S.Unroll) && B.Size >= S.Trip;
+    GStmt Acc = SameIter
+                    ? genAccess(G, P, Other, S.Var,
+                                std::min<int64_t>(B.Size - S.Trip, 3))
+                    : genAccess(G, P, Other, "", B.Size - 1);
+    // Chain dataflow: a write can consume the first statement's read.
+    if (Acc.K == GStmt::Write && S.Body.front().K == GStmt::Read &&
+        B.Float == A.Float && G.R.chance(70))
+      Acc.SrcVar = S.Body.front().Var;
+    S.Body.push_back(std::move(Acc));
+  }
+  // A nested loop over leftover arrays.
+  if (Depth + 1 < G.O.MaxLoopDepth && !Pool.empty() && G.R.chance(45))
+    genStmts(G, P, Pool, Depth + 1, S.Body);
+  // Reductions only make sense over float reads.
+  S.Combine = A.Float && firstRead(S.Body) && G.R.chance(35);
+  return S;
+}
+
+void genStmts(GenState &G, GProgram &P, std::vector<int> &Pool, int Depth,
+              std::vector<GStmt> &Out) {
+  int N = static_cast<int>(G.R.range(1, G.O.MaxStmtsPerBlock));
+  for (int I = 0; I < N && !Pool.empty(); ++I) {
+    int Array = Pool.back();
+    Pool.pop_back();
+    const GArray &A = P.Arrays[static_cast<size_t>(Array)];
+    uint64_t Draw = G.R.below(100);
+    if (Draw < 50) {
+      Out.push_back(genFor(G, P, Pool, Array, Depth));
+    } else if (Draw < 65 && A.Bank == 1) {
+      // Counted while: the spec extractor derives its static trip bound,
+      // so these exercise the IsWhile nest path end to end. The counter
+      // is a Dynamic index, which the checker only admits on unbanked
+      // memories.
+      GStmt S;
+      S.K = GStmt::While;
+      S.Var = G.whileName();
+      S.Trip = G.R.range(1, std::min<int64_t>(A.Size, 6));
+      S.Body.push_back(genAccess(G, P, Array, S.Var, 0));
+      Out.push_back(std::move(S));
+    } else if (Draw < 80 && A.Bank > 1 && Depth + 1 < G.O.MaxLoopDepth) {
+      // A shrink view: halve (or further divide) the banking factor and
+      // unroll the consuming loop by the view's banking.
+      std::vector<int64_t> Divs = divisorsOf(A.Bank);
+      // Proper shrink factors only (1 would be a no-op view).
+      Divs.erase(Divs.begin());
+      int64_t Div = G.R.pick(Divs);
+      GStmt V;
+      V.K = GStmt::View;
+      V.Var = G.viewName();
+      V.Array = Array;
+      V.ViewDiv = Div;
+      std::string ViewName = V.Var;
+      Out.push_back(std::move(V));
+
+      GStmt F;
+      F.K = GStmt::For;
+      F.Var = G.iterName();
+      F.Unroll = A.Bank / Div;
+      int64_t Steps = std::max<int64_t>(1, A.Size / F.Unroll);
+      F.Trip = F.Unroll * G.R.range(1, Steps);
+      F.Body.push_back(genAccess(G, P, Array, F.Var, 0, ViewName));
+      Out.push_back(std::move(F));
+    } else {
+      // A bare top-level access (literal index, or Dynamic via nothing).
+      Out.push_back(genAccess(G, P, Array, "", A.Size - 1));
+    }
+  }
+}
+
+/// One deliberate typing-rule violation, drawn uniformly. The oracle
+/// expects nothing beyond a deterministic, crash-free rejection.
+void sabotage(GenState &G, GProgram &P) {
+  switch (G.R.below(5)) {
+  case 0: // Banking that does not divide the size.
+    if (!P.Arrays.empty()) {
+      GArray &A = P.Arrays[G.R.below(P.Arrays.size())];
+      A.Bank = A.Size > 3 ? 3 : A.Size + 1;
+      if (A.Size % A.Bank == 0)
+        ++A.Bank;
+    }
+    break;
+  case 1: // Zero banking factor.
+    if (!P.Arrays.empty())
+      P.Arrays[G.R.below(P.Arrays.size())].Bank = 0;
+    break;
+  case 2: { // Out-of-bounds literal access.
+    if (!P.Blocks.empty() && !P.Arrays.empty()) {
+      GStmt S;
+      S.K = GStmt::Write;
+      S.Array = static_cast<int>(G.R.below(P.Arrays.size()));
+      S.IdxConst = P.Arrays[S.Array].Size + 2;
+      P.Blocks.back().push_back(std::move(S));
+    }
+    break;
+  }
+  case 3: { // Double access to one memory in one par step.
+    if (!P.Blocks.empty() && !P.Arrays.empty()) {
+      GStmt S;
+      S.K = GStmt::Write;
+      S.Array = static_cast<int>(G.R.below(P.Arrays.size()));
+      S.IdxConst = 0;
+      P.Blocks.back().push_back(S);
+      P.Blocks.back().push_back(S);
+    }
+    break;
+  }
+  default: { // Unroll that matches neither the bank nor the trip count.
+    for (auto &Block : P.Blocks)
+      for (GStmt &S : Block)
+        if (S.K == GStmt::For) {
+          S.Unroll = S.Unroll * 2 + 1;
+          return;
+        }
+    if (!P.Arrays.empty())
+      P.Arrays[0].Bank = 0;
+    break;
+  }
+  }
+}
+
+} // namespace
+
+GProgram dahlia::fuzz::generate(uint64_t Seed, const GenOptions &O) {
+  GenState G(Seed, O);
+  GProgram P;
+  P.Seed = Seed;
+
+  static const std::vector<int64_t> Sizes = {4, 6, 8, 12, 16, 24, 32, 64};
+  int NumArrays = static_cast<int>(G.R.range(1, O.MaxArrays));
+  for (int I = 0; I < NumArrays; ++I) {
+    GArray A;
+    A.Name = "A" + std::to_string(I);
+    A.Size = G.R.pick(Sizes);
+    std::vector<int64_t> Banks = divisorsOf(A.Size);
+    A.Bank = G.R.pick(Banks);
+    A.Float = G.R.chance(75);
+    P.Arrays.push_back(std::move(A));
+  }
+
+  int NumBlocks = static_cast<int>(G.R.range(1, O.MaxBlocks));
+  for (int B = 0; B < NumBlocks; ++B) {
+    // Each `---` step draws a fresh claim pool: ordered composition
+    // resets the affine context, so different blocks may reuse memories.
+    std::vector<int> Pool;
+    for (int I = 0; I < NumArrays; ++I)
+      Pool.push_back(I);
+    // Deterministic shuffle.
+    for (size_t I = Pool.size(); I > 1; --I)
+      std::swap(Pool[I - 1], Pool[G.R.below(I)]);
+    std::vector<GStmt> Block;
+    genStmts(G, P, Pool, 0, Block);
+    if (!Block.empty())
+      P.Blocks.push_back(std::move(Block));
+  }
+  if (P.Blocks.empty()) {
+    // Degenerate draw: fall back to one bare access so the program is
+    // never empty (the pipeline rejects programs with nothing to do).
+    std::vector<int> Pool = {0};
+    std::vector<GStmt> Block;
+    Block.push_back(genAccess(G, P, 0, "", P.Arrays[0].Size - 1));
+    P.Blocks.push_back(std::move(Block));
+  }
+
+  if (G.R.chance(O.SabotagePct))
+    sabotage(G, P);
+  return P;
+}
+
+std::string dahlia::fuzz::mutateSource(const std::string &Src,
+                                       uint64_t Seed) {
+  Rng R(Seed ^ 0xD1FFE4EA17B1E5ULL);
+  std::string S = Src;
+  static const char Charset[] = "{}[]();:=.<>+-*/ \n\"dclforwh银018x";
+  int Ops = static_cast<int>(R.range(1, 4));
+  for (int I = 0; I < Ops && !S.empty(); ++I) {
+    switch (R.below(5)) {
+    case 0: // Truncate.
+      S.resize(R.below(S.size()));
+      break;
+    case 1: { // Delete a span.
+      size_t At = R.below(S.size());
+      size_t Len = 1 + R.below(8);
+      S.erase(At, Len);
+      break;
+    }
+    case 2: { // Duplicate a span.
+      size_t At = R.below(S.size());
+      size_t Len = std::min<size_t>(1 + R.below(16), S.size() - At);
+      S.insert(At, S.substr(At, Len));
+      break;
+    }
+    case 3: { // Random bytes.
+      size_t At = R.below(S.size());
+      size_t N = 1 + R.below(6);
+      for (size_t J = 0; J < N; ++J)
+        S.insert(S.begin() + static_cast<ptrdiff_t>(At),
+                 Charset[R.below(sizeof(Charset) - 1)]);
+      break;
+    }
+    default: { // Swap two characters.
+      size_t A = R.below(S.size()), B = R.below(S.size());
+      std::swap(S[A], S[B]);
+      break;
+    }
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+size_t stmtSize(const GStmt &S) {
+  size_t N = 8;
+  N += static_cast<size_t>(std::bit_width(static_cast<uint64_t>(S.Trip)));
+  N += static_cast<size_t>(std::bit_width(static_cast<uint64_t>(S.Unroll)));
+  N += static_cast<size_t>(
+      std::bit_width(static_cast<uint64_t>(S.IdxConst < 0 ? -S.IdxConst
+                                                          : S.IdxConst)));
+  if (S.Combine)
+    N += 4;
+  if (!S.SrcVar.empty())
+    N += 2;
+  for (const GStmt &C : S.Body)
+    N += stmtSize(C);
+  return N;
+}
+
+/// Applies \p Edit to the statement at flat pre-order position \p Target
+/// (counting every statement at every nesting level). Returns true when
+/// the target was found. A null \p Edit means "remove the statement".
+bool editAt(std::vector<GStmt> &Stmts, size_t &Pos, size_t Target,
+            const std::function<void(GStmt &)> &Edit) {
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    if (Pos == Target) {
+      if (Edit)
+        Edit(Stmts[I]);
+      else
+        Stmts.erase(Stmts.begin() + static_cast<ptrdiff_t>(I));
+      return true;
+    }
+    ++Pos;
+    if (editAt(Stmts[I].Body, Pos, Target, Edit))
+      return true;
+  }
+  return false;
+}
+
+size_t countStmts(const std::vector<GStmt> &Stmts) {
+  size_t N = 0;
+  for (const GStmt &S : Stmts)
+    N += 1 + countStmts(S.Body);
+  return N;
+}
+
+void forEachStmtIndex(const GProgram &P,
+                      const std::function<void(size_t, const GStmt &)> &Fn) {
+  std::function<void(const std::vector<GStmt> &, size_t &)> Walk =
+      [&](const std::vector<GStmt> &Stmts, size_t &Pos) {
+        for (const GStmt &S : Stmts) {
+          Fn(Pos, S);
+          ++Pos;
+          Walk(S.Body, Pos);
+        }
+      };
+  for (const auto &Block : P.Blocks) {
+    size_t Pos = 0;
+    (void)Pos;
+  }
+  // Positions are global across blocks, matching applyEdit below.
+  size_t Pos = 0;
+  for (const auto &Block : P.Blocks)
+    Walk(Block, Pos);
+}
+
+/// Copy of \p P with \p Edit applied to global statement position
+/// \p Target (nullptr = remove).
+GProgram withEdit(const GProgram &P, size_t Target,
+                  const std::function<void(GStmt &)> &Edit) {
+  GProgram C = P;
+  size_t Pos = 0;
+  for (auto &Block : C.Blocks)
+    if (editAt(Block, Pos, Target, Edit))
+      break;
+  // Drop blocks the removal emptied.
+  C.Blocks.erase(std::remove_if(C.Blocks.begin(), C.Blocks.end(),
+                                [](const std::vector<GStmt> &B) {
+                                  return B.empty();
+                                }),
+                 C.Blocks.end());
+  return C;
+}
+
+} // namespace
+
+size_t dahlia::fuzz::detail::structuralSize(const GProgram &P) {
+  size_t N = 0;
+  for (const GArray &A : P.Arrays) {
+    N += 8;
+    N += static_cast<size_t>(std::bit_width(static_cast<uint64_t>(A.Size)));
+    N += static_cast<size_t>(
+        std::bit_width(static_cast<uint64_t>(A.Bank < 0 ? 0 : A.Bank)));
+  }
+  for (const auto &Block : P.Blocks) {
+    N += 2;
+    for (const GStmt &S : Block)
+      N += stmtSize(S);
+  }
+  return N;
+}
+
+void dahlia::fuzz::detail::shrinkCandidates(const GProgram &P,
+                                            std::vector<GProgram> &Out) {
+  // Drop whole blocks first (largest cuts up front keeps shrinking fast).
+  if (P.Blocks.size() > 1)
+    for (size_t B = 0; B < P.Blocks.size(); ++B) {
+      GProgram C = P;
+      C.Blocks.erase(C.Blocks.begin() + static_cast<ptrdiff_t>(B));
+      Out.push_back(std::move(C));
+    }
+
+  size_t Total = 0;
+  for (const auto &Block : P.Blocks)
+    Total += countStmts(Block);
+
+  // Remove each statement.
+  if (Total > 1)
+    for (size_t I = 0; I < Total; ++I)
+      Out.push_back(withEdit(P, I, nullptr));
+
+  // Reduce each statement's knobs.
+  forEachStmtIndex(P, [&](size_t I, const GStmt &S) {
+    if (S.K == GStmt::For || S.K == GStmt::While) {
+      if (S.Trip > 1) {
+        Out.push_back(withEdit(P, I, [](GStmt &T) {
+          T.Trip = 1;
+          T.Unroll = 1;
+        }));
+        if (S.Unroll > 1 && S.Trip / 2 >= S.Unroll &&
+            (S.Trip / 2) % S.Unroll == 0)
+          Out.push_back(withEdit(P, I, [](GStmt &T) { T.Trip /= 2; }));
+        else if (S.Unroll == 1 && S.Trip > 2)
+          Out.push_back(withEdit(P, I, [](GStmt &T) { T.Trip /= 2; }));
+      }
+      if (S.Unroll > 1)
+        Out.push_back(withEdit(P, I, [](GStmt &T) { T.Unroll = 1; }));
+      if (S.Combine)
+        Out.push_back(withEdit(P, I, [](GStmt &T) { T.Combine = false; }));
+    }
+    if (S.IdxConst != 0)
+      Out.push_back(withEdit(P, I, [](GStmt &T) { T.IdxConst = 0; }));
+    if (!S.SrcVar.empty())
+      Out.push_back(withEdit(P, I, [](GStmt &T) { T.SrcVar.clear(); }));
+  });
+
+  // Simplify array shapes. Accesses that relied on the old banking will
+  // fail the type checker afterwards — the predicate rejects those edits.
+  for (size_t A = 0; A < P.Arrays.size(); ++A) {
+    if (P.Arrays[A].Bank > 1) {
+      GProgram C = P;
+      C.Arrays[A].Bank = 1;
+      Out.push_back(std::move(C));
+    }
+    if (P.Arrays[A].Size > 4) {
+      GProgram C = P;
+      C.Arrays[A].Size = 4;
+      // Bank can be 0 on sabotaged programs; guard the divisibility test.
+      C.Arrays[A].Bank = P.Arrays[A].Bank >= 1 && P.Arrays[A].Bank <= 4 &&
+                                 4 % P.Arrays[A].Bank == 0
+                             ? P.Arrays[A].Bank
+                             : 1;
+      Out.push_back(std::move(C));
+    }
+  }
+
+  // Drop unreferenced arrays (keeping at least one), reindexing accesses.
+  if (P.Arrays.size() > 1)
+    for (size_t A = 0; A < P.Arrays.size(); ++A) {
+      bool Used = false;
+      forEachStmtIndex(P, [&](size_t, const GStmt &S) {
+        if ((S.K == GStmt::Read || S.K == GStmt::Write ||
+             S.K == GStmt::View) &&
+            static_cast<size_t>(S.Array) == A)
+          Used = true;
+      });
+      if (Used)
+        continue;
+      GProgram C = P;
+      C.Arrays.erase(C.Arrays.begin() + static_cast<ptrdiff_t>(A));
+      std::function<void(std::vector<GStmt> &)> Fix =
+          [&](std::vector<GStmt> &Stmts) {
+            for (GStmt &S : Stmts) {
+              if (static_cast<size_t>(S.Array) > A)
+                --S.Array;
+              Fix(S.Body);
+            }
+          };
+      for (auto &Block : C.Blocks)
+        Fix(Block);
+      Out.push_back(std::move(C));
+    }
+}

@@ -1,0 +1,192 @@
+//===- ProgramGen.h - Seeded random Dahlia program generator ----*- C++ -*-===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded generator of random well-typed-ish Dahlia
+/// programs for the differential fuzz harness (src/fuzz/Differential.h),
+/// plus the shrinker that minimizes failing cases.
+///
+/// The generator does not emit source text directly: it draws a
+/// structured \c GProgram (banked array decls, nested for loops with
+/// unroll factors, counted while loops, shrink views, combine-block
+/// reductions, array reads/writes with affine indices) and renders it.
+/// Keeping the structure around is what makes shrinking tractable — the
+/// shrinker edits the structure (drop a statement, reduce a trip count,
+/// unbank an array) and re-renders, instead of splicing text.
+///
+/// Generation is biased toward programs that pass the type checker: the
+/// affine discipline is respected by construction (each par step touches
+/// each memory at most once; unrolled accesses use iterators whose unroll
+/// factor equals the banking factor), and a tunable fraction of programs
+/// get one deliberate rule violation (bank/unroll mismatch, zero banking,
+/// out-of-bounds literal, double access) so the rejection paths stay
+/// fuzzed too. Everything is driven by a SplitMix64 stream: the same seed
+/// always yields byte-identical source on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAHLIA_FUZZ_PROGRAMGEN_H
+#define DAHLIA_FUZZ_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dahlia::fuzz {
+
+/// SplitMix64: tiny, fast, platform-stable. Every random draw the fuzz
+/// harnesses make goes through this so a seed reproduces bit-identically
+/// everywhere (std::mt19937 distributions are not portable across
+/// standard libraries; this is).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); 0 when N == 0.
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Uniform in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Pct/100.
+  bool chance(int Pct) { return static_cast<int>(below(100)) < Pct; }
+
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    return V[below(V.size())];
+  }
+
+private:
+  uint64_t State;
+};
+
+/// One interface memory declaration.
+struct GArray {
+  std::string Name;
+  int64_t Size = 8;
+  int64_t Bank = 1;
+  bool Float = true; ///< float vs bit<32>.
+};
+
+/// One statement of the generated program tree.
+struct GStmt {
+  enum Kind {
+    For,   ///< for (let Var = 0..Trip) unroll Unroll { Body } [combine]
+    While, ///< let Var = 0; while (Var < Trip) { Body; Var := Var + 1; }
+    View,  ///< view Var = shrink Arrays[Array].Name[by ViewDiv];
+    Read,  ///< let Var = mem[index];
+    Write, ///< mem[index] := expr;
+  };
+  Kind K = Read;
+
+  std::string Var;          ///< Iterator / view / let-binding name.
+  int64_t Trip = 1;         ///< For trip count / while bound.
+  int64_t Unroll = 1;       ///< For unroll factor (1 = omitted).
+  bool Combine = false;     ///< For: reduce the body's reads via combine.
+  int64_t ViewDiv = 1;      ///< View: shrink factor.
+  std::vector<GStmt> Body;  ///< For/While children.
+
+  int Array = 0;            ///< Read/Write/View: index into GProgram::Arrays.
+  std::string ViaView;      ///< Read/Write: access through this view name
+                            ///< (empty = direct array access).
+  std::string IdxVar;       ///< Index iterator name ("" = literal index).
+  std::string Idx2Var;      ///< Second index iterator ("" = none); renders
+                            ///< as `IdxVar + Idx2Var` for dynamic indices.
+  int64_t IdxConst = 0;     ///< Added constant (or the literal index).
+  std::string SrcVar;       ///< Write: value operand ("" = a literal).
+};
+
+/// A generated program: decls plus `---`-separated statement blocks.
+struct GProgram {
+  uint64_t Seed = 0; ///< The seed that drew this program (provenance).
+  std::vector<GArray> Arrays;
+  std::vector<std::vector<GStmt>> Blocks;
+
+  /// Renders Dahlia surface syntax. Deterministic for a given structure.
+  std::string render() const;
+};
+
+/// Generation knobs. The defaults describe the nightly fuzz leg; the
+/// tier-1 FuzzTest budget uses them unchanged so corpus seeds replay
+/// identically in both places.
+struct GenOptions {
+  int MaxArrays = 3;
+  int MaxBlocks = 3;
+  int MaxStmtsPerBlock = 3;
+  int MaxLoopDepth = 3;
+  /// Percent of programs that receive one deliberate typing-rule
+  /// violation (the generator records nothing about it — the oracle
+  /// simply expects a deterministic rejection).
+  int SabotagePct = 15;
+};
+
+/// Draws the program for \p Seed. Pure: same seed + options, same program.
+GProgram generate(uint64_t Seed, const GenOptions &O = {});
+
+/// Byte-level mutation of rendered source for parser/lexer fuzzing:
+/// truncation, splicing, duplicated spans, random bytes. Deterministic in
+/// \p Seed. The result usually does not parse — the oracle only demands
+/// that the frontend rejects it without crashing and deterministically.
+std::string mutateSource(const std::string &Src, uint64_t Seed);
+
+/// Greedy structural shrinker: repeatedly tries simplifying edits (drop a
+/// block/statement, reduce trips/unrolls/banks/sizes/constants, strip a
+/// combine) and keeps an edit whenever \p StillFails accepts the edited
+/// program. \p Budget caps predicate evaluations. Returns the smallest
+/// failing program found (the input itself when nothing shrinks).
+template <typename Pred>
+GProgram shrinkProgram(GProgram P, const Pred &StillFails, int Budget = 400);
+
+//===----------------------------------------------------------------------===//
+// Shrinker implementation
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Enumerates candidate one-step simplifications of \p P, appending the
+/// edited copies to \p Out. Order is deterministic.
+void shrinkCandidates(const GProgram &P, std::vector<GProgram> &Out);
+
+/// Structural size: statements + arrays + log-ish constant weight. The
+/// shrinker only accepts edits that reduce this.
+size_t structuralSize(const GProgram &P);
+
+} // namespace detail
+
+template <typename Pred>
+GProgram shrinkProgram(GProgram P, const Pred &StillFails, int Budget) {
+  bool Progress = true;
+  while (Progress && Budget > 0) {
+    Progress = false;
+    std::vector<GProgram> Candidates;
+    detail::shrinkCandidates(P, Candidates);
+    for (GProgram &C : Candidates) {
+      if (Budget-- <= 0)
+        break;
+      if (detail::structuralSize(C) >= detail::structuralSize(P))
+        continue;
+      if (StillFails(C)) {
+        P = std::move(C);
+        Progress = true;
+        break; // Re-enumerate against the smaller program.
+      }
+    }
+  }
+  return P;
+}
+
+} // namespace dahlia::fuzz
+
+#endif // DAHLIA_FUZZ_PROGRAMGEN_H

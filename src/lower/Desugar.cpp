@@ -864,7 +864,67 @@ private:
     Out.push_back(fil::Cmd::whilec(Cond, fil::parAll(Body)));
   }
 
+  /// One unrolled instance of the loop nest being lowered: the stack of
+  /// persistent scopes (outermost loop's copy scope first) this instance
+  /// pushes before lowering a leaf command. A single loop contributes K
+  /// lanes; fused nested loops multiply them out.
+  using Lane = std::vector<std::map<std::string, Binding>>;
+
   void lowerFor(const ForCmd &F, std::vector<fil::CmdP> &Out) {
+    std::vector<Lane> One(1);
+    lowerForLanes(F, One, Out);
+  }
+
+  /// Strips `{ ... }` wrappers. Only used on the path that detects a
+  /// nested loop step — a block whose body is exactly a loop has an empty
+  /// scope of its own, so nothing is lost.
+  static const Cmd *unwrapBlocks(const Cmd *C) {
+    while (const auto *Blk = C->as<BlockCmd>())
+      C = &Blk->body();
+    return C;
+  }
+
+  /// Lowers one logical time step of a loop body for every lane. A step
+  /// that is itself a for loop is NOT lowered once per lane: that would
+  /// give each lane a private loop counter, so identical reads in
+  /// different lanes would no longer memoize into one broadcast fetch
+  /// (ReadMemo keys on the rendered address) and the strictly affine
+  /// Filament interpreter would get stuck on programs the surface checker
+  /// accepts via shared read capabilities. Instead the nested loop is
+  /// emitted once and all lanes run inside its body in lockstep
+  /// (lowerForLanes), which is the paper's reading of unrolling: copies
+  /// advance through the schedule together.
+  void lowerStepLanes(const Cmd &Step, std::vector<Lane> &Lanes,
+                      std::vector<fil::CmdP> &Out) {
+    const Cmd *Inner = unwrapBlocks(&Step);
+    if (const auto *F = Inner->as<ForCmd>()) {
+      lowerForLanes(*F, Lanes, Out);
+      return;
+    }
+    if (const auto *P = Inner->as<ParCmd>()) {
+      // Split the step so a nested loop inside it still fuses. Lanes
+      // never reference each other's bindings, so grouping by
+      // sub-command instead of by lane preserves the par semantics.
+      for (const CmdPtr &Sub : P->cmds())
+        lowerStepLanes(*Sub, Lanes, Out);
+      return;
+    }
+    for (Lane &L : Lanes) {
+      for (auto &S : L)
+        Scopes.push_back(std::move(S));
+      lowerCmd(Step, Out);
+      for (size_t I = L.size(); I-- > 0;) {
+        L[I] = std::move(Scopes.back());
+        Scopes.pop_back();
+      }
+    }
+  }
+
+  /// Lowers \p F once, shared by every ambient lane. The loop counter is
+  /// emitted a single time; the lane set inside the body is the cross
+  /// product of \p Ambient with this loop's unrolled copies.
+  void lowerForLanes(const ForCmd &F, std::vector<Lane> &Ambient,
+                     std::vector<fil::CmdP> &Out) {
     int64_t K = F.unroll();
     int64_t Trip = (F.hi() - F.lo()) / K;
     std::string LoopVar = fresh(F.iter() + "_it");
@@ -881,55 +941,71 @@ private:
     else
       StepsSrc.push_back(Body);
 
-    // One persistent scope per unrolled copy, so bindings made in one time
-    // step are visible to the copy's later steps.
-    std::vector<std::map<std::string, Binding>> CopyScopes(
-        static_cast<size_t>(K));
-    for (int64_t J = 0; J != K; ++J) {
-      Binding IterB;
-      IterB.K = Binding::Iter;
-      IterB.It = {LoopVar, K, F.lo() + J};
-      CopyScopes[static_cast<size_t>(J)][F.iter()] = std::move(IterB);
-    }
+    // Each (ambient lane × unrolled copy) instance gets a persistent
+    // scope for this loop, so bindings made in one time step are visible
+    // to the instance's later steps. All instances share LoopVar: copy J
+    // maps the iterator to LoopVar * K + lo + J, so two lanes indexing a
+    // memory the same way render the same address and memoize into one
+    // broadcast read.
+    size_t N = Ambient.size();
+    std::vector<Lane> Lanes;
+    Lanes.reserve(N * static_cast<size_t>(K));
+    for (size_t A = 0; A != N; ++A)
+      for (int64_t J = 0; J != K; ++J) {
+        Lane L = Ambient[A];
+        Binding IterB;
+        IterB.K = Binding::Iter;
+        IterB.It = {LoopVar, K, F.lo() + J};
+        std::map<std::string, Binding> Scope;
+        Scope[F.iter()] = std::move(IterB);
+        L.push_back(std::move(Scope));
+        Lanes.push_back(std::move(L));
+      }
 
     auto SavedMemo = ReadMemo;
     std::vector<fil::CmdP> Steps;
     for (const Cmd *Step : StepsSrc) {
       ReadMemo.clear();
       std::vector<fil::CmdP> StepCmds;
-      for (int64_t J = 0; J != K; ++J) {
-        Scopes.push_back(std::move(CopyScopes[static_cast<size_t>(J)]));
-        lowerCmd(*Step, StepCmds);
-        CopyScopes[static_cast<size_t>(J)] = std::move(Scopes.back());
-        Scopes.pop_back();
-      }
+      lowerStepLanes(*Step, Lanes, StepCmds);
       Steps.push_back(fil::parAll(StepCmds));
     }
 
     // The combine block runs as one more time step per iteration group,
-    // with each body let visible as a per-copy combine register.
+    // with each body let visible as a per-copy combine register. One
+    // combine instance per ambient lane, each folding its own K copies.
     if (F.combine()) {
       ReadMemo.clear();
-      pushScope();
-      for (const auto &[Name, B0] : CopyScopes[0]) {
-        if (B0.K != Binding::Var)
-          continue;
-        Binding CR;
-        CR.K = Binding::CombineReg;
-        for (int64_t J = 0; J != K; ++J) {
-          auto It = CopyScopes[static_cast<size_t>(J)].find(Name);
-          assert(It != CopyScopes[static_cast<size_t>(J)].end() &&
-                 "combine register missing in copy");
-          CR.Copies.push_back(It->second.FilName);
-        }
-        Scopes.back()[Name] = std::move(CR);
-      }
       std::vector<fil::CmdP> CombineCmds;
       const Cmd *Comb = F.combine();
       if (const auto *Blk = Comb->as<BlockCmd>())
         Comb = &Blk->body();
-      lowerCmd(*Comb, CombineCmds);
-      popScope();
+      for (size_t A = 0; A != N; ++A) {
+        size_t LaneBase = A * static_cast<size_t>(K);
+        std::map<std::string, Binding> CombScope;
+        for (const auto &[Name, B0] : Lanes[LaneBase].back()) {
+          if (B0.K != Binding::Var)
+            continue;
+          Binding CR;
+          CR.K = Binding::CombineReg;
+          for (int64_t J = 0; J != K; ++J) {
+            const auto &LS = Lanes[LaneBase + static_cast<size_t>(J)].back();
+            auto It = LS.find(Name);
+            assert(It != LS.end() && "combine register missing in copy");
+            CR.Copies.push_back(It->second.FilName);
+          }
+          CombScope[Name] = std::move(CR);
+        }
+        for (auto &S : Ambient[A])
+          Scopes.push_back(std::move(S));
+        Scopes.push_back(std::move(CombScope));
+        lowerCmd(*Comb, CombineCmds);
+        Scopes.pop_back();
+        for (size_t I = Ambient[A].size(); I-- > 0;) {
+          Ambient[A][I] = std::move(Scopes.back());
+          Scopes.pop_back();
+        }
+      }
       Steps.push_back(fil::parAll(CombineCmds));
     }
     ReadMemo = std::move(SavedMemo);

@@ -83,6 +83,19 @@ private:
   std::vector<Token> Toks;
   size_t Pos = 0;
 
+  /// Recursion guard shared by expression and block nesting. Without it,
+  /// a hostile input of 100k '(' or '{' characters overflows the stack
+  /// inside the recursive descent before any other limit applies. 256
+  /// levels is far past any legitimate program and well inside the
+  /// smallest default thread stack.
+  int Depth = 0;
+  static constexpr int MaxDepth = 256;
+  struct DepthGuard {
+    int &D;
+    explicit DepthGuard(int &D) : D(D) { ++D; }
+    ~DepthGuard() { --D; }
+  };
+
   const Token &cur() const { return Toks[Pos]; }
   const Token &peek(size_t Ahead = 1) const {
     size_t I = Pos + Ahead;
@@ -210,7 +223,13 @@ private:
   // Expressions (precedence climbing)
   //===--------------------------------------------------------------------===//
 
-  Result<ExprPtr> parseExpr() { return parseOr(); }
+  Result<ExprPtr> parseExpr() {
+    if (Depth >= MaxDepth)
+      return err("expression nesting exceeds " + std::to_string(MaxDepth) +
+                 " levels");
+    DepthGuard G(Depth);
+    return parseOr();
+  }
 
   Result<ExprPtr> parseOr() {
     Result<ExprPtr> L = parseAnd();
@@ -492,6 +511,10 @@ private:
   }
 
   Result<CmdPtr> parseBlock() {
+    if (Depth >= MaxDepth)
+      return err("block nesting exceeds " + std::to_string(MaxDepth) +
+                 " levels");
+    DepthGuard G(Depth);
     SourceLoc Loc = cur().Loc;
     if (ResultVoid R = expect(TokKind::LBrace); !R)
       return R.error();

@@ -196,6 +196,13 @@ private:
   std::set<std::string> ReadCaps;
   /// Innermost-last stack of enclosing for loops: (iterator, unroll).
   std::vector<std::pair<std::string, int64_t>> ForStack;
+  /// ForStack depth at entry to the outermost enclosing while body, or
+  /// NotInWhile. Unrolled copies of a while each run their own sequential
+  /// loop — iteration schedules may diverge — so reads inside a while
+  /// cannot share one broadcast fetch across the copies enclosing it and
+  /// must consume bank ports per copy, like writes.
+  static constexpr size_t NotInWhile = static_cast<size_t>(-1);
+  size_t WhileForDepth = NotInWhile;
   bool InCombine = false;
   bool InReducerRHS = false;
 
@@ -472,14 +479,18 @@ private:
   /// banks), so they consume bank ports per copy instead of sharing one
   /// fetch. This is exactly why the paper's pre-split blocked dot product
   /// is rejected (Section 3.6).
-  unsigned viewCopyMultiplicity(const AccessExpr &A) {
+  unsigned viewCopyMultiplicity(const AccessExpr &A,
+                                std::set<std::string> *CountedOut = nullptr) {
     unsigned M = 1;
     std::set<std::string> Counted;
     std::string Cur = A.mem();
     while (true) {
       Binding *B = lookup(Cur);
-      if (!B || B->K != Binding::View)
+      if (!B || B->K != Binding::View) {
+        if (CountedOut)
+          *CountedOut = std::move(Counted);
         return M;
+      }
       for (const Expr *Off : B->VI.Offsets) {
         if (!Off)
           continue;
@@ -497,6 +508,40 @@ private:
       }
       Cur = B->VI.Under;
     }
+  }
+
+  /// The extra fan-out a read inside a while body pays: the product of
+  /// unroll factors of for loops enclosing the outermost while whose
+  /// iterator the access does not mention (those already counted in
+  /// \p Counted are skipped). 1 outside any while. Copies of a while run
+  /// as independent sequential loops, so there is no lockstep time step
+  /// on which identical fetches could be broadcast — each copy needs its
+  /// own port.
+  unsigned whileLaneFanout(const Expr &AccessExpr,
+                           const std::set<std::string> &Counted) {
+    if (WhileForDepth == NotInWhile)
+      return 1;
+    unsigned M = 1;
+    size_t E = WhileForDepth < ForStack.size() ? WhileForDepth
+                                               : ForStack.size();
+    for (size_t I = 0; I != E; ++I) {
+      const auto &[Iter, Factor] = ForStack[I];
+      if (Factor > 1 && !Counted.count(Iter) &&
+          !mentionsVar(AccessExpr, Iter))
+        M *= static_cast<unsigned>(Factor);
+    }
+    return M;
+  }
+
+  /// Copy multiplicity for a logical read. Reads normally broadcast —
+  /// unrolled copies issuing the identical fetch share one capability —
+  /// except through per-copy view windows (viewCopyMultiplicity) and
+  /// inside while bodies (whileLaneFanout), where they consume ports per
+  /// copy.
+  unsigned readCopyMultiplicity(const AccessExpr &A) {
+    std::set<std::string> Counted;
+    unsigned M = viewCopyMultiplicity(A, &Counted);
+    return M * whileLaneFanout(A, Counted);
   }
 
   /// Consumes affine resources for one memory access. \p RootMem is the
@@ -714,7 +759,7 @@ private:
     std::string Root = translateToRoot(A.mem(), PerDim, Route, A.loc());
     Binding *RootB = lookup(Root);
     BankMultiset Flat = flattenBanks(PerDim, RootB->Ty->memDims());
-    unsigned Need = IsWrite ? copyMultiplicity(A) : viewCopyMultiplicity(A);
+    unsigned Need = IsWrite ? copyMultiplicity(A) : readCopyMultiplicity(A);
     consume(Root, Flat, Route, Need, A.loc());
     if (!IsWrite)
       ReadCaps.insert(Sig);
@@ -762,7 +807,7 @@ private:
       return MemTy.memElem();
     BankMultiset Flat;
     Flat[*Bank] = 1;
-    unsigned Need = IsWrite ? copyMultiplicity(A) : 1;
+    unsigned Need = IsWrite ? copyMultiplicity(A) : whileLaneFanout(A, {});
     consume(A.mem(), Flat, "direct", Need, A.loc());
     if (!IsWrite)
       ReadCaps.insert(Sig);
@@ -1069,9 +1114,13 @@ private:
     if (!CondTy->isBool())
       diag(ErrorKind::Type, "while condition must be boolean", W.loc());
     StepSnapshot PostCond = snapshot();
+    size_t SavedWhileDepth = WhileForDepth;
+    if (WhileForDepth == NotInWhile)
+      WhileForDepth = ForStack.size();
     pushScope();
     checkCmd(const_cast<Cmd &>(W.body()));
     popScope();
+    WhileForDepth = SavedWhileDepth;
     // Iterations are sequential; capabilities acquired in the body do not
     // outlive it.
     ReadCaps = PostCond.ReadCaps;
@@ -1271,9 +1320,11 @@ private:
     auto SavedDelta = std::move(Delta);
     auto SavedCaps = std::move(ReadCaps);
     auto SavedFor = std::move(ForStack);
+    size_t SavedWhileDepth = WhileForDepth;
     Delta.clear();
     ReadCaps.clear();
     ForStack.clear();
+    WhileForDepth = NotInWhile;
     pushScope();
     for (const FuncParam &P : F.Params) {
       if (P.Ty->isMem()) {
@@ -1291,6 +1342,7 @@ private:
     Delta = std::move(SavedDelta);
     ReadCaps = std::move(SavedCaps);
     ForStack = std::move(SavedFor);
+    WhileForDepth = SavedWhileDepth;
   }
 };
 

@@ -194,6 +194,11 @@ public:
   };
   Reply take() { return std::move(Done); }
 
+  /// True between a stream header and its terminal summary — an EOF here
+  /// means the server died with a response in flight.
+  bool midStream() const { return InStream; }
+  size_t pendingChunks() const { return Chunks.size(); }
+
 private:
   /// Rebuilds the batch response from the terminal summary + chunks. The
   /// inverse of ResponseStream: front points go back into the sweep when
@@ -266,6 +271,27 @@ ServiceClient::exchange(const std::vector<std::string> &Lines) {
       Line.pop_back();
     if (!Line.empty())
       FeedLine(Line);
+  }
+
+  // EOF (or a read error) before every reply arrived: the server died or
+  // closed the connection mid-exchange. Leaving the missing slots as
+  // default-constructed responses would be indistinguishable from "the
+  // request was never made" — synthesize a structured error per missing
+  // reply so callers see exactly what was lost.
+  if (Result.size() != Lines.size()) {
+    std::string Why = "connection closed before response (" +
+                      std::to_string(Result.size()) + " of " +
+                      std::to_string(Lines.size()) + " replies received";
+    if (Asm.midStream())
+      Why += "; mid-stream after " + std::to_string(Asm.pendingChunks()) +
+             " chunks";
+    Why += ")";
+    Response Dead;
+    Dead.Ok = false;
+    Dead.Errors.push_back(Error(ErrorKind::Internal, Why));
+    std::string DeadLine = Dead.toJson().dump();
+    while (Result.size() != Lines.size())
+      Result.push_back(RawReply{DeadLine, false, 0});
   }
   return Result;
 }

@@ -20,6 +20,9 @@
 #define DAHLIA_HAVE_SOCKETS 1
 #include <sys/socket.h>
 #include <unistd.h>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 #endif
 
 using namespace dahlia;
@@ -398,8 +401,12 @@ void TcpServer::pump(uint64_t Serial, Connection &C) {
     // Drain what the socket will take right now.
     bool WouldBlock = false;
     while (C.WriteOff < C.WriteBuf.size()) {
-      ssize_t N = ::write(C.Fd, C.WriteBuf.data() + C.WriteOff,
-                          C.WriteBuf.size() - C.WriteOff);
+      // MSG_NOSIGNAL: a client that disconnected with responses still in
+      // flight must surface as EPIPE here, not as a process-killing
+      // SIGPIPE (the hostile-client soak closes connections mid-write on
+      // purpose).
+      ssize_t N = ::send(C.Fd, C.WriteBuf.data() + C.WriteOff,
+                         C.WriteBuf.size() - C.WriteOff, MSG_NOSIGNAL);
       if (N > 0) {
         C.WriteOff += static_cast<size_t>(N);
         std::lock_guard<std::mutex> Lock(StatsM);

@@ -131,7 +131,7 @@ public:
   Parser(std::string_view Text, std::string *Err) : Text(Text), Err(Err) {}
 
   std::optional<Json> run() {
-    std::optional<Json> J = value();
+    std::optional<Json> J = value(0);
     if (!J)
       return std::nullopt;
     skipWs();
@@ -169,7 +169,7 @@ private:
     return true;
   }
 
-  std::optional<Json> value() {
+  std::optional<Json> value(int Depth) {
     skipWs();
     if (Pos >= Text.size())
       return fail("unexpected end of input");
@@ -186,13 +186,19 @@ private:
     case '"':
       return string();
     case '[':
-      return array();
+      return array(Depth);
     case '{':
-      return object();
+      return object(Depth);
     default:
       return number();
     }
   }
+
+  /// Containers recurse through value(); a hostile line of 100k '['s
+  /// would otherwise overflow the stack long before any size cap fires.
+  /// 192 frames is far beyond any legitimate protocol payload and well
+  /// inside the smallest default thread stack.
+  static constexpr int MaxDepth = 192;
 
   std::optional<Json> number() {
     size_t Start = Pos;
@@ -308,14 +314,16 @@ private:
     }
   }
 
-  std::optional<Json> array() {
+  std::optional<Json> array(int Depth) {
     ++Pos; // '['
+    if (Depth >= MaxDepth)
+      return fail("value nesting exceeds " + std::to_string(MaxDepth));
     Json::Array Out;
     skipWs();
     if (consume(']'))
       return Json(std::move(Out));
     while (true) {
-      std::optional<Json> E = value();
+      std::optional<Json> E = value(Depth + 1);
       if (!E)
         return std::nullopt;
       Out.push_back(std::move(*E));
@@ -327,8 +335,10 @@ private:
     }
   }
 
-  std::optional<Json> object() {
+  std::optional<Json> object(int Depth) {
     ++Pos; // '{'
+    if (Depth >= MaxDepth)
+      return fail("value nesting exceeds " + std::to_string(MaxDepth));
     Json::Object Out;
     skipWs();
     if (consume('}'))
@@ -343,7 +353,7 @@ private:
       skipWs();
       if (!consume(':'))
         return fail("expected ':' after object key");
-      std::optional<Json> V = value();
+      std::optional<Json> V = value(Depth + 1);
       if (!V)
         return std::nullopt;
       Out[K->asString()] = std::move(*V);

@@ -15,6 +15,9 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 #endif
 
 using namespace dahlia;
@@ -108,7 +111,9 @@ int FdStreamBuf::sync() { return flushOut(); }
 int FdStreamBuf::flushOut() {
   char *P = pbase();
   while (P != pptr()) {
-    ssize_t N = ::write(Fd, P, static_cast<size_t>(pptr() - P));
+    // MSG_NOSIGNAL: writing to a peer-closed socket must report failure,
+    // not raise SIGPIPE (clients talk to servers that may close on them).
+    ssize_t N = ::send(Fd, P, static_cast<size_t>(pptr() - P), MSG_NOSIGNAL);
     if (N <= 0)
       return -1;
     P += N;

@@ -253,4 +253,32 @@ TEST(Parser, PrinterRoundTrip) {
   }
 }
 
+TEST(Parser, DeepNestingIsRejectedNotACrash) {
+  // Crash-class inputs from the byte-level fuzzer: pathological nesting
+  // must hit the recursive-descent depth limit and come back as a parse
+  // error, not blow the stack.
+  std::string DeepExpr = "let x = " + std::string(100000, '(') + "1" +
+                         std::string(100000, ')') + ";";
+  Result<CmdPtr> E = parseCommand(DeepExpr);
+  EXPECT_FALSE(bool(E));
+
+  std::string DeepBlocks(100000, '{');
+  DeepBlocks += "let y = 1;";
+  DeepBlocks += std::string(100000, '}');
+  Result<CmdPtr> B = parseCommand(DeepBlocks);
+  EXPECT_FALSE(bool(B));
+}
+
+TEST(Parser, NestingJustUnderTheLimitParses) {
+  // The depth guard must not reject reasonable programs.
+  std::string Expr = "let x = " + std::string(200, '(') + "1" +
+                     std::string(200, ')') + ";";
+  EXPECT_TRUE(bool(parseCommand(Expr)));
+
+  std::string Blocks(100, '{');
+  Blocks += "let y = 1;";
+  Blocks += std::string(100, '}');
+  EXPECT_TRUE(bool(parseCommand(Blocks)));
+}
+
 } // namespace

@@ -552,4 +552,50 @@ TEST(SemaType, ArithmeticTyping) {
   EXPECT_TRUE(rejects("let x = 1 && 2;", ErrorKind::Type));
 }
 
+//===----------------------------------------------------------------------===//
+// Crash-class shapes from the differential fuzzer
+//===----------------------------------------------------------------------===//
+
+TEST(SemaBanking, DegenerateShapesAreRejectedNotACrash) {
+  EXPECT_TRUE(
+      rejects("let A: float[8 bank 0]; let x = A[0];", ErrorKind::Banking));
+  EXPECT_TRUE(rejects("let A: float[0]; let x = A[0];", ErrorKind::Banking));
+}
+
+TEST(SemaUnroll, DegenerateUnrollFactorsAreRejected) {
+  EXPECT_TRUE(rejects("let A: float[8 bank 4];"
+                      "for (let i = 0..8) unroll 0 { A[i] := 1.0; }",
+                      ErrorKind::Unroll));
+  EXPECT_TRUE(rejects("let A: float[8 bank 4];"
+                      "for (let i = 0..8) unroll 3 { A[i] := 1.0; }",
+                      ErrorKind::Unroll));
+}
+
+TEST(SemaAffine, WhileBodyReadsFanOutAcrossUnrolledCopies) {
+  // Unrolled copies of a while loop run as independent sequential loops —
+  // iteration schedules may diverge — so a read inside the body cannot
+  // share one broadcast fetch across copies and needs a port per copy.
+  // The differential fuzzer found the old acceptance: the checker said
+  // yes while the lowered program got stuck in the strictly affine
+  // interpreter.
+  EXPECT_TRUE(rejects("let A: float[4];"
+                      "for (let i = 0..6) unroll 2 {"
+                      "  let c = 0;"
+                      "  while (c < 1) { let v = A[c]; c := c + 1; }"
+                      "}",
+                      ErrorKind::Affine));
+  // Enough ports to feed every copy and the same shape is fine.
+  EXPECT_TRUE(accepts("let A: float{2}[4];"
+                      "for (let i = 0..6) unroll 2 {"
+                      "  let c = 0;"
+                      "  while (c < 1) { let v = A[c]; c := c + 1; }"
+                      "}"));
+  // Without replication the while body broadcasts nothing and stays fine.
+  EXPECT_TRUE(accepts("let A: float[4];"
+                      "for (let i = 0..6) {"
+                      "  let c = 0;"
+                      "  while (c < 1) { let v = A[c]; c := c + 1; }"
+                      "}"));
+}
+
 } // namespace

@@ -22,6 +22,7 @@
 
 #include "driver/CompilerPipeline.h"
 #include "dse/SearchStrategy.h"
+#include "fuzz/ProtoFuzz.h"
 #include "kernels/Kernels.h"
 #include "service/TcpServer.h"
 #include "support/Socket.h"
@@ -994,6 +995,54 @@ TEST(TcpServer, MetricsOpSeesCoalescedEpochsAndCacheHits) {
 
   Srv.stop();
   Loop.join();
+}
+
+TEST(Client, MidStreamEofSurfacesStructuredError) {
+  // A server killed mid-exchange used to look like a clean end of stream:
+  // the client returned fewer responses than requests and callers
+  // misread the silence as success. Pin the hardening: every missing
+  // reply must come back as a structured error naming the truncation.
+  Request First;
+  First.Kind = Op::Check;
+  First.Source = AcceptedSrc;
+  Request Second = First;
+
+  // The canned server answers request id 1, then dies (EOF) before id 2.
+  std::istringstream In(
+      R"({"id":1,"op":"check","ok":true,"latency_ms":0.1})" "\n");
+  std::ostringstream Out;
+  ServiceClient C(In, Out);
+  std::vector<ClientResponse> Rs = C.callBatch({First, Second});
+
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_TRUE(Rs[0].R.Ok);
+  EXPECT_FALSE(Rs[1].R.Ok);
+  ASSERT_FALSE(Rs[1].R.Errors.empty());
+  EXPECT_EQ(Rs[1].R.Errors[0].kind(), ErrorKind::Internal);
+  EXPECT_NE(Rs[1].R.Errors[0].message().find(
+                "connection closed before response (1 of 2 replies"),
+            std::string::npos)
+      << Rs[1].R.Errors[0].message();
+}
+
+TEST(TcpServer, HostileSoakKeepsWellBehavedClientsLive) {
+  // The tier-1 slice of the nightly hostile-client soak, and the TSan
+  // assertion from the fuzz issue: garbage/truncated/oversized frames,
+  // half-open connections, floods and slow readers must neither stall
+  // nor corrupt a well-behaved client's in-flight batches. The nightly
+  // leg runs the same harness via dahlia-fuzz-proto with more rounds.
+  if (!haveSockets())
+    GTEST_SKIP() << "no sockets on this platform";
+  fuzz::ProtoFuzzOptions O;
+  O.Rounds = 2;
+  fuzz::ProtoFuzzReport R = fuzz::runProtoFuzz(O);
+  for (const fuzz::ProtoFailure &F : R.Failures)
+    ADD_FAILURE() << "round " << F.Round << " [" << F.Attack << "] "
+                  << F.Detail;
+  EXPECT_GT(R.Stats.Attacks, 0u);
+  EXPECT_GT(R.Stats.HostileConnections, 0u);
+  EXPECT_GT(R.Stats.WellBehavedBatches, 0u)
+      << "well-behaved clients never completed a batch during the soak";
 }
 
 } // namespace
