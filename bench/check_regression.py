@@ -14,19 +14,26 @@ front membership and hashes are compared exactly — any Pareto-front
 change must come with an intentional re-baseline (see README, "The CI
 bench-regression gate").
 
-A second mode gates tracing overhead: --overhead-pair NOTRACE TRACED
-takes two BENCH_service.json files from the same machine — one from a
--DDAHLIA_ENABLE_TRACE=OFF build, one from the default instrumented
-build (tracing compiled in but not enabled) — and requires the
-instrumented requests_per_sec to stay within --overhead-tolerance
-(default 3%) of the no-trace build. That is the "near-zero cost when
-disabled" contract of src/support/Trace.h, enforced.
+A second mode gates instrumentation overhead: --overhead-pair BASE
+INSTRUMENTED takes two bench JSON files from the same machine and
+requires the instrumented side's throughput metric (--overhead-key,
+default requests_per_sec) to stay within --overhead-tolerance
+(default 3%) of the base side. CI uses it twice:
+
+  * tracing: BENCH_service.json from a -DDAHLIA_ENABLE_TRACE=OFF
+    build vs the default instrumented build (tracing compiled in but
+    not enabled) — the "near-zero cost when disabled" contract of
+    src/support/Trace.h;
+  * the search journal: BENCH_fig7 configs_per_sec with the journal
+    off vs on (--overhead-key configs_per_sec --overhead-tolerance
+    0.05) — an *enabled* journal may cost a fig7 sweep at most 5%.
 
 Usage:
   check_regression.py [--tolerance 0.25] --pair BASELINE FRESH \
                       [--pair BASELINE FRESH ...] \
-                      [--overhead-pair NOTRACE TRACED] \
-                      [--overhead-tolerance 0.03]
+                      [--overhead-pair BASE INSTRUMENTED] \
+                      [--overhead-tolerance 0.03] \
+                      [--overhead-key requests_per_sec]
 Exits non-zero listing every violated rule.
 """
 
@@ -93,35 +100,35 @@ def check_pair(baseline_path, fresh_path, tolerance):
     return failures
 
 
-def check_overhead(notrace_path, traced_path, tolerance):
-    """Gate the cost of compiled-in-but-disabled tracing.
+def check_overhead(base_path, instrumented_path, tolerance, key):
+    """Gate the cost of an instrumentation layer.
 
-    Both files come from the same run of bench/service_throughput on the
-    same machine, so the comparison is relative and machine-independent:
-    the instrumented build's requests_per_sec may lose at most
-    ``tolerance`` against the -DDAHLIA_ENABLE_TRACE=OFF build.
+    Both files come from the same bench run on the same machine, so the
+    comparison is relative and machine-independent: the instrumented
+    run's ``key`` metric may lose at most ``tolerance`` against the
+    base run.
     """
-    with open(notrace_path) as f:
-        notrace = json.load(f)
-    with open(traced_path) as f:
-        traced = json.load(f)
+    with open(base_path) as f:
+        base_doc = json.load(f)
+    with open(instrumented_path) as f:
+        inst_doc = json.load(f)
 
-    label = f"{traced_path} vs {notrace_path}"
-    base = notrace.get("requests_per_sec")
-    got = traced.get("requests_per_sec")
+    label = f"{instrumented_path} vs {base_path}"
+    base = base_doc.get(key)
+    got = inst_doc.get(key)
     if base is None or got is None:
-        return [f"{label}: missing requests_per_sec in one side"]
+        return [f"{label}: missing {key} in one side"]
     if base <= 0:
-        return [f"{label}: no-trace requests_per_sec is {base}"]
+        return [f"{label}: base {key} is {base}"]
 
     floor = (1.0 - tolerance) * base
     if got < floor:
         return [
-            f"{label}: disabled-tracing overhead exceeds {tolerance:.0%}: "
-            f"instrumented {got:.1f} req/s < {floor:.1f} "
-            f"(no-trace build {base:.1f})"]
-    print(f"  ok tracing overhead: instrumented {got:.1f} req/s vs "
-          f"no-trace {base:.1f} ({got / base - 1.0:+.1%}, floor {floor:.1f})")
+            f"{label}: instrumentation overhead exceeds {tolerance:.0%}: "
+            f"instrumented {key} {got:.1f} < {floor:.1f} "
+            f"(base run {base:.1f})"]
+    print(f"  ok instrumentation overhead: {key} {got:.1f} vs "
+          f"base {base:.1f} ({got / base - 1.0:+.1%}, floor {floor:.1f})")
     return []
 
 
@@ -132,12 +139,15 @@ def main():
     ap.add_argument("--pair", nargs=2, action="append", default=[],
                     metavar=("BASELINE", "FRESH"))
     ap.add_argument("--overhead-pair", nargs=2, action="append", default=[],
-                    metavar=("NOTRACE", "TRACED"),
-                    help="BENCH_service.json from a -DDAHLIA_ENABLE_TRACE=OFF "
-                         "build and from the instrumented build")
+                    metavar=("BASE", "INSTRUMENTED"),
+                    help="bench JSON from the base run and from the "
+                         "instrumented run (same bench, same machine)")
     ap.add_argument("--overhead-tolerance", type=float, default=0.03,
-                    help="allowed disabled-tracing throughput loss "
+                    help="allowed instrumentation throughput loss "
                          "(0.03 = 3%%)")
+    ap.add_argument("--overhead-key", default="requests_per_sec",
+                    help="throughput metric compared by --overhead-pair "
+                         "(default requests_per_sec)")
     args = ap.parse_args()
     if not args.pair and not args.overhead_pair:
         ap.error("need at least one --pair or --overhead-pair")
@@ -146,9 +156,12 @@ def main():
     for baseline, fresh in args.pair:
         print(f"checking {fresh} against {baseline}")
         failures += check_pair(baseline, fresh, args.tolerance)
-    for notrace, traced in args.overhead_pair:
-        print(f"checking tracing overhead: {traced} against {notrace}")
-        failures += check_overhead(notrace, traced, args.overhead_tolerance)
+    for base, instrumented in args.overhead_pair:
+        print(f"checking instrumentation overhead: {instrumented} "
+              f"against {base}")
+        failures += check_overhead(base, instrumented,
+                                   args.overhead_tolerance,
+                                   args.overhead_key)
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)

@@ -32,6 +32,11 @@
 //   --trace-out F   record spans (DSE workers, rung passes, cache I/O) and
 //                   write Chrome trace-event JSON to F at exit — load it
 //                   in Perfetto (see docs/observability.md)
+//   --journal-out F record the structured JSONL search journal to F;
+//                   explain it afterwards with dahlia-dse-report (funnel,
+//                   why-pruned, front timeline, --assert-consistent)
+//   --progress      print live progress lines (phase, done/total, front
+//                   size, configs/sec, ETA) to stderr while exploring
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +45,7 @@
 #include "dse/SearchStrategy.h"
 #include "kernels/Kernels.h"
 #include "service/PersistentCache.h"
+#include "support/EventLog.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -57,6 +63,8 @@ int main(int Argc, char **Argv) {
   const char *JsonPath = "BENCH_fig7_dse.json";
   const char *CacheDir = nullptr;
   const char *TraceOut = nullptr;
+  const char *JournalOut = nullptr;
+  bool Progress = false;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
       char *End = nullptr;
@@ -102,8 +110,24 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
       TraceOut = Argv[++I];
       trace::traceEnable();
+    } else if (!std::strcmp(Argv[I], "--journal-out") && I + 1 < Argc) {
+      JournalOut = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--progress")) {
+      Progress = true;
     }
   }
+  if (JournalOut && !eventlog::journalStart(JournalOut)) {
+    std::fprintf(stderr, "fig7: cannot write journal '%s'\n", JournalOut);
+    return 2;
+  }
+  if (Progress)
+    Opts.OnProgress = [](const dse::DseProgress &P) {
+      std::fprintf(stderr,
+                   "[fig7] %-12s %6zu/%-6zu front=%-4zu %7.0f cfg/s "
+                   "eta %.1fs\n",
+                   P.Phase, P.Done, P.Total, P.FrontSize, P.ConfigsPerSec,
+                   P.EtaSeconds);
+    };
 
   banner(std::string("Figure 7: DSE for gemm-blocked (32,000 configs, ") +
          dse::strategyName(Opts.Strategy) + " strategy)");
@@ -122,6 +146,15 @@ int main(int Argc, char **Argv) {
   dse::DseProblem Problem = gemmBlockedProblem();
   dse::DseResult R = dse::DseEngine(Opts).explore(Problem);
   const dse::DseStats &St = R.Stats;
+
+  if (JournalOut) {
+    eventlog::journalStop();
+    std::printf("journal written to %s (%llu events; explain with "
+                "dahlia-dse-report)\n",
+                JournalOut,
+                static_cast<unsigned long long>(
+                    eventlog::journalEventCount()));
+  }
 
   if (Persist && !Persist->save(*Opts.Cache))
     std::fprintf(stderr, "fig7: warning: failed to save cache to %s\n",

@@ -11,6 +11,9 @@ Checks three machine-verifiable contracts:
     appears in docs/cli.md;
   * every metric name registered under src/ (the string literals passed
     to metrics::counter/gauge/histogram) appears in
+    docs/observability.md;
+  * every search-journal event kind emitted under src/ (the string
+    literals passed to eventlog::emit) appears in
     docs/observability.md.
 
 Usage:
@@ -102,7 +105,26 @@ def metric_names(repo):
     return names
 
 
-def check(ops, flags_by_bin, metrics, protocol_md, cli_md, observability_md):
+EVENT_RE = re.compile(r'eventlog::emit\(\s*"([a-z][a-z0-9-]*)"')
+
+
+def event_kinds(repo):
+    """Every journal event kind emitted by code under src/."""
+    kinds = set()
+    src_root = os.path.join(repo, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for fname in filenames:
+            if fname.endswith((".cpp", ".h")):
+                kinds |= set(EVENT_RE.findall(
+                    read(os.path.join(dirpath, fname))))
+    if not kinds:
+        sys.exit("check_docs: found no eventlog::emit sites under src/ — "
+                 "did the journal move?")
+    return kinds
+
+
+def check(ops, flags_by_bin, metrics, events, protocol_md, cli_md,
+          observability_md):
     """Returns a list of violations ([] = docs cover everything)."""
     failures = []
     documented_ops = set(re.findall(r"`([a-z][a-z0-9-]*)`", protocol_md))
@@ -124,33 +146,47 @@ def check(ops, flags_by_bin, metrics, protocol_md, cli_md, observability_md):
             failures.append(
                 f"docs/observability.md: metric '{metric}' is registered "
                 f"under src/ but not documented")
+    documented_events = set(
+        re.findall(r"`([a-z][a-z0-9-]*)`", observability_md))
+    for kind in sorted(events):
+        if kind not in documented_events:
+            failures.append(
+                f"docs/observability.md: journal event kind '{kind}' is "
+                f"emitted under src/ but not documented")
     return failures
 
 
-def self_test(ops, flags_by_bin, metrics, protocol_md, cli_md,
+def self_test(ops, flags_by_bin, metrics, events, protocol_md, cli_md,
               observability_md):
-    """The gate must detect a removed op, flag, and metric."""
+    """The gate must detect a removed op, flag, metric, and event kind."""
     problems = []
     victim_op = sorted(ops)[-1]
     tampered = protocol_md.replace(f"`{victim_op}`", "`redacted`")
-    if not check(ops, {}, set(), tampered, cli_md, observability_md):
+    if not check(ops, {}, set(), set(), tampered, cli_md,
+                 observability_md):
         problems.append(
             f"self-test: removing op '{victim_op}' from protocol.md was "
             f"not detected")
     name, flags = sorted(flags_by_bin.items())[0]
     victim_flag = sorted(flags)[-1]
     tampered = cli_md.replace(victim_flag, "--redacted")
-    if not check(set(), flags_by_bin, set(), protocol_md, tampered,
+    if not check(set(), flags_by_bin, set(), set(), protocol_md, tampered,
                  observability_md):
         problems.append(
             f"self-test: removing flag '{victim_flag}' from cli.md was "
             f"not detected")
     victim_metric = sorted(metrics)[-1]
     tampered = observability_md.replace(f"`{victim_metric}`", "`redacted`")
-    if not check(set(), {}, metrics, protocol_md, cli_md, tampered):
+    if not check(set(), {}, metrics, set(), protocol_md, cli_md, tampered):
         problems.append(
             f"self-test: removing metric '{victim_metric}' from "
             f"observability.md was not detected")
+    victim_kind = sorted(events)[-1]
+    tampered = observability_md.replace(f"`{victim_kind}`", "`redacted`")
+    if not check(set(), {}, set(), events, protocol_md, cli_md, tampered):
+        problems.append(
+            f"self-test: removing journal event kind '{victim_kind}' "
+            f"from observability.md was not detected")
     return problems
 
 
@@ -179,18 +215,22 @@ def main():
         "dahlia-fuzz-proto": binary_flags(args.repo, args.bin_dir,
                                           "dahlia-fuzz-proto",
                                           "bench/fuzz_protocol.cpp"),
+        "dahlia-dse-report": binary_flags(args.repo, args.bin_dir,
+                                          "dahlia-dse-report",
+                                          "examples/dahlia_dse_report.cpp"),
     }
     metrics = metric_names(args.repo)
+    events = event_kinds(args.repo)
     protocol_md = read(os.path.join(args.repo, "docs", "protocol.md"))
     cli_md = read(os.path.join(args.repo, "docs", "cli.md"))
     observability_md = read(
         os.path.join(args.repo, "docs", "observability.md"))
 
-    failures = check(ops, flags_by_bin, metrics, protocol_md, cli_md,
-                     observability_md)
+    failures = check(ops, flags_by_bin, metrics, events, protocol_md,
+                     cli_md, observability_md)
     if args.self_test:
-        failures += self_test(ops, flags_by_bin, metrics, protocol_md,
-                              cli_md, observability_md)
+        failures += self_test(ops, flags_by_bin, metrics, events,
+                              protocol_md, cli_md, observability_md)
 
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)
@@ -198,8 +238,9 @@ def main():
         sys.exit(1)
     nflags = sum(len(f) for f in flags_by_bin.values())
     mode = "binaries" if args.bin_dir else "sources"
-    print(f"docs gate OK: {len(ops)} ops, {nflags} flags, and "
-          f"{len(metrics)} metrics documented (checked against {mode}"
+    print(f"docs gate OK: {len(ops)} ops, {nflags} flags, "
+          f"{len(metrics)} metrics, and {len(events)} journal event "
+          f"kinds documented (checked against {mode}"
           f"{', self-test passed' if args.self_test else ''})")
 
 

@@ -27,10 +27,17 @@
 //                                     trace-event JSON file at shutdown
 //                                     (load it in Perfetto; see
 //                                     docs/observability.md)
-//   ... --metrics-port P              serve the metrics-registry snapshot
-//                                     as one JSON line per connection on
+//   ... --metrics-port P              serve the metrics registry on
 //                                     127.0.0.1:P (0 picks an ephemeral
-//                                     port, announced on stderr)
+//                                     port, announced on stderr): an HTTP
+//                                     GET /metrics answers JSON, or
+//                                     Prometheus text exposition with
+//                                     ?format=prom (or an Accept header
+//                                     preferring text/plain); a bare
+//                                     connect still gets one JSON line
+//   ... --journal-out FILE            record the structured JSONL search
+//                                     journal of every dse-sweep served;
+//                                     explain it with dahlia-dse-report
 //   ... --slow-request-ms N           log one structured JSON line to
 //                                     stderr for every request slower
 //                                     than N ms
@@ -49,6 +56,7 @@
 
 #include "service/TcpServer.h"
 
+#include "support/EventLog.h"
 #include "support/Metrics.h"
 #include "support/Socket.h"
 #include "support/Trace.h"
@@ -78,7 +86,8 @@ const char *kUsage =
     "usage: dahlia-serve [--port P] [--threads N] [--batch N] "
     "[--cache-dir DIR] [--no-memoize] [--write-buffer BYTES] "
     "[--max-connections N] [--stats] [--trace-out FILE] "
-    "[--metrics-port P] [--slow-request-ms N] [--help]\n";
+    "[--journal-out FILE] [--metrics-port P] [--slow-request-ms N] "
+    "[--help]\n";
 
 int usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -95,9 +104,67 @@ void onSignal(int) {
     S->stop();
 }
 
-/// Blocking accept loop of the --metrics-port text endpoint: each
-/// connection gets one JSON line (the registry snapshot) and a close.
-/// Detached; lives until process exit.
+#ifdef DAHLIA_HAVE_SOCKETS
+/// One --metrics-port connection. The endpoint sniffs the protocol for
+/// compatibility: an HTTP `GET /metrics` gets a proper HTTP response —
+/// the JSON snapshot by default, Prometheus text exposition when the
+/// request carries `?format=prom` (or an Accept header preferring
+/// text/plain or OpenMetrics) — while a bare TCP connect that sends
+/// nothing (the original contract) still gets one raw JSON line.
+void serveMetricsConnection(int Fd) {
+  // Give an HTTP client a beat to send its request line; a bare connect
+  // sends nothing, times out, and falls through to the raw JSON line.
+  struct timeval Tv;
+  Tv.tv_sec = 0;
+  Tv.tv_usec = 100 * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  char Buf[4096];
+  ssize_t N = ::recv(Fd, Buf, sizeof(Buf) - 1, 0);
+  std::string Req = N > 0 ? std::string(Buf, static_cast<size_t>(N))
+                          : std::string();
+
+  std::string Out;
+  bool IsGet = Req.rfind("GET ", 0) == 0;
+  bool IsHead = Req.rfind("HEAD ", 0) == 0;
+  if (IsGet || IsHead) {
+    bool WantProm = Req.find("format=prom") != std::string::npos;
+    if (!WantProm) {
+      // Content negotiation: an Accept header that asks for text/plain
+      // or OpenMetrics (and not JSON) selects the Prometheus form.
+      size_t A = Req.find("Accept:");
+      if (A != std::string::npos) {
+        std::string Accept = Req.substr(A, Req.find('\r', A) - A);
+        WantProm = (Accept.find("text/plain") != std::string::npos ||
+                    Accept.find("openmetrics") != std::string::npos) &&
+                   Accept.find("application/json") == std::string::npos;
+      }
+    }
+    std::string Body =
+        WantProm ? metrics::prometheusText() : metrics::snapshot().dump() + "\n";
+    Out = "HTTP/1.1 200 OK\r\nContent-Type: ";
+    Out += WantProm ? "text/plain; version=0.0.4; charset=utf-8"
+                    : "application/json";
+    Out += "\r\nContent-Length: " + std::to_string(Body.size()) +
+           "\r\nConnection: close\r\n\r\n";
+    if (!IsHead)
+      Out += Body;
+  } else {
+    Out = metrics::snapshot().dump() + "\n";
+  }
+
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (W <= 0)
+      break;
+    Off += static_cast<size_t>(W);
+  }
+  ::close(Fd);
+}
+#endif
+
+/// Blocking accept loop of the --metrics-port endpoint. Detached; lives
+/// until process exit.
 void serveMetricsEndpoint(int ListenFd) {
 #ifdef DAHLIA_HAVE_SOCKETS
   while (true) {
@@ -107,15 +174,7 @@ void serveMetricsEndpoint(int ListenFd) {
         continue;
       return;
     }
-    std::string Body = metrics::snapshot().dump() + "\n";
-    size_t Off = 0;
-    while (Off < Body.size()) {
-      ssize_t N = ::write(Fd, Body.data() + Off, Body.size() - Off);
-      if (N <= 0)
-        break;
-      Off += static_cast<size_t>(N);
-    }
-    ::close(Fd);
+    serveMetricsConnection(Fd);
   }
 #else
   (void)ListenFd;
@@ -132,6 +191,7 @@ int main(int Argc, char **Argv) {
   int MetricsPort = -1; // -1 = no metrics endpoint.
   bool PrintStats = false;
   std::string TraceOut;
+  std::string JournalOut;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--help")) {
@@ -180,6 +240,8 @@ int main(int Argc, char **Argv) {
       PrintStats = true;
     } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
       TraceOut = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--journal-out") && I + 1 < Argc) {
+      JournalOut = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--metrics-port") && I + 1 < Argc) {
       char *End = nullptr;
       long P = std::strtol(Argv[++I], &End, 10);
@@ -203,6 +265,11 @@ int main(int Argc, char **Argv) {
 
   if (!TraceOut.empty())
     trace::traceEnable();
+  if (!JournalOut.empty() && !eventlog::journalStart(JournalOut)) {
+    std::fprintf(stderr, "dahlia-serve: cannot write journal '%s'\n",
+                 JournalOut.c_str());
+    return 2;
+  }
 
   if (MetricsPort >= 0) {
     int MetricsFd = listenLoopback(MetricsPort);
@@ -243,6 +310,9 @@ int main(int Argc, char **Argv) {
     if (PrintStats)
       std::fprintf(stderr, "%s\n", Svc.stats().toJson().dump().c_str());
   } // ~CompileService saves the persistent cache.
+
+  if (!JournalOut.empty())
+    eventlog::journalStop();
 
   // Flush after the service is destroyed so the shutdown cache-save spans
   // make it into the trace.

@@ -34,6 +34,7 @@
 #include "filament/Interp.h"
 #include "filament/Syntax.h"
 #include "service/Protocol.h"
+#include "support/EventLog.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -49,8 +50,8 @@ namespace {
 
 const char *kUsage =
     "usage: dahliac FILE [-o OUT] [--kernel NAME] [--time] "
-    "[--json] [--trace-out FILE] [--check | --lower | --run | "
-    "--estimate | --simulate]\n";
+    "[--json] [--trace-out FILE] [--journal-out FILE] "
+    "[--check | --lower | --run | --estimate | --simulate]\n";
 
 int usage() {
   std::fprintf(stderr, "%s", kUsage);
@@ -66,6 +67,16 @@ struct TraceOutput {
     if (!trace::traceWriteFile(Path))
       std::fprintf(stderr, "dahliac: cannot write trace '%s'\n",
                    Path.c_str());
+  }
+};
+
+/// Closes the --journal-out search journal on every exit path, so even a
+/// failed compile leaves a well-framed (begin/end) file behind.
+struct JournalOutput {
+  bool Active = false;
+  ~JournalOutput() {
+    if (Active)
+      eventlog::journalStop();
   }
 };
 
@@ -113,6 +124,7 @@ int main(int Argc, char **Argv) {
   bool Time = false;
   bool EmitJson = false;
   TraceOutput TraceOut;
+  JournalOutput JournalOut;
   enum { EmitCpp, CheckOnly, Lower, Run, Estimate, Simulate } Mode = EmitCpp;
 
   for (int I = 1; I < Argc; ++I) {
@@ -136,6 +148,13 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
       TraceOut.Path = Argv[++I];
       trace::traceEnable();
+    } else if (!std::strcmp(Argv[I], "--journal-out") && I + 1 < Argc) {
+      if (!eventlog::journalStart(Argv[++I])) {
+        std::fprintf(stderr, "dahliac: cannot write journal '%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+      JournalOut.Active = true;
     } else if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc) {
       OutFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--kernel") && I + 1 < Argc) {

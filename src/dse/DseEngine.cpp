@@ -8,6 +8,7 @@
 #include "dse/DseEngine.h"
 
 #include "dse/SearchStrategy.h"
+#include "support/EventLog.h"
 #include "support/Metrics.h"
 #include "support/StableHash.h"
 #include "support/Trace.h"
@@ -24,23 +25,49 @@ using namespace dahlia::dse;
 // ParetoFront
 //===----------------------------------------------------------------------===//
 
-void ParetoFront::insert(size_t Index, const Objectives &O) {
+ParetoFront::InsertOutcome ParetoFront::insertEx(size_t Index,
+                                                 const Objectives &O) {
+  InsertOutcome Out;
   for (Member &M : Members) {
     if (equalObjectives(M.Obj, O)) {
       // Equal vectors collapse to the lowest index — the deterministic
       // tie rule that makes membership insertion-order independent.
-      M.Index = std::min(M.Index, Index);
-      return;
+      if (Index < M.Index) {
+        Out.Evicted.push_back(M.Index);
+        M.Index = Index;
+        Out.Entered = true;
+      }
+      return Out;
     }
     if (dominates(M.Obj, O))
-      return;
+      return Out;
   }
   // O survives; members it dominates leave the front. (No member can
   // dominate O here: that would transitively dominate the evictees,
   // contradicting the mutual-non-dominance invariant.)
-  std::erase_if(Members,
-                [&](const Member &M) { return dominates(O, M.Obj); });
+  std::erase_if(Members, [&](const Member &M) {
+    if (!dominates(O, M.Obj))
+      return false;
+    Out.Evicted.push_back(M.Index);
+    return true;
+  });
   Members.push_back({Index, O});
+  Out.Entered = true;
+  return Out;
+}
+
+std::optional<size_t> ParetoFront::dominatorOf(const Objectives &O) const {
+  std::optional<size_t> Best;
+  for (const Member &M : Members)
+    if (dominates(M.Obj, O) && (!Best || M.Index < *Best))
+      Best = M.Index;
+  return Best;
+}
+
+void ParetoFront::forEachMember(
+    const std::function<void(size_t, const Objectives &)> &Fn) const {
+  for (const Member &M : Members)
+    Fn(M.Index, M.Obj);
 }
 
 void ParetoFront::merge(const ParetoFront &Other) {
@@ -150,6 +177,57 @@ std::vector<std::pair<uint64_t, bool>> DseCache::snapshotVerdicts() const {
 // Worker pool
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// ProgressSink
+//===----------------------------------------------------------------------===//
+
+ProgressSink::ProgressSink(std::function<void(const DseProgress &)> F,
+                           double Interval)
+    : Fn(std::move(F)), IntervalSec(std::max(Interval, 0.0)) {}
+
+void ProgressSink::beginPhase(const char *Ph, size_t T) {
+  Phase = Ph;
+  Total = T;
+  Done.store(0, std::memory_order_relaxed);
+  LastDone = 0;
+  LastTickUs = trace::nowUs();
+  // Phase boundaries always tick: watchers see every strategy step even
+  // when a phase finishes inside one interval.
+  maybeTick(/*Force=*/true);
+}
+
+void ProgressSink::maybeTick(bool Force) {
+  uint64_t Now = trace::nowUs();
+  double Since = static_cast<double>(Now - LastTickUs) / 1e6;
+  if (!Force && Since < IntervalSec)
+    return;
+  size_t D = Done.load(std::memory_order_relaxed);
+  if (Since > 0 && D > LastDone) {
+    double Inst = static_cast<double>(D - LastDone) / Since;
+    Ewma = Ewma == 0 ? Inst : 0.3 * Inst + 0.7 * Ewma;
+  }
+  DseProgress P;
+  P.Phase = Phase;
+  P.Done = D;
+  P.Total = Total;
+  P.FrontSize = FrontSize.load(std::memory_order_relaxed);
+  P.ConfigsPerSec = Ewma;
+  P.EtaSeconds =
+      Ewma > 0 && Total > D ? static_cast<double>(Total - D) / Ewma : 0;
+  if (Fn)
+    Fn(P);
+  if (eventlog::enabled())
+    eventlog::emit("progress", eventlog::Record()
+                                   .field("phase", P.Phase)
+                                   .field("done", P.Done)
+                                   .field("total", P.Total)
+                                   .field("front_size", P.FrontSize)
+                                   .field("configs_per_sec", P.ConfigsPerSec)
+                                   .field("eta_seconds", P.EtaSeconds));
+  LastTickUs = Now;
+  LastDone = D;
+}
+
 unsigned dahlia::dse::resolveThreadCount(unsigned Requested) {
   if (Requested != 0)
     return std::clamp(Requested, 1u, 256u);
@@ -192,6 +270,26 @@ DseResult DseEngine::explore(const DseProblem &P) const {
   size_t EstHits0 = Ctx.Cache ? Ctx.Cache->estimateHits() : 0;
   size_t VerHits0 = Ctx.Cache ? Ctx.Cache->verdictHits() : 0;
 
+  ProgressSink Progress(Opts.OnProgress, Opts.ProgressIntervalSec);
+  if (Opts.OnProgress || eventlog::enabled())
+    Ctx.Progress = &Progress;
+
+  if (eventlog::enabled()) {
+    eventlog::emit("sweep-begin",
+                   eventlog::Record()
+                       .field("space", P.Size)
+                       .field("explored", Ctx.Indices.size())
+                       .field("shard_index", Opts.Shard.Index)
+                       .field("shard_count", Opts.Shard.Count)
+                       .field("strategy", strategyName(Opts.Strategy))
+                       .field("threads", Threads)
+                       .field("eta", Opts.HalvingEta)
+                       .field("exact_top_rung", Opts.ExactTopRung)
+                       .field("estimate_rejected", P.EstimateRejected));
+    for (size_t I : Ctx.Indices)
+      eventlog::emit("enumerated", eventlog::Record().field("config", I));
+  }
+
   makeStrategy(Opts.Strategy)->run(Ctx, R);
 
   R.Stats.Explored = Ctx.Indices.size();
@@ -203,6 +301,25 @@ DseResult DseEngine::explore(const DseProblem &P) const {
   R.Stats.Seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
+
+  if (Ctx.Progress)
+    Ctx.Progress->maybeTick(/*Force=*/true); // final 100% observation
+  if (eventlog::enabled())
+    eventlog::emit(
+        "sweep-end",
+        eventlog::Record()
+            .field("explored", R.Stats.Explored)
+            .field("accepted", R.Stats.Accepted)
+            .field("estimated", R.Stats.Estimated)
+            .field("low_fidelity_estimates", R.Stats.LowFidelityEstimates)
+            .field("pruned", R.Stats.Pruned)
+            .field("rescued", R.Stats.Rescued)
+            .field("exact_estimates", R.Stats.ExactEstimates)
+            .field("estimate_cache_hits", R.Stats.EstimateCacheHits)
+            .field("verdict_cache_hits", R.Stats.VerdictCacheHits)
+            .field("seconds", R.Stats.Seconds)
+            .raw("front", indicesToJson(R.Front).dump())
+            .raw("accepted_front", indicesToJson(R.AcceptedFront).dump()));
 
   static metrics::Counter &Explored = metrics::counter("dse.configs_explored");
   static metrics::Counter &Accepted = metrics::counter("dse.configs_accepted");

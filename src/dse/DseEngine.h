@@ -57,11 +57,36 @@ struct DseProblem {
 /// front byte-identical to the serial one.
 class ParetoFront {
 public:
+  /// What one insert did to the front — the search journal's
+  /// front-enter/front-evict events are built from this.
+  struct InsertOutcome {
+    /// The offered point is now a member (either a fresh entry or an
+    /// equal-vector tie collapsed onto its lower index).
+    bool Entered = false;
+    /// Member indices the insert displaced: dominated members, or the
+    /// higher index of an equal-vector tie the new point won.
+    std::vector<size_t> Evicted;
+  };
+
   /// Offers point \p Index with objectives \p O.
-  void insert(size_t Index, const Objectives &O);
+  void insert(size_t Index, const Objectives &O) { (void)insertEx(Index, O); }
+
+  /// insert(), reporting what changed.
+  InsertOutcome insertEx(size_t Index, const Objectives &O);
+
+  /// The lowest member index whose objectives strictly dominate \p O,
+  /// or nullopt when none does (iff !dominatesPoint(O)). Lowest-index
+  /// selection keeps journal dominator attribution deterministic
+  /// regardless of member order.
+  std::optional<size_t> dominatorOf(const Objectives &O) const;
 
   /// Folds every member of \p Other in.
   void merge(const ParetoFront &Other);
+
+  /// Visits every member (index, objectives) in insertion order — the
+  /// journal-logged merge path reads members through this.
+  void forEachMember(
+      const std::function<void(size_t, const Objectives &)> &Fn) const;
 
   /// True when some member strictly dominates \p O (equal vectors do
   /// not count). The pruned search strategies use this with admissible
@@ -161,6 +186,56 @@ struct ShardSpec {
 /// Parses "i/N" (0 <= i < N).
 std::optional<ShardSpec> parseShard(std::string_view Spec);
 
+/// One progress observation of a running exploration, delivered through
+/// DseOptions::OnProgress and journaled as `progress` events. Phases are
+/// strategy steps ("check", "bound-coarse", "full", "rescue", ...);
+/// Done/Total/EtaSeconds are phase-relative — pruned strategies cannot
+/// know the rescue workload up front, so whole-sweep ETAs would lie.
+struct DseProgress {
+  const char *Phase = "";
+  size_t Done = 0;          ///< work items finished in this phase
+  size_t Total = 0;         ///< the phase's work-list size
+  size_t FrontSize = 0;     ///< overall Pareto front size so far
+  double ConfigsPerSec = 0; ///< EWMA evaluation throughput
+  double EtaSeconds = 0;    ///< phase remainder at the EWMA rate
+};
+
+/// Shared progress state for one exploration. Any worker adds completed
+/// work (relaxed atomics); only the exploration's calling thread — which
+/// the work-stealing pool always enlists as worker 0 — calls maybeTick,
+/// so the OnProgress callback runs without synchronization on the thread
+/// that invoked DseEngine::explore. That is what lets the TCP server
+/// stream live progress records from inside a blocking sweep: the sweep
+/// runs on its loop thread, so ticks may safely touch connection state.
+class ProgressSink {
+public:
+  ProgressSink(std::function<void(const DseProgress &)> Fn,
+               double IntervalSec);
+
+  /// Starts a new phase (calling thread only) and fires a tick.
+  void beginPhase(const char *Phase, size_t Total);
+  /// Records \p N finished work items (any worker).
+  void add(size_t N) { Done.fetch_add(N, std::memory_order_relaxed); }
+  /// Publishes the overall front size (calling thread only).
+  void setFrontSize(size_t N) {
+    FrontSize.store(N, std::memory_order_relaxed);
+  }
+  /// Fires the callback + journal event when the interval elapsed
+  /// (calling thread only). \p Force emits unconditionally.
+  void maybeTick(bool Force = false);
+
+private:
+  std::function<void(const DseProgress &)> Fn;
+  double IntervalSec;
+  const char *Phase = "";
+  size_t Total = 0;
+  std::atomic<size_t> Done{0};
+  std::atomic<size_t> FrontSize{0};
+  uint64_t LastTickUs = 0;
+  size_t LastDone = 0;
+  double Ewma = 0;
+};
+
 /// Engine configuration.
 struct DseOptions {
   /// Worker threads; 0 resolves via DAHLIA_DSE_THREADS, then
@@ -187,6 +262,13 @@ struct DseOptions {
   /// membership is exactly what an all-Exact sweep of that set computes,
   /// at a tiny fraction of the simulations.
   bool ExactTopRung = false;
+  /// Invoked periodically (at most every ProgressIntervalSec) from the
+  /// thread that called DseEngine::explore — see ProgressSink. Null
+  /// disables ticking unless the search journal is recording.
+  std::function<void(const DseProgress &)> OnProgress;
+  /// Minimum seconds between OnProgress ticks / `progress` journal
+  /// events.
+  double ProgressIntervalSec = 0.25;
 };
 
 /// Resolves the effective worker count: \p Requested if nonzero, else the

@@ -8,6 +8,7 @@
 #include "dse/SearchStrategy.h"
 
 #include "driver/CompilerPipeline.h"
+#include "support/EventLog.h"
 #include "support/Metrics.h"
 #include "support/StableHash.h"
 #include "support/Trace.h"
@@ -91,14 +92,59 @@ unsigned parallelOver(const SearchContext &Ctx, size_t N, BodyT &&Body) {
   if (N < Threads)
     Threads = static_cast<unsigned>(std::max<size_t>(N, 1));
   workStealingFor(N, Threads, Ctx.Grain,
-                  [&Body](unsigned W, size_t B, size_t E) {
+                  [&Body, &Ctx](unsigned W, size_t B, size_t E) {
                     if (trace::enabled())
                       trace::traceSetThreadNameIfUnset("dse-worker-" +
                                                        std::to_string(W));
                     TRACE_SPAN("dse.chunk");
                     Body(W, B, E);
+                    if (ProgressSink *PS = Ctx.Progress) {
+                      PS->add(E - B);
+                      // Worker 0 is the calling thread (the pool enlists
+                      // it), so ticks run where OnProgress expects.
+                      if (W == 0)
+                        PS->maybeTick();
+                    }
                   });
   return Threads;
+}
+
+/// Journal-logged ParetoFront::insert: front-enter/front-evict events
+/// with full objective vectors, so `dahlia-dse-report` can replay front
+/// evolution. Call only from serial (calling-thread) phases — parallel
+/// per-worker fronts stay unlogged and their survivors are journaled at
+/// the deterministic merge.
+void insertLogged(ParetoFront &F, const char *FrontName, size_t I,
+                  const Objectives &O) {
+  if (!eventlog::enabled()) {
+    F.insert(I, O);
+    return;
+  }
+  ParetoFront::InsertOutcome Out = F.insertEx(I, O);
+  for (size_t E : Out.Evicted)
+    eventlog::emit("front-evict", eventlog::Record()
+                                      .field("config", E)
+                                      .field("front", FrontName)
+                                      .field("by", I));
+  if (Out.Entered)
+    eventlog::emit("front-enter", eventlog::Record()
+                                      .field("config", I)
+                                      .field("front", FrontName)
+                                      .field("latency", O.Latency)
+                                      .field("lut", O.Lut)
+                                      .field("ff", O.Ff)
+                                      .field("bram", O.Bram)
+                                      .field("dsp", O.Dsp));
+}
+
+void mergeLogged(ParetoFront &F, const char *FrontName,
+                 const ParetoFront &Other) {
+  if (!eventlog::enabled()) {
+    F.merge(Other);
+    return;
+  }
+  Other.forEachMember(
+      [&](size_t I, const Objectives &O) { insertLogged(F, FrontName, I, O); });
 }
 
 /// Type-check verdict for configuration \p I, memoized on the source hash.
@@ -107,11 +153,17 @@ bool checkOne(const SearchContext &Ctx, driver::CompilerPipeline &Pipeline,
   std::string Src = Ctx.Problem.Source(I);
   uint64_t SrcKey = stableHash(Src);
   bool Accepted = false;
-  if (!Ctx.Cache || !Ctx.Cache->lookupVerdict(SrcKey, Accepted)) {
+  bool Hit = Ctx.Cache && Ctx.Cache->lookupVerdict(SrcKey, Accepted);
+  if (!Hit) {
     Accepted = bool(Pipeline.check(Src));
     if (Ctx.Cache)
       Ctx.Cache->insertVerdict(SrcKey, Accepted);
   }
+  if (eventlog::enabled())
+    eventlog::emit("verdict", eventlog::Record()
+                                  .field("config", I)
+                                  .field("accepted", Accepted)
+                                  .field("cache_hit", Hit));
   return Accepted;
 }
 
@@ -123,11 +175,17 @@ hlsim::Estimate estimateOne(const SearchContext &Ctx, size_t I,
   hlsim::KernelSpec Spec = Ctx.Problem.Spec(I);
   uint64_t Key = hlsim::fidelityCacheKey(hlsim::specHash(Spec), F);
   hlsim::Estimate Est;
-  if (!Ctx.Cache || !Ctx.Cache->lookupEstimate(Key, Est)) {
+  bool Hit = Ctx.Cache && Ctx.Cache->lookupEstimate(Key, Est);
+  if (!Hit) {
     Est = hlsim::estimateAt(Spec, F);
     if (Ctx.Cache)
       Ctx.Cache->insertEstimate(Key, Est);
   }
+  if (eventlog::enabled())
+    eventlog::emit("estimate", eventlog::Record()
+                                   .field("config", I)
+                                   .field("fidelity", hlsim::fidelityName(F))
+                                   .field("cache_hit", Hit));
   return Est;
 }
 
@@ -135,6 +193,8 @@ hlsim::Estimate estimateOne(const SearchContext &Ctx, size_t I,
 /// Stats.Accepted.
 void checkVerdicts(const SearchContext &Ctx, DseResult &R) {
   TRACE_SPAN("dse.check_verdicts");
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase("check", Ctx.Indices.size());
   driver::CompilerPipeline Pipeline;
   std::atomic<size_t> Accepted{0};
   parallelOver(Ctx, Ctx.Indices.size(), [&](unsigned, size_t B, size_t E) {
@@ -155,6 +215,10 @@ std::vector<Objectives> boundBatch(const SearchContext &Ctx,
                                    hlsim::Fidelity F) {
   TRACE_SPAN(F == hlsim::Fidelity::Coarse ? "dse.bound.coarse"
                                           : "dse.bound.medium");
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase(F == hlsim::Fidelity::Coarse ? "bound-coarse"
+                                                          : "bound-medium",
+                             Cand.size());
   std::vector<Objectives> Out(Cand.size());
   parallelOver(Ctx, Cand.size(), [&](unsigned, size_t B, size_t E) {
     for (size_t K = B; K != E; ++K)
@@ -262,6 +326,8 @@ void exactTopRungPass(const SearchContext &Ctx, DseResult &R) {
   Seed.insert(Seed.end(), R.AcceptedFront.begin(), R.AcceptedFront.end());
   std::sort(Seed.begin(), Seed.end());
   Seed.erase(std::unique(Seed.begin(), Seed.end()), Seed.end());
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase("exact", Seed.size());
   parallelOver(Ctx, Seed.size(), [&](unsigned, size_t B, size_t E) {
     for (size_t K = B; K != E; ++K)
       recordExact(Ctx, R, Seed[K]);
@@ -272,9 +338,9 @@ void exactTopRungPass(const SearchContext &Ctx, DseResult &R) {
   ParetoFront All, Acc;
   for (size_t I : Seed) {
     Promoted[PosOf(I)] = 1;
-    All.insert(I, R.Points[I].Obj);
+    insertLogged(All, "all", I, R.Points[I].Obj);
     if (R.Points[I].Accepted)
-      Acc.insert(I, R.Points[I].Obj);
+      insertLogged(Acc, "accepted", I, R.Points[I].Obj);
   }
 
   // Rescue walk in bound-score order (decisions stay valid as the fronts
@@ -284,17 +350,35 @@ void exactTopRungPass(const SearchContext &Ctx, DseResult &R) {
   for (size_t Pos = 0; Pos != Cand.size(); ++Pos)
     if (!Promoted[Pos])
       Rest.push_back(Pos);
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase("exact-rescue", Rest.size());
   for (size_t Pos : rankByBound(Rest, Bound)) {
     size_t I = Cand[Pos];
     bool IsAccepted = R.Points[I].Accepted;
+    if (ProgressSink *PS = Ctx.Progress) {
+      PS->add(1);
+      PS->setFrontSize(All.size());
+      PS->maybeTick();
+    }
     if (All.dominatesPoint(Bound[Pos]) &&
-        (!IsAccepted || Acc.dominatesPoint(Bound[Pos])))
+        (!IsAccepted || Acc.dominatesPoint(Bound[Pos]))) {
+      // The Full objectives (this rung's admissible bound) are strictly
+      // dominated by a simulated point everywhere I could land.
+      if (eventlog::enabled())
+        eventlog::emit("prune",
+                       eventlog::Record()
+                           .field("config", I)
+                           .field("reason", "dominated")
+                           .field("dominator",
+                                  All.dominatorOf(Bound[Pos]).value_or(I))
+                           .field("bound_fidelity", "full"));
       continue;
+    }
     recordExact(Ctx, R, I);
     ++R.Stats.ExactEstimates;
-    All.insert(I, R.Points[I].Obj);
+    insertLogged(All, "all", I, R.Points[I].Obj);
     if (IsAccepted)
-      Acc.insert(I, R.Points[I].Obj);
+      insertLogged(Acc, "accepted", I, R.Points[I].Obj);
   }
 
   R.Front = All.indices();
@@ -323,6 +407,8 @@ public:
     driver::CompilerPipeline Pipeline;
     std::vector<WorkerTally> Tallies(Ctx.Threads);
 
+    if (Ctx.Progress)
+      Ctx.Progress->beginPhase("sweep", Ctx.Indices.size());
     parallelOver(Ctx, Ctx.Indices.size(), [&](unsigned W, size_t B,
                                               size_t E) {
       WorkerTally &T = Tallies[W];
@@ -343,14 +429,18 @@ public:
 
     // Deterministic reduction: the dominance-maximal set is unique and
     // the equal-vector tie rule is order-independent, so any merge order
-    // yields the same membership.
+    // yields the same membership. The merge runs on the calling thread,
+    // which is where front events are journaled (the per-worker fronts
+    // above are parallel and stay unlogged).
     ParetoFront All, Acc;
     for (WorkerTally &T : Tallies) {
-      All.merge(T.FrontAll);
-      Acc.merge(T.FrontAccepted);
+      mergeLogged(All, "all", T.FrontAll);
+      mergeLogged(Acc, "accepted", T.FrontAccepted);
       R.Stats.Accepted += T.Accepted;
       R.Stats.Estimated += T.Estimated;
     }
+    if (Ctx.Progress)
+      Ctx.Progress->setFrontSize(All.size());
     R.Front = All.indices();
     R.AcceptedFront = Acc.indices();
 
@@ -434,6 +524,27 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
     static metrics::Gauge &GKeep2 = metrics::gauge("dse.rung.keep2");
     GKeep1.set(static_cast<int64_t>(Keep1));
     GKeep2.set(static_cast<int64_t>(Keep2));
+    if (eventlog::enabled()) {
+      // Per-rung survival counts (the funnel), then each promotion.
+      eventlog::emit("rung", eventlog::Record()
+                                 .field("rung", 1)
+                                 .field("candidates", Cand.size())
+                                 .field("kept", Keep1)
+                                 .field("bound_fidelity", "medium"));
+      eventlog::emit("rung", eventlog::Record()
+                                 .field("rung", 2)
+                                 .field("candidates", Keep1)
+                                 .field("kept", std::min(Keep2, Order2.size()))
+                                 .field("bound_fidelity", "full"));
+      for (size_t K = 0; K != Rung1.size(); ++K)
+        eventlog::emit("rung-promote", eventlog::Record()
+                                           .field("config", Cand[Rung1[K]])
+                                           .field("rung", 1));
+      for (size_t K = 0; K != std::min(Keep2, Order2.size()); ++K)
+        eventlog::emit("rung-promote", eventlog::Record()
+                                           .field("config", Cand[Order2[K]])
+                                           .field("rung", 2));
+    }
   }
   static metrics::Gauge &GCand = metrics::gauge("dse.rung.candidates");
   GCand.set(static_cast<int64_t>(Cand.size()));
@@ -443,6 +554,8 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
   for (size_t K = 0; K != Cand.size(); ++K)
     if (Survivor[K])
       Promoted.push_back(Cand[K]);
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase("full", Promoted.size());
   parallelOver(Ctx, Promoted.size(), [&](unsigned, size_t B, size_t E) {
     for (size_t K = B; K != E; ++K)
       recordFull(Ctx, R, Promoted[K]);
@@ -453,9 +566,9 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
 
   ParetoFront All, Acc;
   for (size_t I : Promoted) {
-    All.insert(I, R.Points[I].Obj);
+    insertLogged(All, "all", I, R.Points[I].Obj);
     if (R.Points[I].Accepted)
-      Acc.insert(I, R.Points[I].Obj);
+      insertLogged(Acc, "accepted", I, R.Points[I].Obj);
   }
 
   // Ordered prune/rescue pass over everything not promoted. Processing in
@@ -471,11 +584,33 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
     return All.dominatesPoint(Bound[Pos]) &&
            (!IsAccepted || Acc.dominatesPoint(Bound[Pos]));
   };
+  // Machine-readable prune provenance: which front member's actual
+  // objectives dominated this config's lower bound, and at what bound
+  // fidelity the cut happened (dahlia-dse-report --why-pruned).
+  auto logPrune = [&](size_t I, size_t Pos) {
+    if (eventlog::enabled())
+      eventlog::emit("prune",
+                     eventlog::Record()
+                         .field("config", I)
+                         .field("reason", "dominated")
+                         .field("dominator",
+                                All.dominatorOf(Bound[Pos]).value_or(I))
+                         .field("bound_fidelity",
+                                hlsim::fidelityName(BoundFid[Pos])));
+  };
+  if (Ctx.Progress)
+    Ctx.Progress->beginPhase(Rungs ? "rescue" : "walk", Rest.size());
   for (size_t Pos : rankByBound(Rest, Bound)) {
     size_t I = Cand[Pos];
     bool IsAccepted = R.Points[I].Accepted;
+    if (ProgressSink *PS = Ctx.Progress) {
+      PS->add(1);
+      PS->setFrontSize(All.size());
+      PS->maybeTick();
+    }
     if (ProvablyDominated(Pos, IsAccepted)) {
       ++R.Stats.Pruned;
+      logPrune(I, Pos);
       continue;
     }
     // Before paying full fidelity, tighten a Coarse bound one rung and
@@ -488,16 +623,20 @@ void runPruned(const SearchContext &Ctx, DseResult &R, bool Rungs) {
       ++R.Stats.LowFidelityEstimates;
       if (ProvablyDominated(Pos, IsAccepted)) {
         ++R.Stats.Pruned;
+        logPrune(I, Pos);
         continue;
       }
     }
     recordFull(Ctx, R, I);
     ++R.Stats.Estimated;
-    if (Rungs)
+    if (Rungs) {
       ++R.Stats.Rescued;
-    All.insert(I, R.Points[I].Obj);
+      if (eventlog::enabled())
+        eventlog::emit("rescue", eventlog::Record().field("config", I));
+    }
+    insertLogged(All, "all", I, R.Points[I].Obj);
     if (IsAccepted)
-      Acc.insert(I, R.Points[I].Obj);
+      insertLogged(Acc, "accepted", I, R.Points[I].Obj);
   }
 
   R.Front = All.indices();

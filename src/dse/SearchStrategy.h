@@ -60,6 +60,10 @@ struct SearchContext {
   /// Promote the front to cycle-level (Exact) estimates; see
   /// DseOptions::ExactTopRung.
   bool ExactTopRung = false;
+  /// Progress accumulator, or null when neither DseOptions::OnProgress
+  /// nor the search journal is active. Workers add() completed items;
+  /// only the exploration's calling thread ticks (see ProgressSink).
+  ProgressSink *Progress = nullptr;
 };
 
 /// Strategy interface. Implementations fill \c R.Points for every index

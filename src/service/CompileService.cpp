@@ -214,6 +214,9 @@ Response CompileService::handle(const Request &R) {
   if (R.Kind == Op::Metrics) {
     Out.Ok = true;
     Out.Metrics = metrics::snapshot();
+  } else if (R.Kind == Op::Watch) {
+    Out.Ok = true;
+    Out.Watch = progressSnapshotJson();
   } else if (R.Kind == Op::DseSweep) {
     Out = dseSweep(R);
   } else {
@@ -241,6 +244,16 @@ Response CompileService::handle(const Request &R) {
     L["threshold_ms"] = Opts.SlowRequestMs;
     L["ok"] = Out.Ok;
     L["cached"] = Out.Cached;
+    if (R.Kind == Op::DseSweep) {
+      // Sweep requests are the ones that trip the threshold in practice;
+      // the extra fields make the log line attributable without a journal.
+      L["space"] = R.Space;
+      L["strategy"] = R.Strategy.empty() ? "exhaustive" : R.Strategy;
+      if (Out.Sweep.isObject()) {
+        L["explored"] = Out.Sweep.at("explored");
+        L["pruned"] = Out.Sweep.at("pruned");
+      }
+    }
     std::cerr << L.dump() << '\n';
   }
 
@@ -465,6 +478,7 @@ Response CompileService::checkOrEstimate(const Request &R) {
 
   case Op::DseSweep:
   case Op::Metrics:
+  case Op::Watch:
     break; // Unreachable; dispatched in handle().
   }
   Out.Errors.push_back(Error(ErrorKind::Internal, "unhandled op"));
@@ -526,7 +540,35 @@ Response CompileService::dseSweep(const Request &R) {
   EO.Strategy = *Strategy;
   EO.Shard = Shard;
   EO.ExactTopRung = R.ExactTopRung;
+  // Progress observability: every tick updates the `watch` op's snapshot
+  // and feeds the installed publisher (the TCP front end's watch streams).
+  // Sweeps run serially on the caller's thread (see processBatchEx), and
+  // ProgressSink ticks only from the calling thread, so the publisher runs
+  // on the thread that called handle().
+  EO.OnProgress = [this](const dse::DseProgress &Pr) {
+    Json Rec = Json::object();
+    Rec["phase"] = Pr.Phase;
+    Rec["done"] = Pr.Done;
+    Rec["total"] = Pr.Total;
+    Rec["front_size"] = Pr.FrontSize;
+    Rec["configs_per_sec"] = Pr.ConfigsPerSec;
+    Rec["eta_seconds"] = Pr.EtaSeconds;
+    Rec["running"] = true;
+    std::function<void(const Json &)> Pub;
+    {
+      std::lock_guard<std::mutex> Lock(ProgressM);
+      LatestProgress = Rec;
+      SweepRunning = true;
+      Pub = ProgressPublisher;
+    }
+    if (Pub)
+      Pub(Rec);
+  };
   dse::DseResult DR = dse::DseEngine(EO).explore(P);
+  {
+    std::lock_guard<std::mutex> Lock(ProgressM);
+    SweepRunning = false;
+  }
 
   Json Sweep = Json::object();
   Sweep["space"] = R.Space;
@@ -565,6 +607,30 @@ Response CompileService::dseSweep(const Request &R) {
   Out.Sweep = std::move(Sweep);
   Out.Ok = true;
   return Out;
+}
+
+void CompileService::setProgressPublisher(
+    std::function<void(const Json &)> Pub) {
+  std::lock_guard<std::mutex> Lock(ProgressM);
+  ProgressPublisher = std::move(Pub);
+}
+
+Json CompileService::progressSnapshotJson() const {
+  std::lock_guard<std::mutex> Lock(ProgressM);
+  if (!LatestProgress.isObject()) {
+    Json Idle = Json::object();
+    Idle["running"] = false;
+    Idle["phase"] = "idle";
+    Idle["done"] = 0;
+    Idle["total"] = 0;
+    Idle["front_size"] = 0;
+    Idle["configs_per_sec"] = 0.0;
+    Idle["eta_seconds"] = 0.0;
+    return Idle;
+  }
+  Json Snap = LatestProgress;
+  Snap["running"] = SweepRunning;
+  return Snap;
 }
 
 //===----------------------------------------------------------------------===//

@@ -43,6 +43,7 @@
 #include "service/Protocol.h"
 
 #include <atomic>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -143,6 +144,18 @@ public:
   /// The shared memo cache (never null when Memoize is set).
   const std::shared_ptr<dse::DseCache> &cache() const { return Cache; }
 
+  /// Installs (or clears, with nullptr) the live progress publisher: every
+  /// dse-sweep progress tick calls it with the flat progress record the
+  /// `watch` op snapshots. The TCP front end installs one to feed its
+  /// watch streams; the callback runs on whatever thread is running the
+  /// sweep, so publishers must be thread-aware.
+  void setProgressPublisher(std::function<void(const Json &)> Pub);
+
+  /// The latest dse-sweep progress record plus `"running"`: the `watch`
+  /// op's one-shot payload. `{"running":false,"phase":"idle"}` before any
+  /// sweep has run.
+  Json progressSnapshotJson() const;
+
 private:
   struct Session {
     Program Pristine;        ///< Parsed, never type-checked.
@@ -180,6 +193,14 @@ private:
   /// Next server-stamped trace ID (requests without a client-supplied
   /// "trace_id" get one of these; see Request::TraceId).
   std::atomic<uint64_t> NextTraceId{1};
+
+  /// Progress observability (the `watch` op). LatestProgress is the last
+  /// record a sweep's OnProgress tick stored; SweepRunning tracks whether
+  /// a sweep is inside explore() right now.
+  mutable std::mutex ProgressM;
+  Json LatestProgress;
+  bool SweepRunning = false;
+  std::function<void(const Json &)> ProgressPublisher;
 
   std::mutex StatsM;
 };

@@ -24,6 +24,8 @@ const char *dahlia::service::opName(Op O) {
     return "dse-sweep";
   case Op::Metrics:
     return "metrics";
+  case Op::Watch:
+    return "watch";
   }
   return "?";
 }
@@ -59,6 +61,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     R.Kind = Op::DseSweep;
   } else if (OpStr == "metrics") {
     R.Kind = Op::Metrics;
+  } else if (OpStr == "watch") {
+    R.Kind = Op::Watch;
   } else {
     if (Err)
       *Err = "unknown op '" + OpStr + "'";
@@ -88,6 +92,15 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     return std::nullopt;
   }
   R.TraceId = static_cast<uint64_t>(TraceId);
+  double IntervalMs = J->at("interval_ms").asDouble();
+  int64_t Count = J->at("count").asInt();
+  if (IntervalMs < 0 || Count < 0 || Count > (1 << 20)) {
+    if (Err)
+      *Err = "'interval_ms'/'count' out of range";
+    return std::nullopt;
+  }
+  R.WatchIntervalMs = IntervalMs;
+  R.WatchCount = static_cast<uint64_t>(Count);
 
   if (J->contains("rewrite")) {
     const Json &RwJ = J->at("rewrite");
@@ -114,8 +127,8 @@ std::optional<Request> Request::fromJson(const std::string &Line,
         *Err = "dse-sweep requires a 'space'";
       return std::nullopt;
     }
-  } else if (R.Kind == Op::Metrics) {
-    // A registry scrape needs no source; nothing further to validate.
+  } else if (R.Kind == Op::Metrics || R.Kind == Op::Watch) {
+    // A registry scrape / progress watch needs no source.
   } else if (!R.Source.empty() && R.Rw) {
     // Ambiguous: would the rewrite apply to this source or not? Make the
     // client pick one (establish with source, then rewrite by session).
@@ -167,6 +180,12 @@ Json Request::toJson() const {
     if (ExactTopRung)
       J["exact"] = true;
   }
+  if (Kind == Op::Watch) {
+    if (WatchIntervalMs > 0)
+      J["interval_ms"] = WatchIntervalMs;
+    if (WatchCount)
+      J["count"] = WatchCount;
+  }
   if (Stream)
     J["stream"] = true;
   if (TraceId)
@@ -204,6 +223,8 @@ Json Response::toJson() const {
     J["sweep"] = Sweep;
   if (Kind == Op::Metrics && Metrics.isObject())
     J["metrics"] = Metrics;
+  if (Kind == Op::Watch && Watch.isObject())
+    J["watch"] = Watch;
   if (TraceId)
     J["trace_id"] = TraceId;
   return J;

@@ -69,8 +69,11 @@ namespace dahlia::service {
 /// banked-memory simulator (the Exact estimation rung) and additionally
 /// ships the per-nest schedule breakdown. \c Metrics snapshots the
 /// process-wide metrics registry (support/Metrics.h) as JSON — a live
-/// observability scrape that needs no source.
-enum class Op { Check, Estimate, Lower, Simulate, DseSweep, Metrics };
+/// observability scrape that needs no source. \c Watch observes running
+/// dse-sweep progress: a plain watch answers one snapshot; a watch with
+/// `"stream":true` over the TCP front end streams periodic progress
+/// records (see docs/protocol.md) until `count` records were sent.
+enum class Op { Check, Estimate, Lower, Simulate, DseSweep, Metrics, Watch };
 
 const char *opName(Op O);
 
@@ -106,7 +109,14 @@ struct Request {
   bool ExactTopRung = false;
   /// "stream": answer dse-sweep/simulate as chunked lines (header,
   /// incremental records, terminal summary) instead of one response line.
+  /// On a watch request it selects live progress streaming (TCP only).
   bool Stream = false;
+  /// watch "interval_ms": minimum milliseconds between streamed progress
+  /// records (0 = the server default, 250 ms).
+  double WatchIntervalMs = 0;
+  /// watch "count": end the stream after this many progress records
+  /// (0 = stream until the connection closes).
+  uint64_t WatchCount = 0;
   /// Per-request trace ID. Clients may supply "trace_id"; when absent the
   /// service stamps one. It threads through every span the request opens
   /// (support/Trace.h) and is echoed in the response, so a slow request
@@ -134,6 +144,7 @@ struct Response {
   std::string Lowered;                ///< lower op.
   Json Sweep;                         ///< dse-sweep op summary (object).
   Json Metrics;                       ///< metrics op snapshot (object).
+  Json Watch;                         ///< watch op progress snapshot.
   uint64_t TraceId = 0;               ///< Echo of the request's trace ID.
 
   Json toJson() const;

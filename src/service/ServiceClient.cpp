@@ -7,6 +7,7 @@
 
 #include "service/ServiceClient.h"
 
+#include <iostream>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -72,6 +73,7 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
              : OpStr == "simulate" ? Op::Simulate
              : OpStr == "dse-sweep" ? Op::DseSweep
              : OpStr == "metrics"  ? Op::Metrics
+             : OpStr == "watch"    ? Op::Watch
                                    : Op::Check;
   C.R.Ok = J->at("ok").asBool();
   C.R.Cached = J->at("cached").asBool();
@@ -134,6 +136,8 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
     C.R.Sweep = J->at("sweep");
   if (J->contains("metrics"))
     C.R.Metrics = J->at("metrics");
+  if (J->contains("watch"))
+    C.R.Watch = J->at("watch");
   int64_t TraceId = J->at("trace_id").asInt();
   if (TraceId > 0)
     C.R.TraceId = static_cast<uint64_t>(TraceId);
@@ -169,6 +173,18 @@ public:
         Chunks.clear();
         return false;
       }
+      // Forward compatibility: a JSON object that is neither a protocol
+      // response (id/op/ok) nor an error payload (errors/message/error —
+      // which decodeResponse surfaces verbatim) is an unknown record
+      // kind from a newer server. Skip it with a warning rather than
+      // consuming a reply slot and misattributing every later response.
+      if (!(J->contains("op") && J->contains("ok")) &&
+          !J->contains("errors") && !J->contains("message") &&
+          !J->contains("error")) {
+        std::cerr << "dahlia service client: skipping unknown record: "
+                  << Line.substr(0, 120) << "\n";
+        return false;
+      }
       Done = {Line, false, 0};
       return true;
     }
@@ -183,6 +199,8 @@ public:
       Chunks.push_back(J->at("front_point"));
     else if (J->contains("nest"))
       Chunks.push_back(J->at("nest"));
+    else if (J->contains("progress"))
+      Chunks.push_back(J->at("progress"));
     // Unknown chunk kinds are skipped (forward compatibility).
     return false;
   }
@@ -223,6 +241,13 @@ private:
         Nests.push_back(C);
       Sim["nests"] = std::move(Nests);
       R["sim"] = std::move(Sim);
+    } else if (OpStr == "watch") {
+      // A live watch has no batch equivalent; the collected progress
+      // records are the stream's whole payload.
+      Json Recs = Json::array();
+      for (const Json &C : Chunks)
+        Recs.push_back(C);
+      R["progress_records"] = std::move(Recs);
     }
     return R.dump();
   }
@@ -377,5 +402,15 @@ ClientResponse ServiceClient::dseSweep(const std::string &Space, size_t Limit,
 ClientResponse ServiceClient::metrics() {
   Request R;
   R.Kind = Op::Metrics;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::watch(bool Stream, uint64_t Count,
+                                    double IntervalMs) {
+  Request R;
+  R.Kind = Op::Watch;
+  R.Stream = Stream;
+  R.WatchCount = Count;
+  R.WatchIntervalMs = IntervalMs;
   return call(std::move(R));
 }

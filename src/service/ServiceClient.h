@@ -84,6 +84,12 @@ public:
                           unsigned Threads = 0);
   /// Live scrape of the server's metrics registry (the `metrics` op).
   ClientResponse metrics();
+  /// Sweep-progress snapshot (the `watch` op). With \p Stream true over
+  /// the TCP transport the call blocks until \p Count streamed progress
+  /// records arrive (reassembled into `progress_records` in Raw), so a
+  /// bounded count is mandatory there. \p IntervalMs 0 = server default.
+  ClientResponse watch(bool Stream = false, uint64_t Count = 2,
+                       double IntervalMs = 0);
 
 private:
   /// One logical reply: a plain response line, or a reassembled stream.

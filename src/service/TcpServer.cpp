@@ -70,8 +70,13 @@ void TcpServer::run() {
     return;
   if (trace::enabled())
     trace::traceSetThreadName("tcp-server");
+  // Live watch streams: sweeps run serially on this thread (inside
+  // dispatchEpochs), so their progress ticks surface here and may touch
+  // connection state directly.
+  LoopThread = std::this_thread::get_id();
+  Svc.setProgressPublisher([this](const Json &Rec) { onProgress(Rec); });
   while (!Loop.stopRequested()) {
-    if (Loop.poll(-1) < 0)
+    if (Loop.poll(pollTimeoutMs()) < 0)
       break;
     // Epoch aggregation: with several clients connected, their requests
     // are usually in flight *concurrently* — but the first arrival wakes
@@ -95,11 +100,15 @@ void TcpServer::run() {
           ++Idle;
       }
     }
+    // Idle heartbeat for watch streams whose interval elapsed with no
+    // live sweep tick (also what ends a bounded watch on a quiet server).
+    serviceDueWatchers(trace::nowUs());
     // Everything read this round — from however many connections were
     // ready — forms the next epoch(s): this is the cross-client
     // coalescing that raises warm throughput.
     dispatchEpochs();
   }
+  Svc.setProgressPublisher(nullptr);
   // Orderly teardown: no further reads; drop connections. One cache
   // save covers them all — per-close saves would repeat identical
   // full-directory writes N times.
@@ -179,6 +188,12 @@ void TcpServer::closeConnection(uint64_t Serial) {
                     Pending.begin(), Pending.end(),
                     [Serial](const auto &P) { return P.first == Serial; }),
                 Pending.end());
+  // Watch streams die with their connection.
+  Watchers.erase(std::remove_if(Watchers.begin(), Watchers.end(),
+                                [Serial](const Watcher &W) {
+                                  return W.Serial == Serial;
+                                }),
+                 Watchers.end());
   {
     std::lock_guard<std::mutex> Lock(StatsM);
     ++Stats.Closed;
@@ -328,7 +343,34 @@ void TcpServer::dispatchEpochs() {
       if (It == Conns.end())
         continue; // Client vanished mid-epoch.
       CompileService::BatchEntry &E = Entries[I];
-      if (E.Req && ResponseStream::wantsStream(*E.Req, E.Resp)) {
+      if (E.Req && E.Req->Kind == Op::Watch && E.Req->Stream && E.Resp.Ok) {
+        // Live watch stream: header now, then serviceDueWatchers /
+        // onProgress push the periodic records, then the pre-built
+        // terminal. The first record is due immediately.
+        Json Header = Json::object();
+        Header["id"] = E.Resp.Id;
+        Header["op"] = "watch";
+        Header["stream"] = true;
+        It->second.OutQ.push_back(OutItem{Header.dump() + "\n", nullptr});
+        Watcher W;
+        W.WatchId = NextWatchId++;
+        W.Serial = Owners[I];
+        W.ReqId = E.Resp.Id;
+        W.Terminal = jsonWithoutKey(E.Resp.toJson(), "watch");
+        W.Terminal["stream_end"] = true;
+        W.IntervalUs = E.Req->WatchIntervalMs > 0
+                           ? static_cast<uint64_t>(E.Req->WatchIntervalMs *
+                                                   1000)
+                           : 250000;
+        W.NextDueUs = trace::nowUs();
+        W.Bounded = E.Req->WatchCount > 0;
+        W.Remaining = E.Req->WatchCount;
+        Watchers.push_back(std::move(W));
+        static metrics::Counter &StreamsC =
+            metrics::counter("server.watch_streams");
+        StreamsC.inc();
+        ++Streamed;
+      } else if (E.Req && ResponseStream::wantsStream(*E.Req, E.Resp)) {
         It->second.OutQ.push_back(OutItem{
             std::string(),
             std::make_unique<ResponseStream>(std::move(E.Resp))});
@@ -354,13 +396,111 @@ void TcpServer::dispatchEpochs() {
   }
 
   // EOF'd connections with nothing queued and nothing pending can close
-  // now (those with queued output close from pump once drained).
+  // now (those with queued output close from pump once drained). A live
+  // watch stream keeps its half-closed connection open: the peer is
+  // still reading records.
   std::vector<uint64_t> Drained;
   for (auto &[Serial, C] : Conns)
-    if (C.ReadClosed && C.drained())
+    if (C.ReadClosed && C.drained() && !hasWatcher(Serial))
       Drained.push_back(Serial);
   for (uint64_t Serial : Drained)
     closeConnection(Serial);
+}
+
+//===----------------------------------------------------------------------===//
+// Watch streams
+//===----------------------------------------------------------------------===//
+
+bool TcpServer::hasWatcher(uint64_t Serial) const {
+  for (const Watcher &W : Watchers)
+    if (W.Serial == Serial)
+      return true;
+  return false;
+}
+
+int TcpServer::pollTimeoutMs() const {
+  if (Watchers.empty())
+    return -1;
+  uint64_t Now = trace::nowUs();
+  uint64_t MinDue = UINT64_MAX;
+  for (const Watcher &W : Watchers)
+    MinDue = std::min(MinDue, W.NextDueUs);
+  if (MinDue <= Now)
+    return 0;
+  return static_cast<int>(std::min<uint64_t>((MinDue - Now + 999) / 1000,
+                                             60000));
+}
+
+void TcpServer::onProgress(const Json &Rec) {
+  // ProgressSink only ticks on the thread that called explore(), and
+  // sweeps run serially on the loop thread — but an embedder driving the
+  // same CompileService from another thread must not corrupt connection
+  // state, so anything foreign is dropped (and counted).
+  if (std::this_thread::get_id() != LoopThread) {
+    static metrics::Counter &ForeignC =
+        metrics::counter("server.watch_foreign_drops");
+    ForeignC.inc();
+    return;
+  }
+  if (Watchers.empty())
+    return;
+  deliverProgress(Rec, trace::nowUs());
+}
+
+void TcpServer::serviceDueWatchers(uint64_t NowUs) {
+  for (const Watcher &W : Watchers)
+    if (NowUs >= W.NextDueUs)
+      return deliverProgress(Svc.progressSnapshotJson(), NowUs);
+}
+
+void TcpServer::deliverProgress(const Json &Rec, uint64_t NowUs) {
+  // Iterate by stable WatchId: pump() below can close a connection,
+  // which erases its watchers out from under any index/iterator walk.
+  std::vector<uint64_t> Due;
+  for (const Watcher &W : Watchers)
+    if (NowUs >= W.NextDueUs)
+      Due.push_back(W.WatchId);
+  for (uint64_t Id : Due) {
+    auto WIt = std::find_if(
+        Watchers.begin(), Watchers.end(),
+        [Id](const Watcher &W) { return W.WatchId == Id; });
+    if (WIt == Watchers.end())
+      continue; // Its connection died earlier in this loop.
+    Watcher &W = *WIt;
+    uint64_t Serial = W.Serial;
+    auto CIt = Conns.find(Serial);
+    if (CIt == Conns.end()) {
+      Watchers.erase(WIt);
+      continue;
+    }
+    Connection &C = CIt->second;
+    W.NextDueUs = NowUs + W.IntervalUs;
+    // Drop-on-backpressure: a watcher on a full connection loses this
+    // record instead of growing the buffer past the cap. Bounded streams
+    // still count the record down, so a stalled reader cannot pin the
+    // stream open forever.
+    if (C.WriteBuf.size() - C.WriteOff >= Opts.MaxWriteBuffer) {
+      static metrics::Counter &DroppedC =
+          metrics::counter("server.watch_dropped_records");
+      DroppedC.inc();
+    } else {
+      Json Line = Json::object();
+      Line["id"] = W.ReqId;
+      Line["progress"] = Rec;
+      C.OutQ.push_back(OutItem{Line.dump() + "\n", nullptr});
+      static metrics::Counter &RecordsC =
+          metrics::counter("server.watch_records");
+      RecordsC.inc();
+    }
+    bool Finished = W.Bounded && --W.Remaining == 0;
+    if (Finished) {
+      C.OutQ.push_back(OutItem{W.Terminal.dump() + "\n", nullptr});
+      Watchers.erase(WIt);
+    }
+    auto PIt = Conns.find(Serial);
+    if (PIt != Conns.end())
+      pump(Serial, PIt->second);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -438,8 +578,10 @@ void TcpServer::pump(uint64_t Serial, Connection &C) {
 
   // Close only once genuinely drained: an EOF'd connection may still
   // have framed lines awaiting dispatch (the aggregation loop can see
-  // the FIN before the epoch runs) whose responses it is owed.
-  if (C.drained() && (C.ReadClosed || C.CloseAfterFlush)) {
+  // the FIN before the epoch runs) whose responses it is owed — and a
+  // live watch stream on a half-closed connection is still being read.
+  if (C.drained() &&
+      (C.CloseAfterFlush || (C.ReadClosed && !hasWatcher(Serial)))) {
     closeConnection(Serial);
     return;
   }

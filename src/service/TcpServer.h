@@ -51,6 +51,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dahlia::service {
@@ -144,6 +145,23 @@ private:
     }
   };
 
+  /// One live watch stream (a `watch` request with `"stream":true`): the
+  /// server pushes a `{"id":N,"progress":{...}}` line whenever a sweep
+  /// progress tick arrives or the interval elapses (idle heartbeat), then
+  /// the pre-built terminal once \c Remaining records were sent. Watchers
+  /// die with their connection; back-pressured records are dropped (and
+  /// counted) rather than buffered past the write cap.
+  struct Watcher {
+    uint64_t WatchId = 0;  ///< Stable handle (erase-safe iteration).
+    uint64_t Serial = 0;   ///< Owning connection.
+    int64_t ReqId = 0;     ///< Echoed in every record line.
+    Json Terminal;         ///< Final line (stream_end pre-added).
+    uint64_t IntervalUs = 250000;
+    uint64_t NextDueUs = 0;
+    uint64_t Remaining = 0; ///< Records left before the terminal.
+    bool Bounded = false;   ///< count was nonzero (else until close).
+  };
+
   void acceptReady();
   void connectionReady(uint64_t Serial, EventLoop::Events E);
   void readFrom(uint64_t Serial, Connection &C);
@@ -155,6 +173,21 @@ private:
   /// Hands every pending line to the service (in MaxBatch slices) and
   /// routes the responses to their connections.
   void dispatchEpochs();
+
+  /// Live progress from the service's sweep ticks. Safe only on the loop
+  /// thread (sweeps run there — see processBatchEx); records arriving on
+  /// any other thread are dropped and counted.
+  void onProgress(const Json &Rec);
+  /// Pushes the idle-heartbeat snapshot to every watcher whose interval
+  /// elapsed.
+  void serviceDueWatchers(uint64_t NowUs);
+  /// Delivers \p Rec to every due watcher, advancing deadlines, counting
+  /// down bounded streams, and sending terminals.
+  void deliverProgress(const Json &Rec, uint64_t NowUs);
+  /// Poll timeout: -1 (forever) without watchers, else the time to the
+  /// nearest watcher deadline.
+  int pollTimeoutMs() const;
+  bool hasWatcher(uint64_t Serial) const;
 
   CompileService &Svc;
   TcpServerOptions Opts;
@@ -171,6 +204,11 @@ private:
 
   /// Lines framed but not yet dispatched, with their owning connection.
   std::vector<std::pair<uint64_t, std::string>> Pending;
+
+  /// Live watch streams (loop thread only).
+  std::vector<Watcher> Watchers;
+  uint64_t NextWatchId = 1;
+  std::thread::id LoopThread;
 
   mutable std::mutex StatsM;
   TcpServerStats Stats;

@@ -1,0 +1,272 @@
+//===- EventLog.cpp - Structured JSONL search journal ---------------------===//
+//
+// Part of dahlia-cpp, a reproduction of "Predictable Accelerator Design with
+// Time-Sensitive Affine Types" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace dahlia::eventlog {
+
+std::atomic<bool> Enabled{false};
+
+namespace {
+
+/// Ring bound: emitters wait (rather than drop) once this many lines
+/// are queued ahead of the flusher. Journal completeness is the point
+/// of the tool, so back-pressure beats loss; `journal.stalls` counts
+/// how often emission outran the disk.
+constexpr size_t MaxRingLines = 1u << 15;
+
+/// The process journal. Leaked (never destroyed) for the same reason as
+/// the metrics registry: emitting threads may still be running during
+/// static destruction, and a leaked singleton keeps every access valid.
+struct Journal {
+  std::mutex M;
+  std::condition_variable DataCV;  ///< flusher waits for records / stop
+  std::condition_variable SpaceCV; ///< emitters wait for ring space
+  std::deque<std::string> Ring;
+  std::vector<std::string> Kept; ///< buffered mode retains lines here
+  std::ofstream Out;
+  std::thread Flusher;
+  uint64_t Seq = 0;
+  uint64_t Emitted = 0; ///< survives stop so tools can read the total
+  bool Active = false;
+  bool Buffered = false;
+  bool StopFlag = false;
+};
+
+Journal &journal() {
+  static Journal *J = new Journal();
+  return *J;
+}
+
+void flusherMain() {
+  Journal &J = journal();
+  std::unique_lock<std::mutex> L(J.M);
+  for (;;) {
+    J.DataCV.wait(L, [&] { return J.StopFlag || !J.Ring.empty(); });
+    if (J.Ring.empty()) {
+      if (J.StopFlag)
+        return;
+      continue;
+    }
+    std::deque<std::string> Batch;
+    Batch.swap(J.Ring);
+    J.SpaceCV.notify_all();
+    L.unlock();
+    for (const std::string &Line : Batch)
+      J.Out << Line << '\n';
+    J.Out.flush(); // keep the file tail-able while a sweep runs
+    L.lock();
+  }
+}
+
+} // namespace
+
+void Record::key(const char *K) {
+  Buf += ",\"";
+  Buf += K;
+  Buf += "\":";
+}
+
+Record &Record::field(const char *K, bool V) {
+  key(K);
+  Buf += V ? "true" : "false";
+  return *this;
+}
+Record &Record::field(const char *K, int V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, unsigned V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, long V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, unsigned long V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, long long V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, unsigned long long V) {
+  key(K);
+  Buf += std::to_string(V);
+  return *this;
+}
+Record &Record::field(const char *K, double V) {
+  key(K);
+  Buf += Json(V).dump(); // shortest-round-trip, matches the wire format
+  return *this;
+}
+Record &Record::field(const char *K, const char *V) {
+  key(K);
+  Buf += Json(V).dump(); // escaped
+  return *this;
+}
+Record &Record::field(const char *K, const std::string &V) {
+  key(K);
+  Buf += Json(V).dump();
+  return *this;
+}
+Record &Record::raw(const char *K, const std::string &JsonFragment) {
+  key(K);
+  Buf += JsonFragment;
+  return *this;
+}
+
+void emit(const char *Kind, Record &R) {
+  if (!enabled())
+    return;
+  uint64_t TraceId = trace::currentTraceId();
+  Journal &J = journal();
+  std::unique_lock<std::mutex> L(J.M);
+  if (!J.Active)
+    return;
+  if (!J.Buffered && J.Ring.size() >= MaxRingLines) {
+    static metrics::Counter &Stalls = metrics::counter("journal.stalls");
+    Stalls.inc();
+    J.SpaceCV.wait(L,
+                   [&] { return J.Ring.size() < MaxRingLines || !J.Active; });
+    if (!J.Active)
+      return;
+  }
+  std::string Line;
+  Line.reserve(R.Buf.size() + 64);
+  Line += "{\"seq\":";
+  Line += std::to_string(J.Seq++);
+  Line += ",\"ts_us\":";
+  Line += std::to_string(trace::nowUs());
+  Line += ",\"kind\":\"";
+  Line += Kind;
+  Line += '"';
+  if (TraceId) {
+    Line += ",\"trace_id\":";
+    Line += std::to_string(TraceId);
+  }
+  Line += R.Buf;
+  Line += '}';
+  ++J.Emitted;
+  static metrics::Counter &Events = metrics::counter("journal.events");
+  Events.inc();
+  if (J.Buffered) {
+    J.Kept.push_back(std::move(Line));
+  } else {
+    J.Ring.push_back(std::move(Line));
+    J.DataCV.notify_one();
+  }
+}
+
+bool journalStart(const std::string &Path) {
+  journalStop();
+  Journal &J = journal();
+  {
+    std::lock_guard<std::mutex> L(J.M);
+    J.Out.clear();
+    J.Out.open(Path, std::ios::out | std::ios::trunc);
+    if (!J.Out)
+      return false;
+    J.Ring.clear();
+    J.Kept.clear();
+    J.Seq = 0;
+    J.Emitted = 0;
+    J.Active = true;
+    J.Buffered = false;
+    J.StopFlag = false;
+  }
+  trace::nowUs(); // pin the shared clock origin before the first record
+  J.Flusher = std::thread(flusherMain);
+  Enabled.store(true, std::memory_order_relaxed);
+  eventlog::emit("journal-begin", Record().field("schema", kSchemaVersion));
+  return true;
+}
+
+void journalStartBuffered() {
+  journalStop();
+  Journal &J = journal();
+  {
+    std::lock_guard<std::mutex> L(J.M);
+    J.Ring.clear();
+    J.Kept.clear();
+    J.Seq = 0;
+    J.Emitted = 0;
+    J.Active = true;
+    J.Buffered = true;
+    J.StopFlag = false;
+  }
+  trace::nowUs();
+  Enabled.store(true, std::memory_order_relaxed);
+  eventlog::emit("journal-begin", Record().field("schema", kSchemaVersion));
+}
+
+void journalStop() {
+  Journal &J = journal();
+  uint64_t Before;
+  {
+    std::lock_guard<std::mutex> L(J.M);
+    if (!J.Active)
+      return;
+    Before = J.Emitted;
+  }
+  // The total includes the journal-end record itself. Callers stop the
+  // journal only after their emitting work quiesces (the same contract
+  // traceWriteFile has), so the count is exact.
+  eventlog::emit("journal-end", Record().field("events", Before + 1));
+  bool HadFlusher;
+  {
+    std::lock_guard<std::mutex> L(J.M);
+    J.Active = false;
+    J.StopFlag = true;
+    HadFlusher = J.Flusher.joinable();
+    J.DataCV.notify_all();
+    J.SpaceCV.notify_all();
+  }
+  Enabled.store(false, std::memory_order_relaxed);
+  if (HadFlusher)
+    J.Flusher.join();
+  std::lock_guard<std::mutex> L(J.M);
+  if (J.Out.is_open())
+    J.Out.close();
+}
+
+bool journalActive() {
+  Journal &J = journal();
+  std::lock_guard<std::mutex> L(J.M);
+  return J.Active;
+}
+
+uint64_t journalEventCount() {
+  Journal &J = journal();
+  std::lock_guard<std::mutex> L(J.M);
+  return J.Emitted;
+}
+
+std::vector<std::string> journalLines() {
+  Journal &J = journal();
+  std::lock_guard<std::mutex> L(J.M);
+  return J.Kept;
+}
+
+} // namespace dahlia::eventlog

@@ -128,6 +128,49 @@ void resetAll() {
     KV.second->reset();
 }
 
+namespace {
+
+/// `dse.memo.estimate_hits` -> `dahlia_dse_memo_estimate_hits`.
+std::string promName(const std::string &Name) {
+  std::string Out = "dahlia_";
+  for (char C : Name)
+    Out += C == '.' ? '_' : C;
+  return Out;
+}
+
+/// Prometheus floats: plain shortest-round-trip via Json's serializer.
+std::string promNum(double V) { return Json(V).dump(); }
+
+} // namespace
+
+std::string prometheusText() {
+  RegistryImpl &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  std::string Out;
+  for (auto &KV : R.Counters) {
+    std::string N = promName(KV.first);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + " " + std::to_string(KV.second->value()) + "\n";
+  }
+  for (auto &KV : R.Gauges) {
+    std::string N = promName(KV.first);
+    Out += "# TYPE " + N + " gauge\n";
+    Out += N + " " + std::to_string(KV.second->value()) + "\n";
+  }
+  for (auto &KV : R.Histograms) {
+    const Histogram &H = *KV.second;
+    std::string N = promName(KV.first) + "_ms";
+    Out += "# TYPE " + N + " summary\n";
+    Out += N + "{quantile=\"0.5\"} " + promNum(H.percentileMs(0.50)) + "\n";
+    Out += N + "{quantile=\"0.95\"} " + promNum(H.percentileMs(0.95)) + "\n";
+    Out += N + "{quantile=\"0.99\"} " + promNum(H.percentileMs(0.99)) + "\n";
+    Out += N + "_sum " +
+           promNum(H.meanMs() * static_cast<double>(H.count())) + "\n";
+    Out += N + "_count " + std::to_string(H.count()) + "\n";
+  }
+  return Out;
+}
+
 Json snapshot() {
   RegistryImpl &R = registry();
   std::lock_guard<std::mutex> L(R.M);

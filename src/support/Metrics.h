@@ -136,6 +136,14 @@ void resetAll();
 ///                        "max_ms"},...}}
 Json snapshot();
 
+/// The whole registry in Prometheus text-exposition format (version
+/// 0.0.4): metric names are prefixed `dahlia_` with dots mangled to
+/// underscores, counters/gauges map to their Prometheus types, and
+/// histograms export as summaries (quantile labels + `_sum`/`_count`,
+/// in milliseconds). `dahlia-serve --metrics-port` serves this for
+/// HTTP scrapes of `/metrics`.
+std::string prometheusText();
+
 } // namespace dahlia::metrics
 
 #endif // DAHLIA_SUPPORT_METRICS_H

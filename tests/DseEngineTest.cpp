@@ -89,6 +89,65 @@ TEST(ParetoFrontIncremental, MergeEqualsBulkInsert) {
   EXPECT_EQ(A.indices(), Whole.indices());
 }
 
+TEST(ParetoFrontIncremental, InsertExReportsEntriesAndEvictions) {
+  ParetoFront F;
+  ParetoFront::InsertOutcome O = F.insertEx(0, point(10, 10));
+  EXPECT_TRUE(O.Entered);
+  EXPECT_TRUE(O.Evicted.empty());
+
+  // Dominated offer: rejected, nothing displaced.
+  O = F.insertEx(1, point(20, 20));
+  EXPECT_FALSE(O.Entered);
+  EXPECT_TRUE(O.Evicted.empty());
+
+  // Incomparable offer: enters alongside.
+  O = F.insertEx(2, point(5, 30));
+  EXPECT_TRUE(O.Entered);
+  EXPECT_TRUE(O.Evicted.empty());
+
+  // Dominating offer: enters and reports both displaced members.
+  O = F.insertEx(3, point(4, 9));
+  EXPECT_TRUE(O.Entered);
+  EXPECT_EQ(O.Evicted, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(F.indices(), (std::vector<size_t>{3}));
+
+  // Equal-vector tie collapses onto the lower index: the higher-index
+  // newcomer reports as entered-with-eviction when it wins (it never
+  // does against a lower index), and rejected otherwise.
+  O = F.insertEx(7, point(4, 9));
+  EXPECT_FALSE(O.Entered);
+  EXPECT_TRUE(O.Evicted.empty());
+  O = F.insertEx(1, point(4, 9));
+  EXPECT_TRUE(O.Entered);
+  EXPECT_EQ(O.Evicted, (std::vector<size_t>{3}));
+  EXPECT_EQ(F.indices(), (std::vector<size_t>{1}));
+}
+
+TEST(ParetoFrontIncremental, DominatorOfNamesLowestDominatingMember) {
+  ParetoFront F;
+  F.insert(4, point(10, 10));
+  F.insert(2, point(30, 5));
+  F.insert(9, point(5, 30));
+
+  // No member dominates an incomparable or front-beating point.
+  EXPECT_FALSE(F.dominatorOf(point(4, 11)).has_value());
+  EXPECT_FALSE(F.dominatorOf(point(1, 1)).has_value());
+  // Equal vectors do not strictly dominate.
+  EXPECT_FALSE(F.dominatorOf(point(10, 10)).has_value());
+
+  // Dominated points name a dominator, consistent with dominatesPoint.
+  std::optional<size_t> D = F.dominatorOf(point(11, 11));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 4u);
+  EXPECT_TRUE(F.dominatesPoint(point(11, 11)));
+
+  // Several members dominate (40,40): the lowest index wins, keeping
+  // journal dominator attribution deterministic.
+  D = F.dominatorOf(point(40, 40));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 2u);
+}
+
 TEST(DseEngine, ResolveThreadCount) {
   EXPECT_EQ(resolveThreadCount(5), 5u);
   setenv("DAHLIA_DSE_THREADS", "3", 1);

@@ -1045,4 +1045,150 @@ TEST(TcpServer, HostileSoakKeepsWellBehavedClientsLive) {
       << "well-behaved clients never completed a batch during the soak";
 }
 
+//===----------------------------------------------------------------------===//
+// Watch op and observability surfaces
+//===----------------------------------------------------------------------===//
+
+TEST(Service, WatchSnapshotsSweepProgress) {
+  CompileService Svc(testOptions());
+  ServiceClient C(Svc);
+
+  // Before any sweep: the idle snapshot.
+  ClientResponse Idle = C.watch();
+  ASSERT_TRUE(Idle.R.Ok);
+  ASSERT_TRUE(Idle.R.Watch.isObject());
+  EXPECT_FALSE(Idle.R.Watch.at("running").asBool(true));
+  EXPECT_EQ(Idle.R.Watch.at("phase").asString(), "idle");
+  EXPECT_EQ(Idle.R.Watch.at("total").asInt(), 0);
+
+  // After a sweep: the final forced progress tick, no longer running.
+  ASSERT_TRUE(C.dseSweep("gemm-blocked", 120, 2).R.Ok);
+  ClientResponse Done = C.watch();
+  ASSERT_TRUE(Done.R.Ok);
+  EXPECT_FALSE(Done.R.Watch.at("running").asBool(true));
+  EXPECT_NE(Done.R.Watch.at("phase").asString(), "idle");
+  EXPECT_GT(Done.R.Watch.at("total").asInt(), 0);
+}
+
+TEST(Service, SlowRequestLogCarriesSweepFields) {
+  ServiceOptions O = testOptions();
+  O.SlowRequestMs = 1e-6; // Everything is slow: every request logs.
+  CompileService Svc(O);
+  ServiceClient C(Svc);
+
+  testing::internal::CaptureStderr();
+  ASSERT_TRUE(C.dseSweep("gemm-blocked", 120, 2).R.Ok);
+  std::string Log = testing::internal::GetCapturedStderr();
+
+  // One structured line per slow request; the sweep line carries the
+  // sweep-attribution fields.
+  std::istringstream Ls(Log);
+  std::string Line;
+  std::optional<Json> Sweep;
+  while (std::getline(Ls, Line)) {
+    std::optional<Json> J = Json::parse(Line);
+    if (J && J->isObject() && J->at("op").asString() == "dse-sweep")
+      Sweep = *J;
+  }
+  ASSERT_TRUE(Sweep) << "no dse-sweep slow-request line in: " << Log;
+  EXPECT_TRUE(Sweep->at("slow_request").asBool());
+  EXPECT_EQ(Sweep->at("space").asString(), "gemm-blocked");
+  EXPECT_EQ(Sweep->at("strategy").asString(), "exhaustive");
+  EXPECT_EQ(Sweep->at("explored").asInt(), 120);
+  EXPECT_TRUE(Sweep->contains("pruned"));
+  EXPECT_TRUE(Sweep->contains("latency_ms"));
+}
+
+TEST(Client, SkipsUnknownRecordsInStreamTransport) {
+  // A record the protocol does not model (no op/ok envelope, no error
+  // payload) is skipped with a warning; the real response behind it
+  // still lands. Error payloads keep their pinned surfacing behavior.
+  {
+    std::istringstream In("{\"notice\":\"server gossip\",\"id\":1}\n"
+                          "{\"id\":1,\"op\":\"check\",\"ok\":true}\n");
+    std::ostringstream Out;
+    ServiceClient C(In, Out);
+    testing::internal::CaptureStderr();
+    ClientResponse R = C.check(AcceptedSrc);
+    std::string Warn = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(R.R.Ok);
+    EXPECT_TRUE(R.R.Errors.empty());
+    EXPECT_NE(Warn.find("skipping unknown record"), std::string::npos)
+        << Warn;
+    EXPECT_NE(Warn.find("server gossip"), std::string::npos) << Warn;
+  }
+  {
+    // An error payload is consumed as the reply and surfaced verbatim.
+    std::istringstream In("{\"message\":\"service melting\"}\n");
+    std::ostringstream Out;
+    ServiceClient C(In, Out);
+    ClientResponse R = C.check(AcceptedSrc);
+    EXPECT_FALSE(R.R.Ok);
+    ASSERT_FALSE(R.R.Errors.empty());
+    EXPECT_NE(R.R.Errors[0].message().find("service melting"),
+              std::string::npos);
+  }
+}
+
+TEST(TcpServer, WatchStreamsLiveProgressDuringSweep) {
+  if (!haveSockets())
+    GTEST_SKIP() << "no sockets on this platform";
+  CompileService Svc(testOptions());
+  TcpServer Srv(Svc);
+  std::string Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+  std::thread Loop([&] { Srv.run(); });
+
+  // Watcher connection: a bounded stream of 6 records at 200ms. The
+  // call blocks until the terminal line, so it runs on its own thread
+  // while the main thread drives a sweep through a second connection.
+  ClientResponse WatchR;
+  std::atomic<bool> WatchOk{false};
+  std::thread Watcher([&] {
+    int Fd = connectLoopback(Srv.port());
+    if (Fd < 0)
+      return;
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient C(In, Out);
+    WatchR = C.watch(/*Stream=*/true, /*Count=*/6, /*IntervalMs=*/200);
+    WatchOk.store(true);
+  });
+
+  // Let the watch registration land in an earlier epoch, then run a
+  // sweep long enough to span several watch intervals.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  {
+    int Fd = connectLoopback(Srv.port());
+    ASSERT_GE(Fd, 0);
+    FdStreamBuf Buf(Fd);
+    std::istream In(&Buf);
+    std::ostream Out(&Buf);
+    ServiceClient C(In, Out);
+    ClientResponse Sweep = C.dseSweep("gemm-blocked", 8000, 2);
+    ASSERT_TRUE(Sweep.R.Ok);
+    EXPECT_EQ(Sweep.R.Sweep.at("explored").asInt(), 8000);
+  }
+  Watcher.join();
+  Srv.stop();
+  Loop.join();
+
+  ASSERT_TRUE(WatchOk.load());
+  ASSERT_TRUE(WatchR.R.Ok);
+  EXPECT_TRUE(WatchR.Streamed);
+  const std::vector<Json> &Recs =
+      WatchR.Raw.at("progress_records").asArray();
+  ASSERT_EQ(Recs.size(), 6u);
+  size_t Live = 0;
+  for (const Json &R : Recs) {
+    EXPECT_TRUE(R.contains("phase"));
+    if (R.at("running").asBool())
+      ++Live;
+  }
+  EXPECT_GE(Live, 2u)
+      << "the watcher must observe the sweep in flight, not just idle "
+         "heartbeats";
+}
+
 } // namespace
