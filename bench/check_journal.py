@@ -46,6 +46,17 @@ REQUIRED_FIELDS = {
     "front-enter": {"config", "front"},
     "front-evict": {"config", "front", "by"},
     "progress": {"phase", "done", "total", "front_size"},
+    # Distributed DSE (src/cluster/Cluster.cpp, docs/cluster.md).
+    "cluster-begin": {"workers", "shards", "space", "strategy", "limit"},
+    "cluster-end": {"ok", "shards_done", "retries", "reassignments",
+                    "worker_deaths", "duplicates", "front", "front_hash"},
+    "shard-dispatch": {"shard", "worker", "attempt", "speculative"},
+    "shard-reassign": {"shard", "to_worker", "attempt"},
+    "shard-done": {"shard", "worker", "points", "fingerprint", "duplicate",
+                   "ms"},
+    "shard-retry": {"shard", "worker", "attempt", "reason"},
+    "worker-dead": {"worker", "failures"},
+    "cache-sync": {"workers", "verdicts", "estimates"},
 }
 
 

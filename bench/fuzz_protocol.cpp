@@ -39,14 +39,20 @@ namespace {
 
 const char *kUsage =
     "usage: dahlia-fuzz-proto [--seed N] [--rounds N] [--time-budget SECONDS]\n"
-    "                         [--json PATH] [--self-test] [--trace-out PATH]\n"
-    "                         [--help]\n"
+    "                         [--cluster] [--limit N] [--json PATH]\n"
+    "                         [--self-test] [--trace-out PATH] [--help]\n"
     "\n"
     "  --seed N          seed for the attack schedule (default 1)\n"
     "  --rounds N        hostile rounds per soak; each round runs every\n"
     "                    attack once (default 4)\n"
     "  --time-budget S   rerun soaks with stepped seeds until S seconds\n"
     "                    elapse (nightly mode)\n"
+    "  --cluster         cluster dialect: hostile workers (garbage or\n"
+    "                    duplicate chunks, premature stream_end, killed or\n"
+    "                    scripted workers) against a real DSE cluster\n"
+    "                    coordinator; the oracle is liveness plus\n"
+    "                    exact-front-or-structured-error\n"
+    "  --limit N         cluster dialect sweep size per run (default 80)\n"
     "  --json PATH       write the JSON report to PATH ('-' = stdout)\n"
     "  --self-test       prove the harness catches a swallowed truncated\n"
     "                    frame (exit 0 iff it does)\n"
@@ -101,10 +107,13 @@ int selfTest(const ProtoFuzzOptions &Base) {
 
 int main(int Argc, char **Argv) {
   ProtoFuzzOptions O;
+  ClusterFuzzOptions CO;
   double TimeBudget = 0;
   const char *JsonOut = nullptr;
   const char *TraceOut = nullptr;
   bool SelfTest = false;
+  bool Cluster = false;
+  bool RoundsSet = false;
 
   for (int I = 1; I < Argc; ++I) {
     auto Val = [&](const char *Flag) -> const char * {
@@ -121,6 +130,12 @@ int main(int Argc, char **Argv) {
       O.Seed = std::strtoull(Val("--seed"), nullptr, 10);
     } else if (!std::strcmp(Argv[I], "--rounds")) {
       O.Rounds = static_cast<int>(std::strtol(Val("--rounds"), nullptr, 10));
+      RoundsSet = true;
+    } else if (!std::strcmp(Argv[I], "--cluster")) {
+      Cluster = true;
+    } else if (!std::strcmp(Argv[I], "--limit")) {
+      CO.Limit = static_cast<size_t>(
+          std::strtoull(Val("--limit"), nullptr, 10));
     } else if (!std::strcmp(Argv[I], "--time-budget")) {
       TimeBudget = std::strtod(Val("--time-budget"), nullptr);
     } else if (!std::strcmp(Argv[I], "--json")) {
@@ -143,11 +158,16 @@ int main(int Argc, char **Argv) {
   if (SelfTest) {
     Rc = selfTest(O);
   } else {
+    CO.Seed = O.Seed;
+    if (RoundsSet)
+      CO.Rounds = O.Rounds;
     ProtoFuzzReport R;
     ProtoFuzzOptions Step = O;
+    ClusterFuzzOptions ClusterStep = CO;
     auto Start = std::chrono::steady_clock::now();
     while (true) {
-      ProtoFuzzReport Soak = runProtoFuzz(Step);
+      ProtoFuzzReport Soak =
+          Cluster ? runClusterFuzz(ClusterStep) : runProtoFuzz(Step);
       R.Stats.Skipped = Soak.Stats.Skipped;
       R.Stats.Rounds += Soak.Stats.Rounds;
       R.Stats.Attacks += Soak.Stats.Attacks;
@@ -159,6 +179,7 @@ int main(int Argc, char **Argv) {
       if (R.Stats.Skipped)
         break;
       Step.Seed += 1; // Each extra soak explores a fresh attack schedule.
+      ClusterStep.Seed += 1;
       double Elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - Start)
                            .count();

@@ -14,7 +14,11 @@ Checks three machine-verifiable contracts:
     docs/observability.md;
   * every search-journal event kind emitted under src/ (the string
     literals passed to eventlog::emit) appears in
-    docs/observability.md.
+    docs/observability.md;
+  * every metric and journal event kind the cluster layer (src/cluster/)
+    registers ALSO appears in docs/cluster.md — the distributed-DSE doc
+    must describe its own observable surface, not defer to a grep of
+    observability.md.
 
 Usage:
   docs/check_docs.py [--bin-dir build] [--repo .] [--self-test]
@@ -123,6 +127,33 @@ def event_kinds(repo):
     return kinds
 
 
+def cluster_surface(repo):
+    """Metric names + journal event kinds registered under src/cluster/."""
+    names = set()
+    root = os.path.join(repo, "src", "cluster")
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fname in filenames:
+            if fname.endswith((".cpp", ".h")):
+                text = read(os.path.join(dirpath, fname))
+                names |= set(METRIC_RE.findall(text))
+                names |= set(EVENT_RE.findall(text))
+    if not names:
+        sys.exit("check_docs: found no metrics or journal kinds under "
+                 "src/cluster/ — did the cluster layer move?")
+    return names
+
+
+def check_cluster_doc(cluster_names, cluster_md):
+    failures = []
+    documented = set(re.findall(r"`([a-z][a-z0-9-_.]*)`", cluster_md))
+    for name in sorted(cluster_names):
+        if name not in documented:
+            failures.append(
+                f"docs/cluster.md: cluster metric/journal kind '{name}' "
+                f"is registered in src/cluster/ but not documented")
+    return failures
+
+
 def check(ops, flags_by_bin, metrics, events, protocol_md, cli_md,
           observability_md):
     """Returns a list of violations ([] = docs cover everything)."""
@@ -218,6 +249,9 @@ def main():
         "dahlia-dse-report": binary_flags(args.repo, args.bin_dir,
                                           "dahlia-dse-report",
                                           "examples/dahlia_dse_report.cpp"),
+        "dahlia-dse-cluster": binary_flags(args.repo, args.bin_dir,
+                                           "dahlia-dse-cluster",
+                                           "examples/dahlia_dse_cluster.cpp"),
     }
     metrics = metric_names(args.repo)
     events = event_kinds(args.repo)
@@ -226,11 +260,23 @@ def main():
     observability_md = read(
         os.path.join(args.repo, "docs", "observability.md"))
 
+    cluster_names = cluster_surface(args.repo)
+    cluster_md = read(os.path.join(args.repo, "docs", "cluster.md"))
+
     failures = check(ops, flags_by_bin, metrics, events, protocol_md,
                      cli_md, observability_md)
+    failures += check_cluster_doc(cluster_names, cluster_md)
     if args.self_test:
         failures += self_test(ops, flags_by_bin, metrics, events,
                               protocol_md, cli_md, observability_md)
+        # The cluster.md leg must have teeth too: deleting one documented
+        # cluster name must be detected.
+        victim = sorted(cluster_names)[0]
+        tampered = cluster_md.replace(f"`{victim}`", "`redacted`")
+        if not check_cluster_doc(cluster_names, tampered):
+            failures.append(
+                f"self-test: removing '{victim}' from cluster.md was "
+                f"not detected")
 
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)

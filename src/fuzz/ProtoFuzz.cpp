@@ -7,6 +7,8 @@
 
 #include "fuzz/ProtoFuzz.h"
 
+#include "cluster/Cluster.h"
+#include "cluster/FaultInject.h"
 #include "fuzz/ProgramGen.h"
 #include "service/CompileService.h"
 #include "service/Protocol.h"
@@ -68,6 +70,12 @@ Json ProtoFuzzReport::toJson() const {
 #ifndef DAHLIA_FUZZ_HAVE_SOCKETS
 
 ProtoFuzzReport dahlia::fuzz::runProtoFuzz(const ProtoFuzzOptions &) {
+  ProtoFuzzReport R;
+  R.Stats.Skipped = true;
+  return R;
+}
+
+ProtoFuzzReport dahlia::fuzz::runClusterFuzz(const ClusterFuzzOptions &) {
   ProtoFuzzReport R;
   R.Stats.Skipped = true;
   return R;
@@ -506,6 +514,175 @@ ProtoFuzzReport dahlia::fuzz::runProtoFuzz(const ProtoFuzzOptions &O) {
 
   Srv.stop();
   Loop.join();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster dialect: hostile workers vs a real coordinator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One catalog entry of the worker-fault schedule.
+struct WorkerAttack {
+  const char *Slug;
+  cluster::FaultMode Mode;
+};
+
+constexpr WorkerAttack kWorkerCatalog[] = {
+    {"garbage-chunk", cluster::FaultMode::GarbageChunk},
+    {"duplicate-chunk", cluster::FaultMode::DuplicateChunk},
+    {"premature-end", cluster::FaultMode::PrematureEnd},
+    {"truncate-frame", cluster::FaultMode::TruncateFrame},
+    {"kill-mid-stream", cluster::FaultMode::KillMidStream},
+    {"scripted-reply", cluster::FaultMode::Scripted},
+};
+
+/// Seeded garbage scripts for the scripted-reply attack: duplicate
+/// terminals, shard-echo lies, half-JSON — replies that parse (or don't)
+/// but can never validate as the requested shard.
+std::vector<std::string> hostileScript(Rng &Rnd) {
+  std::vector<std::string> Script;
+  switch (Rnd.below(4)) {
+  case 0: // duplicate full reply for the same id
+    Script.push_back(
+        R"({"id":1,"op":"dse-sweep","ok":true,"sweep":{"front":[0],"accepted_front":[],"shard_index":0,"shard_count":2,"explored":1,"front_points":[]}})");
+    Script.push_back(Script.back());
+    break;
+  case 1: // shard echo lie: claims a different shard than asked
+    Script.push_back(
+        R"({"id":1,"op":"dse-sweep","ok":true,"sweep":{"front":[],"accepted_front":[],"shard_index":7,"shard_count":9,"explored":0,"front_points":[]}})");
+    break;
+  case 2: // premature stream_end with no header context
+    Script.push_back(R"({"id":1,"op":"dse-sweep","ok":true,"stream_end":true})");
+    break;
+  default: // half a JSON object, then silence
+    Script.push_back(R"({"id":1,"op":"dse-sweep","ok":tru)");
+    break;
+  }
+  return Script;
+}
+
+} // namespace
+
+ProtoFuzzReport dahlia::fuzz::runClusterFuzz(const ClusterFuzzOptions &O) {
+  TRACE_SPAN("fuzz.runClusterFuzz");
+  ProtoFuzzReport R;
+  if (!haveSockets()) {
+    R.Stats.Skipped = true;
+    return R;
+  }
+
+  // The single-machine reference front the oracle compares against.
+  service::ServiceOptions RefSO;
+  RefSO.Threads = 2;
+  std::string RefHash, RefFront;
+  {
+    service::CompileService RefSvc(RefSO);
+    service::ServiceClient RefC(RefSvc);
+    service::ClientResponse Ref =
+        RefC.dseSweep("gemm-blocked", O.Limit, 2);
+    if (!Ref.R.Ok) {
+      R.Failures.push_back(
+          ProtoFailure{0, "reference", "reference sweep failed"});
+      return R;
+    }
+    RefHash = Ref.Raw.at("sweep").at("front_hash").asString();
+    RefFront = Ref.Raw.at("sweep").at("front").dump();
+  }
+
+  for (int Round = 0; Round < O.Rounds; ++Round) {
+    size_t NAttacks = sizeof(kWorkerCatalog) / sizeof(kWorkerCatalog[0]);
+    for (size_t A = 0; A < NAttacks; ++A) {
+      Rng Rnd(O.Seed * 6364136223846793005ULL +
+              static_cast<uint64_t>(Round) * 1442695040888963407ULL + A);
+      const WorkerAttack &Attack = kWorkerCatalog[A];
+      ++R.Stats.Attacks;
+
+      service::ServiceOptions SO;
+      SO.Threads = 2;
+      service::CompileService HonestSvc(SO);
+      service::TcpServer Honest(HonestSvc);
+      std::string Err;
+      if (!Honest.start(&Err)) {
+        R.Failures.push_back(
+            ProtoFailure{Round, Attack.Slug, "honest start: " + Err});
+        continue;
+      }
+      std::thread HonestLoop([&] { Honest.run(); });
+
+      cluster::FaultOptions FO;
+      FO.Mode = Attack.Mode;
+      // 0 = hostile forever (the worker must be retired), else hostile
+      // for a seeded prefix of connections (retries must converge).
+      FO.TriggerConnections =
+          Rnd.chance(40) ? 0 : static_cast<unsigned>(Rnd.range(1, 2));
+      FO.AfterChunks = static_cast<unsigned>(Rnd.range(0, 3));
+      if (Attack.Mode == cluster::FaultMode::Scripted)
+        FO.Script = hostileScript(Rnd);
+      cluster::FaultyWorker Hostile(FO, SO);
+      if (!Hostile.start()) {
+        R.Failures.push_back(
+            ProtoFailure{Round, Attack.Slug, "hostile worker start failed"});
+        Honest.stop();
+        HonestLoop.join();
+        continue;
+      }
+      ++R.Stats.HostileConnections;
+
+      cluster::ClusterOptions CO;
+      cluster::WorkerSpec W1, W2;
+      W1.Port = Honest.port();
+      W2.Port = Hostile.port();
+      CO.Workers = {W1, W2};
+      CO.Space = "gemm-blocked";
+      CO.Limit = O.Limit;
+      CO.SweepThreads = 2;
+      CO.Shards = static_cast<unsigned>(Rnd.range(2, 5));
+      CO.Retry = 5;
+      CO.RetryBackoffMs = 5;
+      CO.ShardTimeoutMs = 10000;
+      cluster::ClusterResult CR = cluster::ClusterCoordinator(std::move(CO)).run();
+
+      // Exact-front-or-structured-error: the two honest outcomes. A
+      // wrong front behind ok:true — or a failure with no error to act
+      // on — is a coordinator bug, worth a minimized corpus entry.
+      if (CR.Ok) {
+        if (CR.FrontHash != RefHash)
+          R.Failures.push_back(ProtoFailure{
+              Round, Attack.Slug,
+              "front diverged: cluster " + CR.FrontHash + " (" +
+                  dse::indicesToJson(CR.Fronts.Front).dump() +
+                  ") vs single-machine " + RefHash + " (" + RefFront + ")"});
+      } else if (CR.Errors.empty()) {
+        R.Failures.push_back(ProtoFailure{
+            Round, Attack.Slug, "run failed without a structured error"});
+      }
+
+      // Per-round liveness probe: the honest worker survived the round.
+      {
+        int Fd = connectLoopback(Honest.port());
+        if (Fd < 0) {
+          R.Failures.push_back(ProtoFailure{
+              Round, Attack.Slug, "honest worker unreachable after round"});
+        } else {
+          setRecvTimeout(Fd, 5000);
+          FdStreamBuf Buf(Fd);
+          std::iostream Ios(&Buf);
+          service::ServiceClient Probe(Ios, Ios);
+          if (!Probe.check(GoodSrc).R.Ok)
+            R.Failures.push_back(ProtoFailure{
+                Round, Attack.Slug, "honest worker broke after round"});
+          closeFd(Fd);
+        }
+      }
+
+      Hostile.stop();
+      Honest.stop();
+      HonestLoop.join();
+    }
+    ++R.Stats.Rounds;
+  }
   return R;
 }
 

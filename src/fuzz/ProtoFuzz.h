@@ -101,6 +101,38 @@ struct ProtoFuzzReport {
 /// ephemeral loopback port; returns after the final liveness probe.
 ProtoFuzzReport runProtoFuzz(const ProtoFuzzOptions &O = {});
 
+/// Cluster-dialect knobs (`dahlia-fuzz-proto --cluster`): hostile
+/// *workers* against a real ClusterCoordinator instead of hostile
+/// clients against a server.
+struct ClusterFuzzOptions {
+  uint64_t Seed = 1;
+  /// Hostile rounds; each round runs the whole worker-fault catalog once
+  /// (one coordinator run per catalog entry, every parameter seeded).
+  int Rounds = 2;
+  /// Sweep size per coordinator run. Small: the oracle needs many runs,
+  /// not big ones.
+  size_t Limit = 80;
+};
+
+/// The cluster dialect: every round pairs one honest TcpServer worker
+/// with one fault-injecting worker (garbage chunks, duplicate chunks,
+/// duplicate/garbled scripted replies, premature stream_end, truncated
+/// frames, mid-stream kills — modes and trigger windows drawn from the
+/// seed) and drives a sharded sweep through a real ClusterCoordinator.
+///
+/// The oracle, per run:
+///   * liveness — the coordinator returns (retry caps bound every fault);
+///   * exact-front-or-structured-error — a run that claims success must
+///     reproduce the single-machine front hash bit-for-bit, and a failed
+///     run must carry a non-empty structured error list; a wrong front
+///     or a silent failure is a finding;
+///   * the honest worker answers a fresh probe after every round.
+///
+/// Minimized wire-level findings are pinned as `cluster_*.lines` scripts
+/// in tests/fuzz-corpus/, replayed by FuzzTest through the strict client
+/// decoder (the coordinator's mode).
+ProtoFuzzReport runClusterFuzz(const ClusterFuzzOptions &O = {});
+
 } // namespace dahlia::fuzz
 
 #endif // DAHLIA_FUZZ_PROTOFUZZ_H

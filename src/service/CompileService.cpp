@@ -219,6 +219,10 @@ Response CompileService::handle(const Request &R) {
     Out.Watch = progressSnapshotJson();
   } else if (R.Kind == Op::DseSweep) {
     Out = dseSweep(R);
+  } else if (R.Kind == Op::CacheExport) {
+    Out = cacheExportOp(R);
+  } else if (R.Kind == Op::CacheImport) {
+    Out = cacheImportOp(R);
   } else {
     Out = checkOrEstimate(R);
   }
@@ -606,6 +610,83 @@ Response CompileService::dseSweep(const Request &R) {
         dse::frontPointsToJson(dse::collectFrontPoints(DR));
   Out.Sweep = std::move(Sweep);
   Out.Ok = true;
+  return Out;
+}
+
+Response CompileService::cacheExportOp(const Request &R) {
+  Response Out;
+  Out.Kind = Op::CacheExport;
+  if (!Cache) {
+    Out.Errors.push_back(Error(
+        ErrorKind::Internal, "cache-export: memoization is disabled"));
+    return Out;
+  }
+
+  // An optional "i/N" shard selects the key-residue slice, so a cache too
+  // large for one protocol line ships in N bounded pieces (keys are
+  // StableHash outputs, so residues are evenly spread).
+  dse::ShardSpec Slice;
+  if (!R.Shard.empty()) {
+    std::optional<dse::ShardSpec> S = dse::parseShard(R.Shard);
+    if (!S) {
+      Out.Errors.push_back(Error(
+          ErrorKind::Internal,
+          "malformed cache slice '" + R.Shard + "' (expected \"i/N\")"));
+      return Out;
+    }
+    Slice = *S;
+  }
+  auto InSlice = [&](uint64_t Key) {
+    return Slice.isWhole() || Key % Slice.Count == Slice.Index;
+  };
+
+  std::vector<std::pair<uint64_t, bool>> Verdicts;
+  for (auto &Entry : Cache->snapshotVerdicts())
+    if (InSlice(Entry.first))
+      Verdicts.push_back(std::move(Entry));
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates;
+  for (auto &Entry : Cache->snapshotEstimates())
+    if (InSlice(Entry.first))
+      Estimates.push_back(std::move(Entry));
+
+  Out.Cache = cacheToJson(Verdicts, Estimates);
+  Out.Ok = true;
+  static metrics::Counter &Exports = metrics::counter("service.cache_exports");
+  Exports.inc();
+  return Out;
+}
+
+Response CompileService::cacheImportOp(const Request &R) {
+  Response Out;
+  Out.Kind = Op::CacheImport;
+  if (!Cache) {
+    Out.Errors.push_back(Error(
+        ErrorKind::Internal, "cache-import: memoization is disabled"));
+    return Out;
+  }
+
+  std::vector<std::pair<uint64_t, bool>> Verdicts;
+  std::vector<std::pair<uint64_t, hlsim::Estimate>> Estimates;
+  std::string Err;
+  if (!cacheFromJson(R.CachePayload, Verdicts, Estimates, &Err)) {
+    Out.Errors.push_back(
+        Error(ErrorKind::Internal, "cache-import: " + Err));
+    return Out;
+  }
+  for (const auto &[Key, Accepted] : Verdicts)
+    Cache->insertVerdict(Key, Accepted);
+  for (const auto &[Key, Est] : Estimates)
+    Cache->insertEstimate(Key, Est);
+
+  Json Summary = Json::object();
+  Summary["imported_verdicts"] = Verdicts.size();
+  Summary["imported_estimates"] = Estimates.size();
+  Summary["verdicts"] = Cache->verdictCount();
+  Summary["estimates"] = Cache->estimateCount();
+  Out.Cache = std::move(Summary);
+  Out.Ok = true;
+  static metrics::Counter &Imports = metrics::counter("service.cache_imports");
+  Imports.inc();
   return Out;
 }
 

@@ -164,6 +164,11 @@ private:
 
   Response checkOrEstimate(const Request &R);
   Response dseSweep(const Request &R);
+  /// The cache-shipping ops (fleet warm-up; see docs/cluster.md): export
+  /// snapshots the memo cache (optionally one "i/N" key-residue slice),
+  /// import bulk-merges a payload in the same wire shape.
+  Response cacheExportOp(const Request &R);
+  Response cacheImportOp(const Request &R);
 
   /// Applies \p Rw to \p P (bank factors onto decl types, unroll factors
   /// onto for-loops by iterator name). Returns the first error when a

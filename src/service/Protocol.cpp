@@ -7,6 +7,10 @@
 
 #include "service/Protocol.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
 using namespace dahlia;
 using namespace dahlia::service;
 
@@ -26,6 +30,10 @@ const char *dahlia::service::opName(Op O) {
     return "metrics";
   case Op::Watch:
     return "watch";
+  case Op::CacheExport:
+    return "cache-export";
+  case Op::CacheImport:
+    return "cache-import";
   }
   return "?";
 }
@@ -63,6 +71,10 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     R.Kind = Op::Metrics;
   } else if (OpStr == "watch") {
     R.Kind = Op::Watch;
+  } else if (OpStr == "cache-export") {
+    R.Kind = Op::CacheExport;
+  } else if (OpStr == "cache-import") {
+    R.Kind = Op::CacheImport;
   } else {
     if (Err)
       *Err = "unknown op '" + OpStr + "'";
@@ -121,14 +133,25 @@ std::optional<Request> Request::fromJson(const std::string &Line,
     R.Rw = std::move(Rw);
   }
 
+  if (R.Kind == Op::CacheImport) {
+    if (!J->at("cache").isObject()) {
+      if (Err)
+        *Err = "cache-import requires a 'cache' object";
+      return std::nullopt;
+    }
+    R.CachePayload = J->at("cache");
+  }
+
   if (R.Kind == Op::DseSweep) {
     if (R.Space.empty()) {
       if (Err)
         *Err = "dse-sweep requires a 'space'";
       return std::nullopt;
     }
-  } else if (R.Kind == Op::Metrics || R.Kind == Op::Watch) {
-    // A registry scrape / progress watch needs no source.
+  } else if (R.Kind == Op::Metrics || R.Kind == Op::Watch ||
+             R.Kind == Op::CacheExport || R.Kind == Op::CacheImport) {
+    // Registry scrapes, progress watches, and cache shipping need no
+    // source.
   } else if (!R.Source.empty() && R.Rw) {
     // Ambiguous: would the rewrite apply to this source or not? Make the
     // client pick one (establish with source, then rewrite by session).
@@ -186,6 +209,10 @@ Json Request::toJson() const {
     if (WatchCount)
       J["count"] = WatchCount;
   }
+  if (Kind == Op::CacheExport && !Shard.empty())
+    J["shard"] = Shard;
+  if (Kind == Op::CacheImport)
+    J["cache"] = CachePayload;
   if (Stream)
     J["stream"] = true;
   if (TraceId)
@@ -225,6 +252,9 @@ Json Response::toJson() const {
     J["metrics"] = Metrics;
   if (Kind == Op::Watch && Watch.isObject())
     J["watch"] = Watch;
+  if ((Kind == Op::CacheExport || Kind == Op::CacheImport) &&
+      Cache.isObject())
+    J["cache"] = Cache;
   if (TraceId)
     J["trace_id"] = TraceId;
   return J;
@@ -357,6 +387,105 @@ Json dahlia::service::toJson(const cyclesim::SimResult &S) {
   }
   J["nests"] = std::move(Nests);
   return J;
+}
+
+hlsim::Estimate dahlia::service::estimateFromJson(const Json &E) {
+  hlsim::Estimate Est;
+  Est.Cycles = E.at("cycles").asDouble();
+  Est.RuntimeMs = E.at("runtime_ms").asDouble();
+  Est.II = E.at("ii").asDouble();
+  Est.Lut = E.at("lut").asInt();
+  Est.Ff = E.at("ff").asInt();
+  Est.Bram = E.at("bram").asInt();
+  Est.Dsp = E.at("dsp").asInt();
+  Est.LutMem = E.at("lutmem").asInt();
+  Est.Incorrect = E.at("incorrect").asBool();
+  Est.Predictable = E.at("predictable").asBool();
+  return Est;
+}
+
+namespace {
+
+std::string hexKey(uint64_t K) {
+  char Buf[2 + 16 + 1];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(K));
+  return Buf;
+}
+
+std::optional<uint64_t> parseHexKey(const std::string &S) {
+  if (S.size() < 3 || S[0] != '0' || (S[1] != 'x' && S[1] != 'X'))
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str() + 2, &End, 16);
+  if (errno != 0 || End == S.c_str() + 2 || *End != '\0')
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+} // namespace
+
+Json dahlia::service::cacheToJson(
+    const std::vector<std::pair<uint64_t, bool>> &Verdicts,
+    const std::vector<std::pair<uint64_t, hlsim::Estimate>> &Estimates) {
+  Json J = Json::object();
+  Json VArr = Json::array();
+  for (const auto &[Key, Accepted] : Verdicts) {
+    Json E = Json::object();
+    E["key"] = hexKey(Key);
+    E["accepted"] = Accepted;
+    VArr.push_back(std::move(E));
+  }
+  Json EArr = Json::array();
+  for (const auto &[Key, Est] : Estimates) {
+    Json E = Json::object();
+    E["key"] = hexKey(Key);
+    E["estimate"] = toJson(Est);
+    EArr.push_back(std::move(E));
+  }
+  J["verdicts"] = std::move(VArr);
+  J["estimates"] = std::move(EArr);
+  return J;
+}
+
+bool dahlia::service::cacheFromJson(
+    const Json &J, std::vector<std::pair<uint64_t, bool>> &Verdicts,
+    std::vector<std::pair<uint64_t, hlsim::Estimate>> &Estimates,
+    std::string *Err) {
+  if (!J.isObject()) {
+    if (Err)
+      *Err = "cache payload must be an object";
+    return false;
+  }
+  // A mistyped section must fail loudly: asArray() on a non-array decays
+  // to empty, which would turn a garbled payload into a silent no-op.
+  for (const char *Key : {"verdicts", "estimates"})
+    if (J.contains(Key) && !J.at(Key).isArray()) {
+      if (Err)
+        *Err = std::string("cache payload '") + Key + "' must be an array";
+      return false;
+    }
+  for (const Json &E : J.at("verdicts").asArray()) {
+    std::optional<uint64_t> Key = parseHexKey(E.at("key").asString());
+    if (!Key) {
+      if (Err)
+        *Err = "cache verdict entry with malformed key: " +
+               E.at("key").asString();
+      return false;
+    }
+    Verdicts.emplace_back(*Key, E.at("accepted").asBool());
+  }
+  for (const Json &E : J.at("estimates").asArray()) {
+    std::optional<uint64_t> Key = parseHexKey(E.at("key").asString());
+    if (!Key || !E.at("estimate").isObject()) {
+      if (Err)
+        *Err = "cache estimate entry with malformed key/estimate";
+      return false;
+    }
+    Estimates.emplace_back(*Key, estimateFromJson(E.at("estimate")));
+  }
+  return true;
 }
 
 Json dahlia::service::timingsToJson(const driver::CompileResult &R) {

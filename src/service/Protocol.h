@@ -73,7 +73,23 @@ namespace dahlia::service {
 /// dse-sweep progress: a plain watch answers one snapshot; a watch with
 /// `"stream":true` over the TCP front end streams periodic progress
 /// records (see docs/protocol.md) until `count` records were sent.
-enum class Op { Check, Estimate, Lower, Simulate, DseSweep, Metrics, Watch };
+/// \c CacheExport / \c CacheImport ship the server's memo cache (verdicts
+/// and estimates) between fleet members: an export snapshots entries (an
+/// optional `shard` "i/N" selects the key-residue slice so giant caches
+/// fit the line-size cap), an import bulk-merges entries into the
+/// server's cache — how the DSE cluster coordinator converges a fleet of
+/// workers to all-hit (see docs/cluster.md).
+enum class Op {
+  Check,
+  Estimate,
+  Lower,
+  Simulate,
+  DseSweep,
+  Metrics,
+  Watch,
+  CacheExport,
+  CacheImport,
+};
 
 const char *opName(Op O);
 
@@ -122,6 +138,9 @@ struct Request {
   /// (support/Trace.h) and is echoed in the response, so a slow request
   /// in a server-side trace is attributable from the client side alone.
   uint64_t TraceId = 0;
+  /// cache-import "cache": the entries to merge, in the cache-export wire
+  /// shape ({"verdicts":[...],"estimates":[...]}, see cacheToJson).
+  Json CachePayload;
 
   /// Parses one protocol line. Returns std::nullopt and sets \p Err on
   /// malformed input (not valid JSON, unknown op, missing fields).
@@ -145,6 +164,7 @@ struct Response {
   Json Sweep;                         ///< dse-sweep op summary (object).
   Json Metrics;                       ///< metrics op snapshot (object).
   Json Watch;                         ///< watch op progress snapshot.
+  Json Cache;                         ///< cache-export/-import payload.
   uint64_t TraceId = 0;               ///< Echo of the request's trace ID.
 
   Json toJson() const;
@@ -215,6 +235,27 @@ Json timingsToJson(const driver::CompileResult &R);
 /// producer (ResponseStream) and consumer (ServiceClient's reassembly),
 /// which must stay exact inverses.
 Json jsonWithoutKey(const Json &J, const std::string &Key);
+
+/// Inverse of toJson(hlsim::Estimate) — shared by the client's response
+/// decoder and the server's cache-import handler.
+hlsim::Estimate estimateFromJson(const Json &E);
+
+/// Cache entries in the cache-export/-import wire shape: keys render as
+/// "0x..." hex strings (uint64 does not survive a signed JSON int), and
+/// both sides are sorted by key so the payload is deterministic.
+///
+///   {"verdicts":[{"key":"0x1a","accepted":true},...],
+///    "estimates":[{"key":"0x2b","estimate":{...}},...]}
+Json cacheToJson(const std::vector<std::pair<uint64_t, bool>> &Verdicts,
+                 const std::vector<std::pair<uint64_t, hlsim::Estimate>>
+                     &Estimates);
+
+/// Parsed cache payload. Returns false and sets \p Err on malformed
+/// input (bad key strings, missing fields).
+bool cacheFromJson(const Json &J,
+                   std::vector<std::pair<uint64_t, bool>> &Verdicts,
+                   std::vector<std::pair<uint64_t, hlsim::Estimate>> &Estimates,
+                   std::string *Err = nullptr);
 
 } // namespace dahlia::service
 

@@ -11,6 +11,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 
 using namespace dahlia;
 using namespace dahlia::service;
@@ -74,6 +75,8 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
              : OpStr == "dse-sweep" ? Op::DseSweep
              : OpStr == "metrics"  ? Op::Metrics
              : OpStr == "watch"    ? Op::Watch
+             : OpStr == "cache-export" ? Op::CacheExport
+             : OpStr == "cache-import" ? Op::CacheImport
                                    : Op::Check;
   C.R.Ok = J->at("ok").asBool();
   C.R.Cached = J->at("cached").asBool();
@@ -93,21 +96,8 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
               SourceLoc(static_cast<uint32_t>(E.at("line").asInt()),
                         static_cast<uint32_t>(E.at("col").asInt()))));
   }
-  if (J->contains("estimate")) {
-    const Json &E = J->at("estimate");
-    hlsim::Estimate Est;
-    Est.Cycles = E.at("cycles").asDouble();
-    Est.RuntimeMs = E.at("runtime_ms").asDouble();
-    Est.II = E.at("ii").asDouble();
-    Est.Lut = E.at("lut").asInt();
-    Est.Ff = E.at("ff").asInt();
-    Est.Bram = E.at("bram").asInt();
-    Est.Dsp = E.at("dsp").asInt();
-    Est.LutMem = E.at("lutmem").asInt();
-    Est.Incorrect = E.at("incorrect").asBool();
-    Est.Predictable = E.at("predictable").asBool();
-    C.R.Est = Est;
-  }
+  if (J->contains("estimate"))
+    C.R.Est = estimateFromJson(J->at("estimate"));
   if (J->contains("sim")) {
     const Json &S = J->at("sim");
     cyclesim::SimResult Sim;
@@ -138,6 +128,8 @@ ClientResponse dahlia::service::decodeResponse(const std::string &Line) {
     C.R.Metrics = J->at("metrics");
   if (J->contains("watch"))
     C.R.Watch = J->at("watch");
+  if (J->contains("cache"))
+    C.R.Cache = J->at("cache");
   int64_t TraceId = J->at("trace_id").asInt();
   if (TraceId > 0)
     C.R.TraceId = static_cast<uint64_t>(TraceId);
@@ -157,6 +149,12 @@ namespace {
 /// of take() after feed() returns true.
 class StreamAssembler {
 public:
+  /// \p Strict: unknown records, duplicate/unknown stream chunks, and
+  /// under-covered stream terminals become structured errors instead of
+  /// warn-and-skip (ServiceClient::setStrict; the cluster coordinator's
+  /// mode).
+  explicit StreamAssembler(bool Strict = false) : Strict(Strict) {}
+
   /// Returns true when \p Line completed a logical reply.
   bool feed(const std::string &Line) {
     std::optional<Json> J = Json::parse(Line);
@@ -171,16 +169,25 @@ public:
         // Stream header: start collecting.
         InStream = true;
         Chunks.clear();
+        SeenPointIndices.clear();
+        Poison.clear();
         return false;
       }
-      // Forward compatibility: a JSON object that is neither a protocol
-      // response (id/op/ok) nor an error payload (errors/message/error —
-      // which decodeResponse surfaces verbatim) is an unknown record
-      // kind from a newer server. Skip it with a warning rather than
-      // consuming a reply slot and misattributing every later response.
+      // A JSON object that is neither a protocol response (id/op/ok) nor
+      // an error payload (errors/message/error — which decodeResponse
+      // surfaces verbatim) is an unknown record kind. Strict mode turns
+      // it into a structured error reply; otherwise skip it with a
+      // warning rather than consuming a reply slot and misattributing
+      // every later response (forward compatibility).
       if (!(J->contains("op") && J->contains("ok")) &&
           !J->contains("errors") && !J->contains("message") &&
           !J->contains("error")) {
+        if (Strict) {
+          Done = {errorLine(*J, "strict mode: unknown record: " +
+                                    Line.substr(0, 120)),
+                  false, 0};
+          return true;
+        }
         std::cerr << "dahlia service client: skipping unknown record: "
                   << Line.substr(0, 120) << "\n";
         return false;
@@ -191,17 +198,36 @@ public:
 
     // Inside a stream: chunk or terminal.
     if (J->contains("stream_end")) {
-      Done = {reassemble(*J), true, Chunks.size()};
       InStream = false;
+      if (Strict && !Poison.empty()) {
+        Done = {errorLine(*J, "strict mode: " + Poison), true,
+                Chunks.size()};
+        return true;
+      }
+      Done = {reassemble(*J), true, Chunks.size()};
       return true;
     }
-    if (J->contains("front_point"))
-      Chunks.push_back(J->at("front_point"));
-    else if (J->contains("nest"))
+    if (J->contains("front_point")) {
+      const Json &P = J->at("front_point");
+      if (Strict) {
+        int64_t Idx = P.at("index").asInt(-1);
+        if (!SeenPointIndices.insert(Idx).second) {
+          if (Poison.empty())
+            Poison = "duplicate front_point chunk for config " +
+                     std::to_string(Idx);
+          return false; // First-wins: the duplicate is not collected.
+        }
+      }
+      Chunks.push_back(P);
+    } else if (J->contains("nest")) {
       Chunks.push_back(J->at("nest"));
-    else if (J->contains("progress"))
+    } else if (J->contains("progress")) {
       Chunks.push_back(J->at("progress"));
-    // Unknown chunk kinds are skipped (forward compatibility).
+    } else if (Strict && Poison.empty()) {
+      // Unknown chunk kinds are skipped when lenient (forward
+      // compatibility) but poison a strict stream.
+      Poison = "unknown stream chunk: " + Line.substr(0, 120);
+    }
     return false;
   }
 
@@ -218,6 +244,26 @@ public:
   size_t pendingChunks() const { return Chunks.size(); }
 
 private:
+  /// Builds an ok=false protocol reply carrying \p Msg, echoing whatever
+  /// id/op the offending record had so callBatch can still slot it.
+  static std::string errorLine(const Json &J, const std::string &Msg) {
+    Json O = Json::object();
+    O["id"] = J.at("id").asInt();
+    O["op"] = J.at("op").isString() ? J.at("op").asString()
+                                    : std::string("check");
+    O["ok"] = false;
+    O["latency_ms"] = 0.0;
+    Json E = Json::object();
+    E["kind"] = errorKindName(ErrorKind::Internal);
+    E["message"] = Msg;
+    E["line"] = 0;
+    E["col"] = 0;
+    Json Errs = Json::array();
+    Errs.push_back(std::move(E));
+    O["errors"] = std::move(Errs);
+    return O.dump();
+  }
+
   /// Rebuilds the batch response from the terminal summary + chunks. The
   /// inverse of ResponseStream: front points go back into the sweep when
   /// the batch form carries them (sharded sweeps), nests always go back
@@ -226,6 +272,19 @@ private:
     Json R = jsonWithoutKey(Terminal, "stream_end");
     const std::string &OpStr = R.at("op").asString();
     if (OpStr == "dse-sweep" && R.at("sweep").isObject()) {
+      // In strict mode the terminal's front membership must be covered
+      // by the collected chunks — a premature stream_end would otherwise
+      // reassemble a silently truncated front.
+      if (Strict && R.at("ok").asBool()) {
+        for (const char *Key : {"front", "accepted_front"})
+          for (const Json &I : R.at("sweep").at(Key).asArray())
+            if (!SeenPointIndices.count(I.asInt(-1)))
+              return errorLine(
+                  Terminal,
+                  "strict mode: stream ended before front_point chunk "
+                  "for config " + std::to_string(I.asInt(-1)) +
+                      " arrived (premature stream_end?)");
+      }
       if (R.at("sweep").at("shard_count").asInt() > 1) {
         Json Sweep = R.at("sweep");
         Json Points = Json::array();
@@ -252,8 +311,11 @@ private:
     return R.dump();
   }
 
+  bool Strict = false;
   bool InStream = false;
   std::vector<Json> Chunks;
+  std::set<int64_t> SeenPointIndices;
+  std::string Poison; ///< First strict-mode violation inside the stream.
   Reply Done;
 };
 
@@ -262,7 +324,7 @@ private:
 std::vector<ServiceClient::RawReply>
 ServiceClient::exchange(const std::vector<std::string> &Lines) {
   std::vector<RawReply> Result;
-  StreamAssembler Asm;
+  StreamAssembler Asm(Strict);
   auto FeedLine = [&](const std::string &Line) {
     if (Asm.feed(Line)) {
       StreamAssembler::Reply R = Asm.take();
@@ -396,6 +458,20 @@ ClientResponse ServiceClient::dseSweep(const std::string &Space, size_t Limit,
   R.Space = Space;
   R.Limit = Limit;
   R.Threads = Threads;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::cacheExport(const std::string &Slice) {
+  Request R;
+  R.Kind = Op::CacheExport;
+  R.Shard = Slice;
+  return call(std::move(R));
+}
+
+ClientResponse ServiceClient::cacheImport(Json Payload) {
+  Request R;
+  R.Kind = Op::CacheImport;
+  R.CachePayload = std::move(Payload);
   return call(std::move(R));
 }
 

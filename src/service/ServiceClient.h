@@ -64,6 +64,17 @@ public:
   ServiceClient(std::istream &In, std::ostream &Out);
   ~ServiceClient();
 
+  /// Strict decoding: instead of warning-and-skipping, an unknown
+  /// record, a duplicate front_point chunk, an unknown chunk kind inside
+  /// a stream, or a stream whose terminal front indices are not all
+  /// covered by the collected chunks (a premature `stream_end`) becomes a
+  /// structured ok=false response. The DSE cluster coordinator runs in
+  /// strict mode: a hostile or corrupted worker must surface as an error
+  /// it can retry, never as a silently wrong front. Default off —
+  /// interactive clients keep the forward-compatible skip.
+  void setStrict(bool S) { Strict = S; }
+  bool strict() const { return Strict; }
+
   /// Sends one request and waits for its response. The request's id is
   /// overwritten with a fresh one.
   ClientResponse call(Request R);
@@ -82,6 +93,12 @@ public:
   ClientResponse lower(const std::string &Source);
   ClientResponse dseSweep(const std::string &Space, size_t Limit = 0,
                           unsigned Threads = 0);
+  /// Snapshot of the server's memo cache (the `cache-export` op).
+  /// \p Slice optionally selects one "i/N" key-residue slice.
+  ClientResponse cacheExport(const std::string &Slice = {});
+  /// Bulk-merges \p Payload (cache-export wire shape) into the server's
+  /// memo cache (the `cache-import` op).
+  ClientResponse cacheImport(Json Payload);
   /// Live scrape of the server's metrics registry (the `metrics` op).
   ClientResponse metrics();
   /// Sweep-progress snapshot (the `watch` op). With \p Stream true over
@@ -105,6 +122,7 @@ private:
   std::istream *In = nullptr;
   std::ostream *Out = nullptr;
   int64_t NextId = 1;
+  bool Strict = false;
 };
 
 } // namespace dahlia::service

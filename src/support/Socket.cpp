@@ -14,6 +14,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -78,9 +79,27 @@ int dahlia::connectLoopback(int Port) {
   return Fd;
 }
 
+int dahlia::acceptConnection(int ListenFd) {
+  int Fd = ::accept(ListenFd, nullptr, nullptr);
+  if (Fd < 0)
+    return -1;
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
 bool dahlia::setNonBlocking(int Fd) {
   int Flags = ::fcntl(Fd, F_GETFL, 0);
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+bool dahlia::setRecvTimeout(int Fd, int Ms) {
+  timeval Tv{};
+  if (Ms > 0) {
+    Tv.tv_sec = Ms / 1000;
+    Tv.tv_usec = (Ms % 1000) * 1000;
+  }
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0;
 }
 
 void dahlia::closeFd(int Fd) {
@@ -127,7 +146,9 @@ int FdStreamBuf::flushOut() {
 int dahlia::listenLoopback(int, int) { return -1; }
 int dahlia::boundPort(int) { return -1; }
 int dahlia::connectLoopback(int) { return -1; }
+int dahlia::acceptConnection(int) { return -1; }
 bool dahlia::setNonBlocking(int) { return false; }
+bool dahlia::setRecvTimeout(int, int) { return false; }
 void dahlia::closeFd(int) {}
 int FdStreamBuf::underflow() { return traits_type::eof(); }
 int FdStreamBuf::overflow(int) { return traits_type::eof(); }

@@ -40,8 +40,20 @@ int boundPort(int Fd);
 /// Connects to 127.0.0.1:\p Port. Blocking; returns the fd or -1.
 int connectLoopback(int Port);
 
+/// Blocking accept on \p ListenFd. Returns the connection fd or -1
+/// (including when the listener was closed from another thread — how
+/// the fault-injection worker harness shuts down).
+int acceptConnection(int ListenFd);
+
 /// Switches \p Fd to non-blocking mode. Returns false on failure.
 bool setNonBlocking(int Fd);
+
+/// Arms SO_RCVTIMEO on \p Fd: a blocked read returns failure (EAGAIN)
+/// after \p Ms milliseconds instead of waiting forever. Through
+/// FdStreamBuf the timeout surfaces as EOF, which ServiceClient turns
+/// into its structured mid-stream error — this is how the DSE cluster
+/// coordinator detects stalled workers. \p Ms <= 0 clears the timeout.
+bool setRecvTimeout(int Fd, int Ms);
 
 /// Closes \p Fd (no-op for negative fds).
 void closeFd(int Fd);

@@ -17,6 +17,7 @@
 #include "fuzz/Differential.h"
 #include "fuzz/ProgramGen.h"
 #include "fuzz/ProtoFuzz.h"
+#include "service/ServiceClient.h"
 #include "support/Socket.h"
 
 #include <gtest/gtest.h>
@@ -192,6 +193,60 @@ TEST(ProtoFuzz, InjectedSwallowedFrameIsCaught) {
     if (F.Attack == "truncated-frame")
       ++Hits;
   EXPECT_GT(Hits, 0u) << "swallowed truncated frame went undetected";
+}
+
+//===--------------------------------------------------------------------===//
+// Cluster dialect (hostile workers vs coordinator; nightly runs more
+// rounds via dahlia-fuzz-proto --cluster)
+//===--------------------------------------------------------------------===//
+
+TEST(ProtoFuzz, ClusterDialectSmallSoakIsClean) {
+  if (!haveSockets())
+    GTEST_SKIP() << "no socket support on this platform";
+  ClusterFuzzOptions O;
+  O.Rounds = 1;
+  O.Limit = 60;
+  ProtoFuzzReport R = runClusterFuzz(O);
+  for (const ProtoFailure &F : R.Failures)
+    ADD_FAILURE() << "round " << F.Round << " [" << F.Attack << "] "
+                  << F.Detail;
+  EXPECT_FALSE(R.Stats.Skipped);
+  EXPECT_GT(R.Stats.Attacks, 0u);
+}
+
+TEST(ProtoFuzz, ClusterCorpusRepliesDecodeToStructuredErrors) {
+  // Minimized wire-level finds from the cluster dialect: each .lines
+  // script is a hostile worker's reply stream, pinned forever. Replay
+  // through the strict client decoder — exactly how the coordinator
+  // reads a shard — and require a structured error, never an Ok sweep.
+  std::filesystem::path Dir = DAHLIA_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(Dir)) << Dir;
+  int Replayed = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().extension() != ".lines")
+      continue;
+    std::ifstream In(E.path());
+    ASSERT_TRUE(In.good()) << E.path();
+    std::string Wire, Line;
+    while (std::getline(In, Line))
+      if (!Line.empty() && Line[0] != '#')
+        Wire += Line + "\n";
+
+    std::istringstream Responses(Wire);
+    std::ostringstream Requests;
+    service::ServiceClient C(Responses, Requests);
+    C.setStrict(true);
+    service::Request R;
+    R.Kind = service::Op::DseSweep;
+    R.Space = "gemm-blocked";
+    R.Stream = true;
+    service::ClientResponse Resp = C.call(std::move(R));
+    EXPECT_FALSE(Resp.R.Ok) << E.path() << " decoded as success";
+    EXPECT_FALSE(Resp.R.Errors.empty())
+        << E.path() << " failed without a structured error";
+    ++Replayed;
+  }
+  EXPECT_GE(Replayed, 2) << "cluster wire corpus went missing";
 }
 
 } // namespace

@@ -1130,6 +1130,141 @@ TEST(Client, SkipsUnknownRecordsInStreamTransport) {
   }
 }
 
+TEST(Client, StrictModeTurnsUnknownRecordsIntoErrors) {
+  // The cluster coordinator's decoding mode: what the lenient client
+  // warns-and-skips (previous test) must become a structured error — a
+  // coordinator merging shard fronts cannot guess around gossip.
+  std::istringstream In("{\"notice\":\"server gossip\",\"id\":1}\n"
+                        "{\"id\":1,\"op\":\"check\",\"ok\":true}\n");
+  std::ostringstream Out;
+  ServiceClient C(In, Out);
+  C.setStrict(true);
+  ClientResponse R = C.check(AcceptedSrc);
+  EXPECT_FALSE(R.R.Ok);
+  ASSERT_FALSE(R.R.Errors.empty());
+  EXPECT_NE(R.R.Errors[0].message().find("unknown record"),
+            std::string::npos)
+      << R.R.Errors[0].message();
+}
+
+TEST(Client, StrictModeRejectsHostileSweepStreams) {
+  // Four ways a hostile (or buggy) worker can mangle a streamed sweep
+  // without breaking JSON framing. Lenient decoding tolerates the first
+  // two for forward compatibility; strict mode must refuse all four with
+  // an error naming the violation — never reassemble a wrong sweep.
+  const std::string Header =
+      R"({"id":1,"op":"dse-sweep","stream":true})" "\n";
+  const std::string Point0 =
+      R"({"front_point":{"accepted":true,"index":0,"latency":10,"lut":1,"ff":1,"dsp":1,"bram":1},"id":1})"
+      "\n";
+  const std::string TermFront0 =
+      R"({"id":1,"op":"dse-sweep","ok":true,"stream_end":true,"sweep":{"front":[0],"accepted_front":[0],"shard_index":0,"shard_count":1,"explored":1}})"
+      "\n";
+  const std::string TermFront05 =
+      R"({"id":1,"op":"dse-sweep","ok":true,"stream_end":true,"sweep":{"front":[0,5],"accepted_front":[0],"shard_index":0,"shard_count":1,"explored":6}})"
+      "\n";
+
+  struct Case {
+    const char *Name;
+    std::string Wire;
+    const char *Expect;
+    bool LenientOk;
+  } Cases[] = {
+      {"duplicate front_point chunk", Header + Point0 + Point0 + TermFront0,
+       "duplicate front_point chunk", true},
+      {"unknown stream chunk",
+       Header + "{\"id\":1,\"chunk\":\"garbage\"}\n" + Point0 + TermFront0,
+       "unknown stream chunk", true},
+      {"premature stream_end", Header + Point0 + TermFront05,
+       "premature stream_end", true},
+  };
+
+  for (const Case &TC : Cases) {
+    SCOPED_TRACE(TC.Name);
+    {
+      std::istringstream In(TC.Wire);
+      std::ostringstream Out;
+      ServiceClient C(In, Out);
+      C.setStrict(true);
+      Request R;
+      R.Kind = Op::DseSweep;
+      R.Space = "gemm-blocked";
+      R.Stream = true;
+      ClientResponse Resp = C.call(std::move(R));
+      EXPECT_FALSE(Resp.R.Ok);
+      ASSERT_FALSE(Resp.R.Errors.empty());
+      EXPECT_NE(Resp.R.Errors[0].message().find(TC.Expect),
+                std::string::npos)
+          << Resp.R.Errors[0].message();
+    }
+    {
+      // The same wire decoded leniently: skipped, not fatal.
+      std::istringstream In(TC.Wire);
+      std::ostringstream Out;
+      ServiceClient C(In, Out);
+      Request R;
+      R.Kind = Op::DseSweep;
+      R.Space = "gemm-blocked";
+      R.Stream = true;
+      ClientResponse Resp = C.call(std::move(R));
+      EXPECT_EQ(Resp.R.Ok, TC.LenientOk);
+    }
+  }
+}
+
+TEST(Service, CacheExportImportRoundTripMakesColdServiceWarm) {
+  // The cluster warm-cache shipping primitive: a fresh service fed
+  // another's exported memo cache answers the same sweep entirely from
+  // cache. Slice exports ("i/N") must partition the same entries.
+  CompileService Warm(testOptions());
+  ServiceClient WarmC(Warm);
+  ClientResponse First = WarmC.dseSweep("gemm-blocked", 150, 2);
+  ASSERT_TRUE(First.R.Ok);
+  size_t Explored =
+      static_cast<size_t>(First.Raw.at("sweep").at("explored").asInt());
+  ASSERT_GT(Explored, 0u);
+
+  ClientResponse Full = WarmC.cacheExport();
+  ASSERT_TRUE(Full.R.Ok);
+  size_t FullVerdicts = Full.R.Cache.at("verdicts").size();
+  size_t FullEstimates = Full.R.Cache.at("estimates").size();
+  EXPECT_GE(FullEstimates, Explored);
+
+  // Slices are disjoint and cover: counts add up to the whole export.
+  size_t SlicedVerdicts = 0, SlicedEstimates = 0;
+  for (const char *Slice : {"0/3", "1/3", "2/3"}) {
+    ClientResponse S = WarmC.cacheExport(Slice);
+    ASSERT_TRUE(S.R.Ok) << Slice;
+    SlicedVerdicts += S.R.Cache.at("verdicts").size();
+    SlicedEstimates += S.R.Cache.at("estimates").size();
+  }
+  EXPECT_EQ(SlicedVerdicts, FullVerdicts);
+  EXPECT_EQ(SlicedEstimates, FullEstimates);
+  EXPECT_FALSE(WarmC.cacheExport("7/3").R.Ok); // malformed slice
+  EXPECT_FALSE(WarmC.cacheExport("nope").R.Ok);
+
+  CompileService Cold(testOptions());
+  ServiceClient ColdC(Cold);
+  ClientResponse Imported = ColdC.cacheImport(Full.R.Cache);
+  ASSERT_TRUE(Imported.R.Ok);
+  EXPECT_EQ(static_cast<size_t>(
+                Imported.R.Cache.at("imported_estimates").asInt()),
+            FullEstimates);
+
+  ClientResponse Second = ColdC.dseSweep("gemm-blocked", 150, 2);
+  ASSERT_TRUE(Second.R.Ok);
+  const Json &S2 = Second.Raw.at("sweep");
+  EXPECT_EQ(S2.at("estimate_cache_hits").asInt(),
+            static_cast<int64_t>(Explored));
+  EXPECT_EQ(S2.at("front_hash").asString(),
+            First.Raw.at("sweep").at("front_hash").asString());
+
+  // Garbage payloads are a structured error, not a poisoned cache.
+  Json Bad = Json::object();
+  Bad["verdicts"] = "not an array";
+  EXPECT_FALSE(ColdC.cacheImport(std::move(Bad)).R.Ok);
+}
+
 TEST(TcpServer, WatchStreamsLiveProgressDuringSweep) {
   if (!haveSockets())
     GTEST_SKIP() << "no sockets on this platform";
